@@ -1,0 +1,157 @@
+/// \file bench_latency_rangelib.cpp
+/// \brief Reproduces the paper's latency evaluation (the 1.25 ms sensor-
+/// update claim, Sec. I/IV) and the rangelibc method comparison (Sec. II):
+///
+///  - single-ray range queries per backend (Bresenham / RayMarching /
+///    CDDT / LUT) on the Table-I test track;
+///  - one full SynPF measurement update (predict + correct, 60 beams per
+///    particle) per backend — the number the paper reports as "scan
+///    matching computation time" on the GPU-less NUC;
+///  - acceleration-structure build time (the LUT's precompute trade-off).
+///
+/// Run via google-benchmark; absolute numbers are machine-dependent, the
+/// *ordering* (LUT/CDDT are query-fast, Bresenham is exact but slow) is the
+/// reproduced result.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/particle_filter.hpp"
+#include "core/synpf.hpp"
+#include "gridmap/track_generator.hpp"
+#include "motion/tum_model.hpp"
+#include "range/range_method.hpp"
+#include "range/ray_marching.hpp"
+#include "sensor/lidar_sim.hpp"
+#include "sensor/scanline_layout.hpp"
+
+namespace {
+
+using namespace srl;
+
+const Track& track() {
+  static const Track t = TrackGenerator::test_track();
+  return t;
+}
+
+std::shared_ptr<const OccupancyGrid> map_ptr() {
+  static auto map = std::make_shared<const OccupancyGrid>(track().grid);
+  return map;
+}
+
+const std::unique_ptr<RangeMethod>& method(RangeMethodKind kind) {
+  static std::unique_ptr<RangeMethod> methods[4];
+  auto& slot = methods[static_cast<int>(kind)];
+  if (!slot) slot = make_range_method(kind, map_ptr(), RangeMethodOptions{});
+  return slot;
+}
+
+/// Pre-generated query poses on the corridor.
+const std::vector<Pose2>& query_poses() {
+  static const std::vector<Pose2> poses = [] {
+    std::vector<Pose2> out;
+    Rng rng{7};
+    const auto& cl = track().centerline;
+    while (out.size() < 4096) {
+      const Vec2 base = cl[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(cl.size()) - 1))];
+      const Pose2 p{base.x + rng.gaussian(0.3), base.y + rng.gaussian(0.3),
+                    rng.uniform(-kPi, kPi)};
+      const GridIndex g = map_ptr()->world_to_grid({p.x, p.y});
+      if (map_ptr()->in_bounds(g.ix, g.iy) &&
+          !map_ptr()->blocks_ray(g.ix, g.iy)) {
+        out.push_back(p);
+      }
+    }
+    return out;
+  }();
+  return poses;
+}
+
+void BM_RangeQuery(benchmark::State& state) {
+  const auto kind = static_cast<RangeMethodKind>(state.range(0));
+  const RangeMethod& m = *method(kind);
+  const auto& poses = query_poses();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.range(poses[i]));
+    i = (i + 1) % poses.size();
+  }
+  state.SetLabel(m.name());
+}
+BENCHMARK(BM_RangeQuery)
+    ->Arg(static_cast<int>(RangeMethodKind::kBresenham))
+    ->Arg(static_cast<int>(RangeMethodKind::kRayMarching))
+    ->Arg(static_cast<int>(RangeMethodKind::kCddt))
+    ->Arg(static_cast<int>(RangeMethodKind::kLut));
+
+/// One full SynPF measurement update: the paper's latency metric.
+void BM_SensorUpdate(benchmark::State& state) {
+  const auto kind = static_cast<RangeMethodKind>(state.range(0));
+  const LidarConfig lidar;
+
+  ParticleFilterConfig cfg;
+  cfg.n_particles = static_cast<int>(state.range(1));
+  std::shared_ptr<const RangeMethod> caster =
+      make_range_method(kind, map_ptr(), RangeMethodOptions{});
+  ParticleFilter pf{cfg,
+                    caster,
+                    std::make_shared<TumMotionModel>(),
+                    BeamModel{},
+                    lidar,
+                    boxed_layout(lidar, 60, 3.0),
+                    99};
+
+  // A scan from the start pose.
+  const auto& cl = track().centerline;
+  const Pose2 start{cl[0].x, cl[0].y, 0.0};
+  auto truth_caster =
+      std::make_shared<RayMarching>(map_ptr(), lidar.max_range);
+  LidarSim sim{lidar, truth_caster, LidarNoise{}};
+  Rng rng{3};
+  const LaserScan scan = sim.scan(start, 0.0, rng);
+  pf.init_pose(start);
+
+  OdometryDelta odom;
+  odom.delta = Pose2{0.02, 0.0, 0.0};
+  odom.v = 1.0;
+  odom.dt = 0.02;
+  for (auto _ : state) {
+    pf.predict(odom);
+    pf.correct(scan);
+  }
+  state.SetLabel(to_string(kind) + "/" +
+                 std::to_string(cfg.n_particles) + "p");
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(cfg.n_particles) * 60);
+}
+BENCHMARK(BM_SensorUpdate)
+    ->Args({static_cast<int>(RangeMethodKind::kBresenham), 1500})
+    ->Args({static_cast<int>(RangeMethodKind::kRayMarching), 1500})
+    ->Args({static_cast<int>(RangeMethodKind::kCddt), 1500})
+    ->Args({static_cast<int>(RangeMethodKind::kLut), 1500})
+    ->Unit(benchmark::kMillisecond);
+
+/// Acceleration-structure construction cost (the LUT's trade-off).
+void BM_Build(benchmark::State& state) {
+  const auto kind = static_cast<RangeMethodKind>(state.range(0));
+  RangeMethodOptions opt;
+  opt.lut_theta_bins = 90;
+  opt.lut_stride = 2;  // keep the bench itself quick
+  for (auto _ : state) {
+    auto m = make_range_method(kind, map_ptr(), opt);
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetLabel(to_string(kind));
+}
+BENCHMARK(BM_Build)
+    ->Arg(static_cast<int>(RangeMethodKind::kRayMarching))
+    ->Arg(static_cast<int>(RangeMethodKind::kCddt))
+    ->Arg(static_cast<int>(RangeMethodKind::kLut))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,163 @@
+/// \file bench_table1.cpp
+/// \brief Reproduces **Table I** of the paper: lap time, lateral error,
+/// scan alignment and compute load for {Cartographer (CartoLite), SynPF}
+/// x {high-quality, low-quality} wheel odometry.
+///
+/// The odometry quality is controlled by the tire grip coefficient exactly
+/// as in the paper's pull test: mu = 0.76 (26 N nominal) vs mu = 0.55
+/// (19 N taped tires). Both regimes run the same speed scaling.
+///
+/// Env knobs: SRL_LAPS (timed laps per cell, default 10), SRL_FAST=1
+/// (2 laps), SRL_SEED.
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "common/csv.hpp"
+#include "core/synpf.hpp"
+#include "eval/experiment.hpp"
+#include "eval/table.hpp"
+#include "gridmap/track_generator.hpp"
+#include "slam/pure_localization.hpp"
+
+namespace {
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : fallback;
+}
+
+}  // namespace
+
+int main() {
+  using namespace srl;
+
+  const bool fast = env_int("SRL_FAST", 0) != 0;
+  const int laps = fast ? 2 : env_int("SRL_LAPS", 10);
+  const auto seed = static_cast<std::uint64_t>(env_int("SRL_SEED", 1234));
+
+  const Track track = TrackGenerator::test_track();
+  auto map = std::make_shared<const OccupancyGrid>(track.grid);
+  const LidarConfig lidar{};
+
+  struct Cell {
+    std::string method;
+    std::string odom;
+    double mu;
+    ExperimentResult r;
+  };
+  std::vector<Cell> cells;
+
+  const double kMuHq = 0.76;  // 26 N pull test on a 3.5 kg car
+  const double kMuLq = 0.55;  // 19 N with taped tires
+
+  std::cout << "bench_table1: Table I reproduction (" << laps
+            << " timed laps per cell)\n";
+
+  for (const bool synpf : {false, true}) {
+    for (const double mu : {kMuHq, kMuLq}) {
+      ExperimentConfig cfg;
+      cfg.laps = laps;
+      cfg.mu = mu;
+      cfg.seed = seed + (mu == kMuHq ? 0 : 1);
+      ExperimentRunner runner{track, cfg};
+
+      std::unique_ptr<Localizer> localizer;
+      if (synpf) {
+        SynPfConfig pf;
+        localizer = std::make_unique<SynPf>(pf, map, lidar);
+      } else {
+        PureLocalizationOptions pl;
+        localizer = std::make_unique<CartoLocalizer>(pl, map, lidar);
+      }
+      std::cout << "  running " << localizer->name() << " / "
+                << (mu == kMuHq ? "HQ" : "LQ") << " ..." << std::flush;
+      Cell cell{localizer->name(), mu == kMuHq ? "HQ" : "LQ", mu,
+                runner.run(*localizer)};
+      std::cout << " done (" << cell.r.lap_times.size() << " laps"
+                << (cell.r.crashed ? ", CRASHED" : "") << ")\n";
+      cells.push_back(std::move(cell));
+    }
+  }
+
+  TextTable table{{"Method", "Odom", "LapTime mu [s]", "sigma", "Err mu [cm]",
+                   "sigma", "ScanAlign [%]", "Load [%]", "Update [ms]",
+                   "PoseRMSE [cm]", "Lat [cm]", "Long [cm]", "Hdg [mrad]",
+                   "Slip [m/s]", "Drift [m/lap]"}};
+  for (const Cell& c : cells) {
+    table.add_row({c.method, c.odom, TextTable::num(c.r.lap_time_mean),
+                   TextTable::num(c.r.lap_time_std),
+                   TextTable::num(c.r.lateral_mean_cm),
+                   TextTable::num(c.r.lateral_std_cm),
+                   TextTable::num(c.r.scan_alignment, 1),
+                   TextTable::num(c.r.load_percent, 2),
+                   TextTable::num(c.r.mean_update_ms, 2),
+                   TextTable::num(c.r.pose_rmse_m * 100.0, 2),
+                   TextTable::num(c.r.pose_lat_rmse_m * 100.0, 2),
+                   TextTable::num(c.r.pose_long_rmse_m * 100.0, 2),
+                   TextTable::num(c.r.heading_rmse_rad * 1000.0, 1),
+                   TextTable::num(c.r.mean_abs_slip, 3),
+                   TextTable::num(c.r.odom_drift_m_per_lap, 2)});
+  }
+  std::cout << "\n" << table.render();
+
+  // Paper's numbers for side-by-side comparison.
+  std::cout << "\nPaper (Table I): Cartographer HQ 9.167/0.097 6.864/0.264 "
+               "69.357 4.2 | LQ 9.428/0.126 11.432/1.134 61.710\n"
+               "                 SynPF        HQ 9.184/0.153 8.223/0.406 "
+               "80.603 2.17 | LQ 9.280/0.093 7.686/1.179 79.924\n";
+
+  // Headline deltas (the paper's robustness claim).
+  const auto find = [&](const std::string& m,
+                        const std::string& o) -> const ExperimentResult& {
+    for (const Cell& c : cells) {
+      if (c.method == m && c.odom == o) return c.r;
+    }
+    static ExperimentResult empty;
+    return empty;
+  };
+  const auto& carto_hq = find("Cartographer", "HQ");
+  const auto& carto_lq = find("Cartographer", "LQ");
+  const auto& syn_hq = find("SynPF", "HQ");
+  const auto& syn_lq = find("SynPF", "LQ");
+  const auto pct = [](double from, double to) {
+    return from != 0.0 ? 100.0 * (to - from) / from : 0.0;
+  };
+  std::cout << "\nHQ->LQ lateral error change:  Cartographer "
+            << TextTable::num(pct(carto_hq.lateral_mean_cm,
+                                  carto_lq.lateral_mean_cm), 1)
+            << "% (paper +66.6%) | SynPF "
+            << TextTable::num(pct(syn_hq.lateral_mean_cm,
+                                  syn_lq.lateral_mean_cm), 1)
+            << "% (paper -6.9%)\n";
+  std::cout << "HQ->LQ scan alignment change: Cartographer "
+            << TextTable::num(pct(carto_hq.scan_alignment,
+                                  carto_lq.scan_alignment), 1)
+            << "% (paper -11.0%) | SynPF "
+            << TextTable::num(pct(syn_hq.scan_alignment,
+                                  syn_lq.scan_alignment), 1)
+            << "% (paper -0.8%)\n";
+
+  CsvWriter csv{"table1.csv"};
+  csv.write_header({"method", "odom", "mu", "lap_time_mean", "lap_time_std",
+                    "lateral_mean_cm", "lateral_std_cm", "scan_align",
+                    "load_percent", "update_ms", "slip", "drift_m_per_lap",
+                    "crashed"});
+  for (const Cell& c : cells) {
+    csv.write_row(std::vector<std::string>{
+        c.method, c.odom, TextTable::num(c.mu, 2),
+        TextTable::num(c.r.lap_time_mean), TextTable::num(c.r.lap_time_std),
+        TextTable::num(c.r.lateral_mean_cm),
+        TextTable::num(c.r.lateral_std_cm),
+        TextTable::num(c.r.scan_alignment, 2),
+        TextTable::num(c.r.load_percent, 2),
+        TextTable::num(c.r.mean_update_ms, 3),
+        TextTable::num(c.r.mean_abs_slip, 3),
+        TextTable::num(c.r.odom_drift_m_per_lap, 3),
+        c.r.crashed ? "1" : "0"});
+  }
+  std::cout << "\nwrote table1.csv\n";
+  return 0;
+}

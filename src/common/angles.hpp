@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file angles.hpp
+/// \brief Angle normalization and arithmetic on the circle.
+
+#include <cmath>
+#include <numbers>
+
+namespace srl {
+
+inline constexpr double kPi = std::numbers::pi;
+inline constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/// Wrap an angle into (-pi, pi].
+inline double normalize_angle(double a) {
+  a = std::fmod(a, kTwoPi);
+  if (a <= -kPi) {
+    a += kTwoPi;
+  } else if (a > kPi) {
+    a -= kTwoPi;
+  }
+  return a;
+}
+
+/// Shortest signed angular difference a - b, in (-pi, pi].
+inline double angle_diff(double a, double b) { return normalize_angle(a - b); }
+
+/// Absolute shortest angular distance between two angles, in [0, pi].
+inline double angle_dist(double a, double b) {
+  return std::abs(angle_diff(a, b));
+}
+
+inline constexpr double deg2rad(double deg) { return deg * kPi / 180.0; }
+inline constexpr double rad2deg(double rad) { return rad * 180.0 / kPi; }
+
+/// Linear interpolation between angles along the shortest arc.
+inline double angle_lerp(double a, double b, double t) {
+  return normalize_angle(a + t * angle_diff(b, a));
+}
+
+}  // namespace srl

@@ -1,0 +1,48 @@
+#include "common/csv.hpp"
+
+#include <sstream>
+
+namespace srl {
+
+CsvWriter::CsvWriter(const std::string& path) : out_{path} {}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::write_header(std::initializer_list<std::string> cols) {
+  bool first = true;
+  for (const auto& c : cols) {
+    if (!first) out_ << ',';
+    out_ << escape(c);
+    first = false;
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<double>& cells) {
+  std::ostringstream os;
+  os.precision(10);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) os << ',';
+    os << cells[i];
+  }
+  out_ << os.str() << '\n';
+}
+
+}  // namespace srl

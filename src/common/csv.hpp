@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file csv.hpp
+/// \brief Minimal CSV writer for experiment outputs so benches can dump the
+/// series behind every table/figure for external plotting.
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace srl {
+
+/// Writes rows of mixed string/number cells to a CSV file. Values containing
+/// commas or quotes are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`. `ok()` reports whether the stream is usable.
+  explicit CsvWriter(const std::string& path);
+
+  bool ok() const { return out_.good(); }
+
+  void write_header(std::initializer_list<std::string> cols);
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Convenience: write a row of doubles with full precision.
+  void write_row(const std::vector<double>& cells);
+
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace srl

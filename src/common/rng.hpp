@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file rng.hpp
+/// \brief Deterministic random number generation for simulation and
+/// particle filtering. All stochastic components of the library draw from an
+/// explicitly passed `Rng` so experiments are reproducible from a seed.
+
+#include <cstdint>
+#include <random>
+
+namespace srl {
+
+/// A seeded pseudo-random generator with the distributions the library needs.
+/// Thin wrapper over std::mt19937_64; copyable, so particle clouds can fork
+/// deterministic sub-streams if needed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eedULL) : engine_{seed} {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>{lo, hi}(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi) {
+    return std::uniform_int_distribution<int>{lo, hi}(engine_);
+  }
+
+  /// Zero-mean Gaussian with the given standard deviation. Draws from a
+  /// persistent standard-normal distribution and scales, so the
+  /// Box-Muller pair cache survives across calls (this sits in the
+  /// particle filter's prediction hot loop).
+  double gaussian(double stddev) {
+    if (stddev <= 0.0) return 0.0;
+    return stddev * standard_normal_(engine_);
+  }
+
+  /// Gaussian with explicit mean.
+  double gaussian(double mean, double stddev) {
+    return mean + gaussian(stddev);
+  }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Fresh 64-bit value (e.g. to seed a child Rng).
+  std::uint64_t next_seed() { return engine_(); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::normal_distribution<double> standard_normal_{0.0, 1.0};
+};
+
+}  // namespace srl

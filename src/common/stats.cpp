@@ -1,0 +1,145 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/angles.hpp"
+
+namespace srl {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> v{xs.begin(), xs.end()};
+  std::sort(v.begin(), v.end());
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double idx = clamped / 100.0 * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(idx));
+  const auto hi = static_cast<std::size_t>(std::ceil(idx));
+  const double frac = idx - static_cast<double>(lo);
+  return v[lo] + frac * (v[hi] - v[lo]);
+}
+
+double circular_mean(std::span<const double> angles) {
+  double sx = 0.0;
+  double sy = 0.0;
+  for (double a : angles) {
+    sx += std::cos(a);
+    sy += std::sin(a);
+  }
+  return std::atan2(sy, sx);
+}
+
+double weighted_circular_mean(std::span<const double> angles,
+                              std::span<const double> weights) {
+  double sx = 0.0;
+  double sy = 0.0;
+  const std::size_t n = std::min(angles.size(), weights.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += weights[i] * std::cos(angles[i]);
+    sy += weights[i] * std::sin(angles[i]);
+  }
+  return std::atan2(sy, sx);
+}
+
+double circular_stddev(std::span<const double> angles) {
+  if (angles.empty()) return 0.0;
+  double sx = 0.0;
+  double sy = 0.0;
+  for (double a : angles) {
+    sx += std::cos(a);
+    sy += std::sin(a);
+  }
+  const double n = static_cast<double>(angles.size());
+  const double r = std::hypot(sx / n, sy / n);
+  if (r <= 0.0) return kPi;  // fully dispersed
+  if (r >= 1.0) return 0.0;
+  return std::sqrt(-2.0 * std::log(r));
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_{lo}, hi_{hi}, counts_(bins == 0 ? 1 : bins, 0) {}
+
+void Histogram::add(double x) {
+  const double span = hi_ - lo_;
+  double t = span > 0.0 ? (x - lo_) / span : 0.0;
+  t = std::clamp(t, 0.0, 1.0);
+  auto i = static_cast<std::size_t>(t * static_cast<double>(counts_.size()));
+  if (i >= counts_.size()) i = counts_.size() - 1;
+  ++counts_[i];
+  ++total_;
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(i) + 0.5) * w;
+}
+
+std::string Histogram::ascii(std::size_t max_width) const {
+  std::size_t peak = 1;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto w = counts_[i] * max_width / peak;
+    os.precision(3);
+    os.setf(std::ios::fixed);
+    os << bin_center(i) << " | " << std::string(w, '#') << " " << counts_[i]
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace srl

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file stats.hpp
+/// \brief Streaming and batch statistics used by the evaluation harness:
+/// Welford running moments, percentiles, histograms, and circular means.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace srl {
+
+/// Numerically stable streaming mean/variance (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (divides by n-1); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+};
+
+/// Mean of a batch; 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Sample standard deviation of a batch; 0 for fewer than two values.
+double stddev(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100]. Copies and sorts.
+double percentile(std::span<const double> xs, double p);
+inline double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+/// Circular (directional) mean of angles in radians, result in (-pi, pi].
+double circular_mean(std::span<const double> angles);
+
+/// Weighted circular mean; weights need not be normalized.
+double weighted_circular_mean(std::span<const double> angles,
+                              std::span<const double> weights);
+
+/// Circular standard deviation sqrt(-2 ln R) where R is the mean resultant
+/// length; 0 for an empty span.
+double circular_stddev(std::span<const double> angles);
+
+/// Fixed-bin histogram over [lo, hi); values outside are clamped to the
+/// boundary bins. Used for dispersion plots in the figure benches.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t count() const { return total_; }
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  double bin_center(std::size_t i) const;
+  /// Render as a compact one-line-per-bin ASCII bar chart.
+  std::string ascii(std::size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_{0};
+};
+
+}  // namespace srl

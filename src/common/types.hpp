@@ -1,0 +1,149 @@
+#pragma once
+
+/// \file types.hpp
+/// \brief Fundamental 2-D geometric types shared across the library:
+/// vectors, SE(2) poses, and planar twists, with the usual group operations.
+///
+/// Conventions:
+///  - world frame: x forward/east, y left/north, theta counter-clockwise
+///    from +x, radians, normalized to (-pi, pi];
+///  - `Pose2` is an element of SE(2); composition `a * b` applies `b` in the
+///    frame of `a` (i.e. T_a * T_b);
+///  - `Twist2` is a body-frame velocity (vx forward, vy lateral, wz yaw rate).
+
+#include <cmath>
+#include <iosfwd>
+
+#include "common/angles.hpp"
+
+namespace srl {
+
+/// A 2-D vector / point. Plain aggregate: no invariants.
+struct Vec2 {
+  double x{0.0};
+  double y{0.0};
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x{x_}, y{y_} {}
+
+  constexpr Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2 operator-() const { return {-x, -y}; }
+  Vec2& operator+=(const Vec2& o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  Vec2& operator-=(const Vec2& o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  Vec2& operator*=(double s) {
+    x *= s;
+    y *= s;
+    return *this;
+  }
+
+  constexpr double dot(const Vec2& o) const { return x * o.x + y * o.y; }
+  /// z-component of the 3-D cross product (signed parallelogram area).
+  constexpr double cross(const Vec2& o) const { return x * o.y - y * o.x; }
+  double norm() const { return std::hypot(x, y); }
+  constexpr double squared_norm() const { return x * x + y * y; }
+  /// Unit vector in the same direction; returns {0,0} for the zero vector.
+  Vec2 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+  /// This vector rotated CCW by `angle` radians.
+  Vec2 rotated(double angle) const {
+    const double c = std::cos(angle);
+    const double s = std::sin(angle);
+    return {c * x - s * y, s * x + c * y};
+  }
+  /// Perpendicular vector (rotated +90 degrees).
+  constexpr Vec2 perp() const { return {-y, x}; }
+};
+
+constexpr Vec2 operator*(double s, const Vec2& v) { return v * s; }
+
+inline double distance(const Vec2& a, const Vec2& b) { return (a - b).norm(); }
+
+/// An SE(2) pose: translation + heading.
+struct Pose2 {
+  double x{0.0};
+  double y{0.0};
+  double theta{0.0};  ///< heading, radians, CCW from +x
+
+  constexpr Pose2() = default;
+  constexpr Pose2(double x_, double y_, double theta_)
+      : x{x_}, y{y_}, theta{theta_} {}
+  constexpr Pose2(const Vec2& t, double theta_)
+      : x{t.x}, y{t.y}, theta{theta_} {}
+
+  constexpr Vec2 translation() const { return {x, y}; }
+  /// Unit heading vector (cos theta, sin theta).
+  Vec2 heading_vec() const { return {std::cos(theta), std::sin(theta)}; }
+
+  /// Group composition: `this` followed by `o` expressed in `this`'s frame.
+  Pose2 operator*(const Pose2& o) const {
+    const double c = std::cos(theta);
+    const double s = std::sin(theta);
+    return {x + c * o.x - s * o.y, y + s * o.x + c * o.y,
+            normalize_angle(theta + o.theta)};
+  }
+
+  /// Transform a point from this pose's frame into the world frame.
+  Vec2 transform(const Vec2& p) const {
+    const double c = std::cos(theta);
+    const double s = std::sin(theta);
+    return {x + c * p.x - s * p.y, y + s * p.x + c * p.y};
+  }
+
+  /// Transform a world point into this pose's frame.
+  Vec2 inverse_transform(const Vec2& p) const {
+    const double c = std::cos(theta);
+    const double s = std::sin(theta);
+    const double dx = p.x - x;
+    const double dy = p.y - y;
+    return {c * dx + s * dy, -s * dx + c * dy};
+  }
+
+  /// Group inverse: `inverse() * (*this)` is identity.
+  Pose2 inverse() const {
+    const double c = std::cos(theta);
+    const double s = std::sin(theta);
+    return {-(c * x + s * y), -(-s * x + c * y), normalize_angle(-theta)};
+  }
+
+  /// Relative pose taking `this` to `to`: `(*this) * between(to) == to`.
+  Pose2 between(const Pose2& to) const { return inverse() * to; }
+
+  /// Pose with theta wrapped into (-pi, pi].
+  Pose2 normalized() const { return {x, y, normalize_angle(theta)}; }
+};
+
+/// A planar body-frame velocity.
+struct Twist2 {
+  double vx{0.0};  ///< longitudinal velocity, m/s (body frame, + forward)
+  double vy{0.0};  ///< lateral velocity, m/s (body frame, + left)
+  double wz{0.0};  ///< yaw rate, rad/s (+ CCW)
+
+  constexpr Twist2() = default;
+  constexpr Twist2(double vx_, double vy_, double wz_)
+      : vx{vx_}, vy{vy_}, wz{wz_} {}
+
+  double speed() const { return std::hypot(vx, vy); }
+};
+
+/// Exact SE(2) exponential of a body twist applied for `dt` seconds,
+/// composed onto `pose`. Handles the wz -> 0 limit analytically.
+Pose2 integrate_twist(const Pose2& pose, const Twist2& twist, double dt);
+
+std::ostream& operator<<(std::ostream& os, const Vec2& v);
+std::ostream& operator<<(std::ostream& os, const Pose2& p);
+std::ostream& operator<<(std::ostream& os, const Twist2& t);
+
+}  // namespace srl

@@ -1,0 +1,38 @@
+#include "control/pure_pursuit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/angles.hpp"
+
+namespace srl {
+
+DriveCommand PurePursuit::control(const Pose2& believed_pose,
+                                  double believed_speed, const Raceline& line,
+                                  const SpeedProfile& profile) const {
+  const Raceline::Projection proj =
+      line.project({believed_pose.x, believed_pose.y});
+
+  // Speed-scaled lookahead point along the race line.
+  const double lookahead =
+      std::min(params_.lookahead_max,
+               params_.lookahead_base +
+                   params_.lookahead_gain * std::max(believed_speed, 0.0));
+  const Vec2 target = line.position(proj.s + lookahead);
+
+  // Pure-pursuit law: curvature through the target point in the body frame.
+  const Vec2 local = believed_pose.inverse_transform(target);
+  const double d2 = local.squared_norm();
+  double kappa = 0.0;
+  if (d2 > 1e-6) kappa = 2.0 * local.y / d2;
+  const double steer = curvature_to_steer(ackermann_, kappa);
+
+  // Speed from the profile slightly ahead of the car.
+  const double preview_s =
+      proj.s + std::max(believed_speed, 1.0) * params_.speed_preview;
+  const double speed = profile.speed(preview_s);
+
+  return DriveCommand{speed, steer};
+}
+
+}  // namespace srl

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file pure_pursuit.hpp
+/// \brief Pure-pursuit path tracker — the racing controller of the
+/// experiment harness. It is driven by the *estimated* pose from a
+/// localizer, so localization error translates directly into tracking
+/// error, slower laps, and (in the limit) wall contact: the closed-loop
+/// coupling that makes Table I a racing benchmark rather than a pose-RMSE
+/// table.
+
+#include "control/speed_profile.hpp"
+#include "motion/ackermann.hpp"
+#include "track/raceline.hpp"
+#include "vehicle/vehicle_sim.hpp"
+
+namespace srl {
+
+struct PurePursuitParams {
+  double lookahead_base = 0.7;   ///< m
+  double lookahead_gain = 0.22;  ///< s — lookahead grows with speed
+  double lookahead_max = 2.8;    ///< m
+  double speed_preview = 0.45;   ///< s of preview for the speed command
+};
+
+class PurePursuit {
+ public:
+  PurePursuit(PurePursuitParams params, AckermannParams ackermann)
+      : params_{params}, ackermann_{ackermann} {}
+
+  /// Compute steering/speed from the believed pose and speed. `line` is the
+  /// race line, `profile` its speed profile.
+  DriveCommand control(const Pose2& believed_pose, double believed_speed,
+                       const Raceline& line, const SpeedProfile& profile) const;
+
+  const PurePursuitParams& params() const { return params_; }
+
+ private:
+  PurePursuitParams params_;
+  AckermannParams ackermann_;
+};
+
+}  // namespace srl

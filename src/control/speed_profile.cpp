@@ -1,0 +1,67 @@
+#include "control/speed_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace srl {
+
+SpeedProfile::SpeedProfile(const Raceline& line, SpeedProfileParams params)
+    : params_{params}, length_{line.length()}, ds_{params.ds} {
+  const auto n = static_cast<std::size_t>(
+      std::max(4.0, std::ceil(length_ / ds_)));
+  ds_ = length_ / static_cast<double>(n);
+  v_.resize(n);
+
+  // Pass 0: curvature cap. Curvature is smoothed over a short window so a
+  // single kinked vertex doesn't spike the profile.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double s = static_cast<double>(i) * ds_;
+    double kappa = 0.0;
+    constexpr int kWindow = 3;
+    for (int w = -kWindow; w <= kWindow; ++w) {
+      kappa = std::max(kappa, std::abs(line.curvature(s + w * ds_)));
+    }
+    double v = params_.v_max;
+    if (kappa > 1e-6) {
+      v = std::min(v, std::sqrt(params_.a_lat_budget / kappa));
+    }
+    v_[i] = std::max(v, params_.v_min);
+  }
+
+  // Pass 1 (two wraps): forward acceleration limit v' <= sqrt(v^2 + 2 a ds).
+  for (int wrap = 0; wrap < 2; ++wrap) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t j = (i + 1) % n;
+      v_[j] = std::min(
+          v_[j], std::sqrt(v_[i] * v_[i] + 2.0 * params_.a_long_accel * ds_));
+    }
+  }
+  // Pass 2 (two wraps): braking limit going backward.
+  for (int wrap = 0; wrap < 2; ++wrap) {
+    for (std::size_t ii = n; ii > 0; --ii) {
+      const std::size_t i = ii - 1;
+      const std::size_t j = (i + 1) % n;
+      v_[i] = std::min(
+          v_[i], std::sqrt(v_[j] * v_[j] + 2.0 * params_.a_long_brake * ds_));
+    }
+  }
+  for (double& v : v_) v = std::max(params_.v_min, v * params_.scale);
+}
+
+double SpeedProfile::speed(double s) const {
+  s = std::fmod(s, length_);
+  if (s < 0.0) s += length_;
+  const auto i =
+      static_cast<std::size_t>(s / ds_) % v_.size();
+  return v_[i];
+}
+
+double SpeedProfile::min_speed() const {
+  return *std::min_element(v_.begin(), v_.end());
+}
+
+double SpeedProfile::max_speed() const {
+  return *std::max_element(v_.begin(), v_.end());
+}
+
+}  // namespace srl

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file localizer.hpp
+/// \brief The localizer interface shared by SynPF and the CartoLite
+/// pure-localization baseline — the two systems Table I compares. A
+/// localizer consumes proprioception (odometry increments) at high rate and
+/// exteroception (LiDAR scans) at scan rate, and maintains a pose estimate.
+
+#include <string>
+
+#include "common/types.hpp"
+#include "motion/motion_model.hpp"
+#include "sensor/lidar.hpp"
+
+namespace srl {
+
+class Localizer {
+ public:
+  virtual ~Localizer() = default;
+
+  /// (Re)initialize at a known pose (e.g. the starting grid).
+  virtual void initialize(const Pose2& pose) = 0;
+
+  /// Feed one wheel-odometry increment (called at odometry rate).
+  virtual void on_odometry(const OdometryDelta& odom) = 0;
+
+  /// Feed one LiDAR revolution; returns the refreshed pose estimate.
+  virtual Pose2 on_scan(const LaserScan& scan) = 0;
+
+  /// Current best pose estimate (valid between scans too: odometry-propagated).
+  virtual Pose2 pose() const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Mean wall-clock cost of one on_scan call, ms (the latency metric).
+  virtual double mean_scan_update_ms() const = 0;
+  /// Total busy seconds across all updates (for the CPU-load column).
+  virtual double total_busy_s() const = 0;
+};
+
+}  // namespace srl

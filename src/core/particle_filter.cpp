@@ -1,0 +1,273 @@
+#include "core/particle_filter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <unordered_set>
+#include <utility>
+
+#include "common/angles.hpp"
+#include "sensor/scanline_layout.hpp"
+
+namespace srl {
+
+ParticleFilter::ParticleFilter(ParticleFilterConfig config,
+                               std::shared_ptr<const RangeMethod> caster,
+                               std::shared_ptr<const MotionModel> motion,
+                               BeamModel beam_model, LidarConfig lidar,
+                               std::vector<int> beam_indices,
+                               std::uint64_t seed)
+    : config_{config},
+      caster_{std::move(caster)},
+      motion_{std::move(motion)},
+      beam_model_{std::move(beam_model)},
+      lidar_{std::move(lidar)},
+      beam_indices_{std::move(beam_indices)},
+      beam_angles_{layout_angles(lidar_, beam_indices_)},
+      rng_{seed} {
+  particles_.resize(static_cast<std::size_t>(std::max(config_.n_particles, 1)));
+  log_weights_.resize(particles_.size());
+}
+
+void ParticleFilter::init_pose(const Pose2& pose) {
+  const double w = 1.0 / static_cast<double>(particles_.size());
+  for (Particle& p : particles_) {
+    p.pose = Pose2{pose.x + rng_.gaussian(config_.init_sigma_xy),
+                   pose.y + rng_.gaussian(config_.init_sigma_xy),
+                   normalize_angle(pose.theta +
+                                   rng_.gaussian(config_.init_sigma_theta))};
+    p.weight = w;
+  }
+}
+
+void ParticleFilter::init_global(const OccupancyGrid& map) {
+  // Rejection-sample uniformly over free cells with random headings.
+  const double w = 1.0 / static_cast<double>(particles_.size());
+  for (Particle& p : particles_) {
+    for (int tries = 0; tries < 10000; ++tries) {
+      const int ix = rng_.uniform_int(0, map.width() - 1);
+      const int iy = rng_.uniform_int(0, map.height() - 1);
+      if (!map.is_free(ix, iy)) continue;
+      const Vec2 c = map.grid_to_world(ix, iy);
+      p.pose = Pose2{c.x, c.y, rng_.uniform(-kPi, kPi)};
+      break;
+    }
+    p.weight = w;
+  }
+}
+
+void ParticleFilter::predict(const OdometryDelta& odom) {
+  for (Particle& p : particles_) {
+    p.pose = motion_->sample(p.pose, odom, rng_);
+  }
+}
+
+void ParticleFilter::correct(const LaserScan& scan) {
+  const std::size_t n = particles_.size();
+  const std::size_t k = beam_indices_.size();
+  double max_log = -std::numeric_limits<double>::infinity();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Pose2 sensor = particles_[i].pose * lidar_.mount;
+    double log_w = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      const auto idx = static_cast<std::size_t>(beam_indices_[j]);
+      if (idx >= scan.ranges.size()) continue;
+      const float measured = scan.ranges[idx];
+      const float expected =
+          caster_->range({sensor.x, sensor.y, sensor.theta + beam_angles_[j]});
+      log_w += beam_model_.log_prob(measured, expected);
+    }
+    log_weights_[i] = log_w;
+    max_log = std::max(max_log, log_w);
+  }
+
+  // Recovery bookkeeping (AMCL w_slow / w_fast): the per-beam geometric
+  // mean likelihood of the cloud is the health signal.
+  if (config_.recovery && k > 0) {
+    double sum_log = 0.0;
+    for (std::size_t i = 0; i < n; ++i) sum_log += log_weights_[i];
+    const double w_avg =
+        std::exp(sum_log / (static_cast<double>(n) * static_cast<double>(k)));
+    if (w_slow_ == 0.0) w_slow_ = w_avg;
+    if (w_fast_ == 0.0) w_fast_ = w_avg;
+    w_slow_ += config_.recovery_alpha_slow * (w_avg - w_slow_);
+    w_fast_ += config_.recovery_alpha_fast * (w_avg - w_fast_);
+    injection_prob_ =
+        w_slow_ > 0.0 ? std::max(0.0, 1.0 - w_fast_ / w_slow_) : 0.0;
+  }
+
+  // Squash and exponentiate relative to the max for numerical stability;
+  // fold in the prior weights (uniform after a resample, so usually a no-op).
+  const double inv_squash = 1.0 / std::max(config_.squash_factor, 1e-6);
+  for (std::size_t i = 0; i < n; ++i) {
+    particles_[i].weight *=
+        std::exp((log_weights_[i] - max_log) * inv_squash);
+  }
+  normalize_weights();
+
+  if (effective_sample_size() <
+      config_.resample_ess_fraction * static_cast<double>(n)) {
+    resample();
+  }
+}
+
+void ParticleFilter::normalize_weights() {
+  double sum = 0.0;
+  for (const Particle& p : particles_) sum += p.weight;
+  if (sum <= 0.0 || !std::isfinite(sum)) {
+    // Total weight collapse (all particles in impossible states): reset to
+    // uniform rather than propagating NaNs; the next updates re-shape it.
+    const double w = 1.0 / static_cast<double>(particles_.size());
+    for (Particle& p : particles_) p.weight = w;
+    return;
+  }
+  for (Particle& p : particles_) p.weight /= sum;
+}
+
+double ParticleFilter::effective_sample_size() const {
+  double sum_sq = 0.0;
+  for (const Particle& p : particles_) sum_sq += p.weight * p.weight;
+  return sum_sq > 0.0 ? 1.0 / sum_sq : 0.0;
+}
+
+std::size_t ParticleFilter::kld_bound(std::size_t k) const {
+  if (k <= 1) return static_cast<std::size_t>(config_.kld_min_particles);
+  // Fox's chi-square/Wilson-Hilferty bound on the required sample count.
+  const double kd = static_cast<double>(k - 1);
+  const double a = 2.0 / (9.0 * kd);
+  const double b = 1.0 - a + std::sqrt(a) * config_.kld_quantile_z;
+  const double n = kd / (2.0 * config_.kld_epsilon) * b * b * b;
+  return static_cast<std::size_t>(std::ceil(n));
+}
+
+Pose2 ParticleFilter::sample_free_pose() {
+  const OccupancyGrid& map = *recovery_map_;
+  for (int tries = 0; tries < 10000; ++tries) {
+    const int ix = rng_.uniform_int(0, map.width() - 1);
+    const int iy = rng_.uniform_int(0, map.height() - 1);
+    if (!map.is_free(ix, iy)) continue;
+    const Vec2 c = map.grid_to_world(ix, iy);
+    return Pose2{c.x, c.y, rng_.uniform(-kPi, kPi)};
+  }
+  return particles_.empty() ? Pose2{} : particles_.front().pose;
+}
+
+void ParticleFilter::resample() {
+  // Low-variance (systematic) resampling: one uniform draw, `max_n` equally
+  // spaced pointers into the cumulative weight distribution. O(N), preserves
+  // particle diversity better than multinomial sampling.
+  //
+  // With KLD adaptation, the cloud is cut off once the Fox bound for the
+  // number of occupied (x, y, theta) histogram bins is met — tight
+  // posteriors need few particles, dispersed ones keep the full budget.
+  // A plain prefix of the systematic draws would cover only the low-CDF
+  // region, so the draws are visited with a stride coprime to their count,
+  // making every prefix an approximately uniform subsample of the CDF.
+  const std::size_t n = particles_.size();
+  const auto max_n = static_cast<std::size_t>(
+      std::max(config_.n_particles, config_.kld_min_particles));
+  std::vector<Particle> drawn;
+  drawn.reserve(max_n);
+  const double step = 1.0 / static_cast<double>(max_n);
+  double target = rng_.uniform(0.0, step);
+  double cumulative = particles_[0].weight;
+  std::size_t i = 0;
+  for (std::size_t m = 0; m < max_n; ++m) {
+    while (cumulative < target && i + 1 < n) {
+      ++i;
+      cumulative += particles_[i].weight;
+    }
+    drawn.push_back(Particle{particles_[i].pose, step});
+    target += step;
+  }
+
+  // Kidnapped-robot recovery: replace a fraction of the resampled cloud
+  // with uniform random poses when the measurement likelihood collapsed.
+  const auto inject_recovery = [this](std::vector<Particle>& cloud) {
+    if (!config_.recovery || !recovery_map_ || injection_prob_ <= 0.0) return;
+    for (Particle& p : cloud) {
+      if (rng_.uniform() < injection_prob_) p.pose = sample_free_pose();
+    }
+  };
+
+  if (!config_.kld_adaptive) {
+    particles_ = std::move(drawn);
+    inject_recovery(particles_);
+    log_weights_.resize(particles_.size());
+    for (Particle& p : particles_) {
+      p.weight = 1.0 / static_cast<double>(particles_.size());
+    }
+    ++resamples_;
+    return;
+  }
+
+  // Visit the systematic draws in a coprime stride so any prefix is an
+  // (approximately) uniform subsample of the CDF.
+  std::size_t stride = max_n / 2 + 1;
+  while (std::gcd(stride, max_n) != 1) ++stride;
+
+  std::vector<Particle> kept;
+  kept.reserve(max_n);
+  std::unordered_set<std::uint64_t> bins;
+  const auto min_keep =
+      static_cast<std::size_t>(std::max(config_.kld_min_particles, 1));
+  std::size_t idx = 0;
+  for (std::size_t m = 0; m < max_n; ++m, idx = (idx + stride) % max_n) {
+    const Particle& p = drawn[idx];
+    kept.push_back(p);
+    const auto bx = static_cast<std::int64_t>(
+        std::floor(p.pose.x / config_.kld_bin_xy));
+    const auto by = static_cast<std::int64_t>(
+        std::floor(p.pose.y / config_.kld_bin_xy));
+    const auto bt = static_cast<std::int64_t>(
+        std::floor(normalize_angle(p.pose.theta) / config_.kld_bin_theta));
+    bins.insert((static_cast<std::uint64_t>(bx & 0x1FFFFF) << 42) |
+                (static_cast<std::uint64_t>(by & 0x1FFFFF) << 21) |
+                static_cast<std::uint64_t>(bt & 0x1FFFFF));
+    if (kept.size() >= min_keep && kept.size() >= kld_bound(bins.size())) {
+      break;
+    }
+  }
+  particles_ = std::move(kept);
+  inject_recovery(particles_);
+  log_weights_.resize(particles_.size());
+  for (Particle& p : particles_) {
+    p.weight = 1.0 / static_cast<double>(particles_.size());
+  }
+  ++resamples_;
+}
+
+Pose2 ParticleFilter::estimate() const {
+  double x = 0.0;
+  double y = 0.0;
+  double cs = 0.0;
+  double sn = 0.0;
+  for (const Particle& p : particles_) {
+    x += p.weight * p.pose.x;
+    y += p.weight * p.pose.y;
+    cs += p.weight * std::cos(p.pose.theta);
+    sn += p.weight * std::sin(p.pose.theta);
+  }
+  return Pose2{x, y, std::atan2(sn, cs)};
+}
+
+PoseCovariance ParticleFilter::covariance() const {
+  const Pose2 mean = estimate();
+  PoseCovariance cov;
+  double r = 0.0;
+  for (const Particle& p : particles_) {
+    const double dx = p.pose.x - mean.x;
+    const double dy = p.pose.y - mean.y;
+    cov.xx += p.weight * dx * dx;
+    cov.xy += p.weight * dx * dy;
+    cov.yy += p.weight * dy * dy;
+    r += p.weight * std::cos(angle_diff(p.pose.theta, mean.theta));
+  }
+  r = std::clamp(r, 1e-12, 1.0);
+  cov.tt = -2.0 * std::log(r);
+  return cov;
+}
+
+}  // namespace srl

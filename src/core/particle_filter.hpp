@@ -1,0 +1,149 @@
+#pragma once
+
+/// \file particle_filter.hpp
+/// \brief Monte-Carlo localization core: particle cloud, motion prediction,
+/// beam-model correction with likelihood squashing, low-variance resampling,
+/// and weighted/circular pose extraction. The filter is assembled from
+/// injectable pieces (motion model, range backend, beam layout) so SynPF and
+/// its ablations are configurations of this one class.
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "gridmap/occupancy_grid.hpp"
+#include "motion/motion_model.hpp"
+#include "range/range_method.hpp"
+#include "sensor/beam_model.hpp"
+#include "sensor/lidar.hpp"
+
+namespace srl {
+
+struct Particle {
+  Pose2 pose;
+  double weight{1.0};
+};
+
+/// Weighted pose second moments (theta treated via circular statistics).
+struct PoseCovariance {
+  double xx{0.0};
+  double xy{0.0};
+  double yy{0.0};
+  double tt{0.0};  ///< circular variance proxy: -2 ln(R)
+};
+
+struct ParticleFilterConfig {
+  int n_particles = 1500;
+  /// Likelihood tempering: per-particle weight = exp(sum_log_p / squash).
+  /// Values > 1 flatten the posterior, preventing weight collapse when many
+  /// beams are scored (MIT racecar PF uses the same device).
+  double squash_factor = 3.0;
+  /// Resample when effective sample size falls below this fraction of N.
+  double resample_ess_fraction = 0.5;
+  /// Initialization spread around a known start pose.
+  double init_sigma_xy = 0.25;
+  double init_sigma_theta = 0.10;
+
+  /// KLD-adaptive sampling (Fox 2001): at each resampling the cloud size is
+  /// chosen so that, with probability `kld_quantile_z`, the KL divergence
+  /// between the sampled and the true posterior stays below `kld_epsilon`.
+  /// A converged cloud occupies few (x, y, theta) bins and shrinks toward
+  /// `kld_min_particles`; a dispersed one grows back to `n_particles`.
+  bool kld_adaptive = false;
+  int kld_min_particles = 300;
+  double kld_epsilon = 0.05;
+  double kld_quantile_z = 2.33;  ///< 99% normal quantile
+  double kld_bin_xy = 0.25;      ///< m, histogram bin size
+  double kld_bin_theta = 0.20;   ///< rad
+
+  /// AMCL-style recovery: track slow/fast exponential averages of the
+  /// per-beam measurement likelihood; when the fast average falls below
+  /// the slow one (the cloud no longer explains the scans — kidnapped or
+  /// diverged), inject uniform random particles with probability
+  /// max(0, 1 - w_fast / w_slow) per resampled slot. Requires a map via
+  /// set_recovery_map().
+  bool recovery = false;
+  double recovery_alpha_slow = 0.05;
+  double recovery_alpha_fast = 0.5;
+};
+
+class ParticleFilter {
+ public:
+  /// `caster` evaluates expected ranges on the localization map;
+  /// `beam_indices` selects which scan beams are scored (a layout from
+  /// scanline_layout.hpp).
+  ParticleFilter(ParticleFilterConfig config,
+                 std::shared_ptr<const RangeMethod> caster,
+                 std::shared_ptr<const MotionModel> motion,
+                 BeamModel beam_model, LidarConfig lidar,
+                 std::vector<int> beam_indices, std::uint64_t seed = 42);
+
+  /// Gaussian cloud around a known pose.
+  void init_pose(const Pose2& pose);
+  /// Uniform cloud over the free cells of `map` (global localization).
+  void init_global(const OccupancyGrid& map);
+
+  /// Motion prediction: every particle is advanced through the motion model.
+  void predict(const OdometryDelta& odom);
+
+  /// Measurement update: re-weight with the beam model, then resample if the
+  /// effective sample size has degenerated.
+  void correct(const LaserScan& scan);
+
+  /// Weighted mean position and weighted circular mean heading.
+  Pose2 estimate() const;
+  PoseCovariance covariance() const;
+
+  /// Effective sample size of the current weights.
+  double effective_sample_size() const;
+
+  std::span<const Particle> particles() const { return particles_; }
+  const ParticleFilterConfig& config() const { return config_; }
+  Rng& rng() { return rng_; }
+
+  /// Number of resampling events so far (diagnostic).
+  long resample_count() const { return resamples_; }
+  /// Current cloud size (== config n_particles unless KLD-adaptive).
+  int current_particles() const {
+    return static_cast<int>(particles_.size());
+  }
+
+  /// Provide the map used to draw recovery particles (and enable the
+  /// kidnapped-robot recovery configured by `config.recovery`).
+  void set_recovery_map(std::shared_ptr<const OccupancyGrid> map) {
+    recovery_map_ = std::move(map);
+  }
+  /// Last computed injection probability (diagnostic; 0 while healthy).
+  double recovery_injection_prob() const { return injection_prob_; }
+
+ private:
+  void normalize_weights();
+  void resample();
+  /// KLD bound: particles required for k occupied histogram bins.
+  std::size_t kld_bound(std::size_t k) const;
+  /// Uniform random pose over the recovery map's free cells.
+  Pose2 sample_free_pose();
+
+  ParticleFilterConfig config_;
+  std::shared_ptr<const RangeMethod> caster_;
+  std::shared_ptr<const MotionModel> motion_;
+  BeamModel beam_model_;
+  LidarConfig lidar_;
+  std::vector<int> beam_indices_;
+  std::vector<double> beam_angles_;
+
+  std::vector<Particle> particles_;
+  std::vector<double> log_weights_;  ///< scratch for correct()
+  Rng rng_;
+  long resamples_{0};
+
+  std::shared_ptr<const OccupancyGrid> recovery_map_;
+  double w_slow_{0.0};
+  double w_fast_{0.0};
+  double injection_prob_{0.0};
+};
+
+}  // namespace srl

@@ -1,0 +1,61 @@
+#include "core/synpf.hpp"
+
+#include <utility>
+
+#include "sensor/scanline_layout.hpp"
+
+namespace srl {
+
+SynPf::SynPf(SynPfConfig config, std::shared_ptr<const OccupancyGrid> map,
+             LidarConfig lidar)
+    : config_{config} {
+  config_.range_options.max_range = lidar.max_range;
+  config_.beam.max_range = lidar.max_range;
+
+  std::shared_ptr<const OccupancyGrid> recovery_map =
+      config_.filter.recovery ? map : nullptr;
+  std::shared_ptr<const RangeMethod> caster =
+      make_range_method(config_.range, std::move(map), config_.range_options);
+
+  std::shared_ptr<const MotionModel> motion;
+  if (config_.motion == PfMotionKind::kTum) {
+    motion = std::make_shared<TumMotionModel>(config_.tum);
+  } else {
+    motion = std::make_shared<DiffDriveModel>(config_.diff_drive);
+  }
+
+  std::vector<int> layout =
+      config_.layout == PfLayoutKind::kBoxed
+          ? boxed_layout(lidar, config_.beams, config_.boxed_aspect)
+          : uniform_layout(lidar, config_.beams);
+
+  pf_ = std::make_unique<ParticleFilter>(
+      config_.filter, std::move(caster), std::move(motion),
+      BeamModel{config_.beam}, lidar, std::move(layout), config_.seed);
+  if (recovery_map) pf_->set_recovery_map(std::move(recovery_map));
+}
+
+void SynPf::initialize(const Pose2& pose) {
+  pf_->init_pose(pose);
+  propagated_ = pose;
+  pending_ = OdometryDelta{};
+}
+
+void SynPf::on_odometry(const OdometryDelta& odom) {
+  pending_.delta = (pending_.delta * odom.delta).normalized();
+  pending_.dt += odom.dt;
+  pending_.v = odom.v;
+  propagated_ = (propagated_ * odom.delta).normalized();
+}
+
+Pose2 SynPf::on_scan(const LaserScan& scan) {
+  Stopwatch watch;
+  pf_->predict(pending_);
+  pending_ = OdometryDelta{};
+  pf_->correct(scan);
+  propagated_ = pf_->estimate();
+  load_.add_busy(watch.elapsed_s());
+  return propagated_;
+}
+
+}  // namespace srl

@@ -1,0 +1,178 @@
+#include "eval/experiment.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "range/ray_marching.hpp"
+
+namespace srl {
+
+ExperimentRunner::ExperimentRunner(const Track& track, ExperimentConfig config)
+    : track_{track},
+      config_{config},
+      raceline_{config.raceline_override.empty() ? track.centerline
+                                                 : config.raceline_override},
+      profile_{raceline_, config.profile},
+      alignment_{track.grid, config.align_tolerance},
+      wall_distance_{distance_to_occupied(track.grid)} {
+  auto map = std::make_shared<const OccupancyGrid>(track_.grid);
+  truth_caster_ =
+      std::make_shared<RayMarching>(std::move(map), config_.lidar.max_range);
+}
+
+Pose2 ExperimentRunner::start_pose() const {
+  // Slightly past the start line so the first crossing happens after a full
+  // out-lap (arming the timer), not immediately.
+  const double s0 = 1.0;
+  const Vec2 p = raceline_.position(s0);
+  return Pose2{p.x, p.y, raceline_.heading(s0)};
+}
+
+ExperimentResult ExperimentRunner::run(Localizer& localizer,
+                                       SensorTrace* record) {
+  ExperimentResult result;
+  Rng rng{config_.seed};
+
+  VehicleParams vp = config_.vehicle;
+  vp.mu = config_.mu;
+  VehicleSim vehicle{vp, start_pose()};
+  WheelOdometrySensor odom_sensor{vp.ackermann, config_.odom_noise};
+  LidarSim lidar{config_.lidar, truth_caster_, config_.lidar_noise};
+  PurePursuit pursuit{config_.pursuit, vp.ackermann};
+
+  localizer.initialize(start_pose());
+  LapTimer timer{raceline_.length()};
+
+  const double odom_dt = 1.0 / config_.odom_rate_hz;
+  const double scan_dt = 1.0 / config_.lidar_rate_hz;
+  const double ctrl_dt = 1.0 / config_.control_rate_hz;
+  double next_odom = 0.0;
+  double next_scan = 0.0;
+  double next_ctrl = 0.0;
+
+  DriveCommand cmd{};
+  double believed_speed = 0.0;
+  double t = 0.0;
+
+  RunningStats lap_lateral_cm;      // current lap
+  RunningStats alignment_percent;   // all timed-lap scans
+  RunningStats slip_abs;
+  RunningStats odom_drift_per_lap;
+  double pose_err_sq_sum = 0.0;
+  double pose_lat_sq_sum = 0.0;
+  double pose_long_sq_sum = 0.0;
+  double heading_sq_sum = 0.0;
+  long pose_err_samples = 0;
+  double odom_dist = 0.0;
+  double true_dist = 0.0;
+  double lap_odom_dist = 0.0;
+  double lap_true_dist = 0.0;
+
+  const int want_laps = std::max(config_.laps, 1);
+  while (t < config_.max_sim_time &&
+         static_cast<int>(result.lap_times.size()) < want_laps) {
+    vehicle.step(cmd, config_.sim_dt);
+    t += config_.sim_dt;
+    const VehicleState& state = vehicle.state();
+    true_dist += state.v * config_.sim_dt;
+    slip_abs.add(std::abs(state.slip));
+
+    // Crash: true pose too close to (or inside) a wall.
+    if (wall_distance_.at_world({state.pose.x, state.pose.y}) <
+        static_cast<float>(config_.crash_wall_distance)) {
+      result.crashed = true;
+      break;
+    }
+
+    if (t >= next_odom) {
+      next_odom += odom_dt;
+      const OdometryDelta odom = odom_sensor.measure(state, odom_dt, rng);
+      if (record != nullptr) record->add_odometry(t, odom);
+      localizer.on_odometry(odom);
+      believed_speed = odom.v;
+      odom_dist += odom.v * odom_dt;
+    }
+
+    if (t >= next_scan) {
+      next_scan += scan_dt;
+      const LaserScan scan = lidar.scan(state.pose, state.twist(), t, rng);
+      if (record != nullptr) record->add_scan(scan, state.pose);
+      const Pose2 est = localizer.on_scan(scan);
+      if (timer.armed()) {
+        alignment_percent.add(alignment_.score(scan, config_.lidar, est));
+      }
+      if (timer.armed()) {
+        const double ex = est.x - state.pose.x;
+        const double ey = est.y - state.pose.y;
+        pose_err_sq_sum += ex * ex + ey * ey;
+        // Decompose along/normal to the race line at the true position.
+        const Raceline::Projection p =
+            raceline_.project({state.pose.x, state.pose.y});
+        const double line_heading = raceline_.heading(p.s);
+        const double c = std::cos(line_heading);
+        const double sn = std::sin(line_heading);
+        const double e_long = c * ex + sn * ey;
+        const double e_lat = -sn * ex + c * ey;
+        pose_long_sq_sum += e_long * e_long;
+        pose_lat_sq_sum += e_lat * e_lat;
+        const double e_th = angle_dist(est.theta, state.pose.theta);
+        heading_sq_sum += e_th * e_th;
+        ++pose_err_samples;
+      }
+    }
+
+    if (t >= next_ctrl) {
+      next_ctrl += ctrl_dt;
+      const Pose2 believed = localizer.pose();
+      cmd = pursuit.control(believed, believed_speed, raceline_, profile_);
+      if (config_.launch_ramp_s > 0.0 && t < config_.launch_ramp_s) {
+        cmd.target_speed *= t / config_.launch_ramp_s;
+      }
+
+      const Raceline::Projection proj =
+          raceline_.project({state.pose.x, state.pose.y});
+      if (timer.armed()) {
+        lap_lateral_cm.add(std::abs(proj.lateral) * 100.0);
+      }
+      const bool was_armed = timer.armed();
+      if (timer.update(proj.s, t)) {
+        result.lap_times.push_back(timer.lap_times().back());
+        result.lap_lateral_mean_cm.push_back(lap_lateral_cm.mean());
+        lap_lateral_cm.reset();
+        odom_drift_per_lap.add(std::abs((odom_dist - lap_odom_dist) -
+                                        (true_dist - lap_true_dist)));
+        lap_odom_dist = odom_dist;
+        lap_true_dist = true_dist;
+      } else if (!was_armed && timer.armed()) {
+        // Timer just armed (out-lap finished): reset lap accumulators.
+        lap_lateral_cm.reset();
+        lap_odom_dist = odom_dist;
+        lap_true_dist = true_dist;
+      }
+    }
+  }
+
+  result.sim_time = t;
+  result.completed = !result.crashed &&
+                     static_cast<int>(result.lap_times.size()) >= want_laps;
+  result.lap_time_mean = mean(result.lap_times);
+  result.lap_time_std = stddev(result.lap_times);
+  result.lateral_mean_cm = mean(result.lap_lateral_mean_cm);
+  result.lateral_std_cm = stddev(result.lap_lateral_mean_cm);
+  result.scan_alignment = alignment_percent.mean();
+  result.mean_update_ms = localizer.mean_scan_update_ms();
+  result.load_percent =
+      t > 0.0 ? 100.0 * localizer.total_busy_s() / t : 0.0;
+  if (pose_err_samples > 0) {
+    const auto n = static_cast<double>(pose_err_samples);
+    result.pose_rmse_m = std::sqrt(pose_err_sq_sum / n);
+    result.pose_lat_rmse_m = std::sqrt(pose_lat_sq_sum / n);
+    result.pose_long_rmse_m = std::sqrt(pose_long_sq_sum / n);
+    result.heading_rmse_rad = std::sqrt(heading_sq_sum / n);
+  }
+  result.mean_abs_slip = slip_abs.mean();
+  result.odom_drift_m_per_lap = odom_drift_per_lap.mean();
+  return result;
+}
+
+}  // namespace srl

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file table.hpp
+/// \brief Plain-text table rendering for the bench harnesses, so every
+/// reproduced table prints in a shape comparable to the paper's.
+
+#include <string>
+#include <vector>
+
+namespace srl {
+
+/// Column-aligned text table. Rows are cells of preformatted strings.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Render with column padding and a header separator.
+  std::string render() const;
+
+  /// Format helper: fixed-point with `digits` decimals.
+  static std::string num(double v, int digits = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace srl

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file trace.hpp
+/// \brief Sensor trace recording and replay — the rosbag workflow.
+///
+/// A `SensorTrace` captures the exact stream a localizer consumes (odometry
+/// increments + LiDAR scans) together with the ground-truth pose at each
+/// scan. Recorded once (e.g. by `ExperimentRunner::run`), it can be
+/// replayed into any number of localizers, which makes comparisons
+/// *open-loop*: every candidate sees byte-identical sensor data instead of
+/// driving its own (slightly different) lap. Traces serialize to a simple
+/// binary container for offline experiments.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/localizer.hpp"
+#include "motion/motion_model.hpp"
+#include "sensor/lidar.hpp"
+
+namespace srl {
+
+class SensorTrace {
+ public:
+  struct ScanRecord {
+    LaserScan scan;
+    Pose2 truth;  ///< ground-truth body pose at scan end
+  };
+  struct OdomRecord {
+    double t;
+    OdometryDelta odom;
+  };
+
+  void add_odometry(double t, const OdometryDelta& odom) {
+    odometry_.push_back({t, odom});
+  }
+  void add_scan(const LaserScan& scan, const Pose2& truth) {
+    scans_.push_back({scan, truth});
+  }
+  void clear() {
+    odometry_.clear();
+    scans_.clear();
+  }
+
+  const std::vector<OdomRecord>& odometry() const { return odometry_; }
+  const std::vector<ScanRecord>& scans() const { return scans_; }
+  bool empty() const { return odometry_.empty() && scans_.empty(); }
+  double duration() const;
+
+  /// Result of replaying the trace into one localizer.
+  struct ReplayResult {
+    std::vector<Pose2> estimates;  ///< localizer pose at each scan
+    double pose_rmse_m{0.0};       ///< vs the recorded ground truth
+    double heading_rmse_rad{0.0};
+    double mean_update_ms{0.0};
+  };
+
+  /// Feed every event in time order into `localizer` (initialized at the
+  /// first recorded truth pose) and score it against the recorded truth.
+  ReplayResult replay(Localizer& localizer) const;
+
+  /// Binary container I/O ("SRLT" magic + version). Returns false / nullopt
+  /// on I/O or format errors.
+  bool save(const std::string& path) const;
+  static std::optional<SensorTrace> load(const std::string& path);
+
+ private:
+  std::vector<OdomRecord> odometry_;
+  std::vector<ScanRecord> scans_;
+};
+
+}  // namespace srl

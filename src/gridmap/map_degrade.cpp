@@ -1,0 +1,73 @@
+#include "gridmap/map_degrade.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/angles.hpp"
+
+namespace srl {
+
+OccupancyGrid degrade_map(const OccupancyGrid& map, Rng& rng,
+                          const MapDegradeParams& params) {
+  OccupancyGrid out = map;
+  const int w = map.width();
+  const int h = map.height();
+
+  // Low-frequency warp: shift each boundary cell's classification by a
+  // smooth pseudo-random phase field. Implemented as a small probability
+  // modulation so the result stays a valid grid without resampling.
+  const double phase_x = rng.uniform(0.0, kTwoPi);
+  const double phase_y = rng.uniform(0.0, kTwoPi);
+  const double k =
+      params.warp_wavelength > 0.0 ? kTwoPi / params.warp_wavelength : 0.0;
+
+  for (int iy = 0; iy < h; ++iy) {
+    for (int ix = 0; ix < w; ++ix) {
+      const std::int8_t v = map.at(ix, iy);
+      const Vec2 p = map.grid_to_world(ix, iy);
+      const double warp =
+          params.warp_amplitude *
+          (std::sin(k * p.x + phase_x) + std::cos(k * p.y + phase_y)) / 2.0;
+      // Warp tilts the erode/dilate balance: positive warp grows walls on
+      // this side, negative shaves them — a coherent displacement rather
+      // than white noise.
+      const double bias = warp / std::max(map.resolution(), 1e-6);
+
+      if (v == OccupancyGrid::kOccupied) {
+        // Surface cells (touching free space) may be shaved off.
+        bool surface = false;
+        for (int dy = -1; dy <= 1 && !surface; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            if (map.is_free(ix + dx, iy + dy)) {
+              surface = true;
+              break;
+            }
+          }
+        }
+        if (surface && rng.uniform() <
+                           std::clamp(params.erode_prob - bias, 0.0, 1.0)) {
+          out.at(ix, iy) = OccupancyGrid::kUnknown;
+        }
+      } else if (v == OccupancyGrid::kFree) {
+        // Free cells hugging a wall may grow a spurious wall cell.
+        bool touches_wall = false;
+        for (int dy = -1; dy <= 1 && !touches_wall; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            if (map.is_occupied(ix + dx, iy + dy)) {
+              touches_wall = true;
+              break;
+            }
+          }
+        }
+        if (touches_wall &&
+            rng.uniform() <
+                std::clamp(params.dilate_prob + bias, 0.0, 1.0)) {
+          out.at(ix, iy) = OccupancyGrid::kOccupied;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace srl

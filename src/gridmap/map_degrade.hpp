@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file map_degrade.hpp
+/// \brief Synthetic SLAM-map imperfections.
+///
+/// Real localization maps are built by a SLAM pass, not rendered from
+/// ground truth: walls are ragged (discretization + sensor noise), locally
+/// displaced (residual pose error), and occasionally broken. Localizers
+/// react differently to this raggedness — a beam-model particle filter
+/// compares exact expected ranges and feels every cell of wall error, while
+/// a likelihood-field matcher blurs over it. The evaluation harness
+/// therefore localizes against a degraded copy of the ground-truth map.
+
+#include "common/rng.hpp"
+#include "gridmap/occupancy_grid.hpp"
+
+namespace srl {
+
+struct MapDegradeParams {
+  /// Probability that a wall-surface cell is shaved off (becomes unknown).
+  double erode_prob = 0.12;
+  /// Probability that a free cell touching a wall grows an extra wall cell.
+  double dilate_prob = 0.12;
+  /// Low-frequency wall displacement amplitude (m): boundaries shift by a
+  /// smoothly varying offset, mimicking residual SLAM warp.
+  double warp_amplitude = 0.015;
+  /// Wavelength of the warp (m).
+  double warp_wavelength = 6.0;
+};
+
+/// Return a degraded copy of `map`, reproducible from `rng`.
+OccupancyGrid degrade_map(const OccupancyGrid& map, Rng& rng,
+                          const MapDegradeParams& params = {});
+
+}  // namespace srl

@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file map_io.hpp
+/// \brief Occupancy-grid persistence in the ROS map_server convention:
+/// a binary PGM (P5) image plus a small YAML-like metadata file. Lets the
+/// examples save maps produced by the SLAM pipeline and reload them for
+/// pure localization, exactly like the paper's workflow (map once with
+/// Cartographer, then race with a localizer against the saved map).
+
+#include <optional>
+#include <string>
+
+#include "gridmap/occupancy_grid.hpp"
+
+namespace srl {
+
+/// Save `grid` as `<path>.pgm` + `<path>.yaml`. PGM rows are written top-down
+/// (image convention), so row 0 of the image is the highest-y map row.
+/// Returns false on I/O failure.
+bool save_map(const OccupancyGrid& grid, const std::string& path_stem);
+
+/// Load a map previously written by save_map. Returns nullopt on failure.
+std::optional<OccupancyGrid> load_map(const std::string& path_stem);
+
+}  // namespace srl

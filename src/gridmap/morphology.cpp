@@ -1,0 +1,22 @@
+#include "gridmap/morphology.hpp"
+
+#include "gridmap/distance_transform.hpp"
+
+namespace srl {
+
+OccupancyGrid inflate(const OccupancyGrid& grid, double radius) {
+  OccupancyGrid out = grid;
+  if (radius <= 0.0) return out;
+  const DistanceField df = distance_transform(grid);
+  for (int iy = 0; iy < grid.height(); ++iy) {
+    for (int ix = 0; ix < grid.width(); ++ix) {
+      if (grid.at(ix, iy) == OccupancyGrid::kFree &&
+          df.at(ix, iy) <= static_cast<float>(radius)) {
+        out.at(ix, iy) = OccupancyGrid::kOccupied;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace srl

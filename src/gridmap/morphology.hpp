@@ -1,0 +1,17 @@
+#pragma once
+
+/// \file morphology.hpp
+/// \brief Grid morphology: obstacle inflation. Used to build the planner /
+/// controller safety margin (the car's half width) without touching the map
+/// the localizers observe.
+
+#include "gridmap/occupancy_grid.hpp"
+
+namespace srl {
+
+/// Return a copy of `grid` with every ray-blocking cell dilated by `radius`
+/// meters (Euclidean). Free cells within `radius` of a blocking cell become
+/// occupied. Implemented via the distance transform, O(cells).
+OccupancyGrid inflate(const OccupancyGrid& grid, double radius);
+
+}  // namespace srl

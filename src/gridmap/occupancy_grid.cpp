@@ -1,0 +1,25 @@
+#include "gridmap/occupancy_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace srl {
+
+OccupancyGrid::OccupancyGrid(int width, int height, double resolution,
+                             Vec2 origin, std::int8_t fill)
+    : width_{std::max(width, 0)},
+      height_{std::max(height, 0)},
+      resolution_{resolution},
+      origin_{origin},
+      data_(static_cast<std::size_t>(width_) * height_, fill) {}
+
+std::size_t OccupancyGrid::count(std::int8_t value) const {
+  return static_cast<std::size_t>(
+      std::count(data_.begin(), data_.end(), value));
+}
+
+double OccupancyGrid::diagonal() const {
+  return std::hypot(world_width(), world_height());
+}
+
+}  // namespace srl

@@ -1,0 +1,120 @@
+#pragma once
+
+/// \file occupancy_grid.hpp
+/// \brief 2-D occupancy grid map with world<->grid transforms.
+///
+/// Cell values follow the ROS occupancy convention: 0 = free, 100 = occupied,
+/// -1 = unknown. The grid is axis-aligned; `origin` is the world position of
+/// the lower-left corner of cell (0, 0). Cell (ix, iy) covers the world box
+/// [origin + ix*res, origin + (ix+1)*res) x [... iy ...).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace srl {
+
+/// Integer cell coordinate.
+struct GridIndex {
+  int ix{0};
+  int iy{0};
+  bool operator==(const GridIndex&) const = default;
+};
+
+class OccupancyGrid {
+ public:
+  static constexpr std::int8_t kFree = 0;
+  static constexpr std::int8_t kOccupied = 100;
+  static constexpr std::int8_t kUnknown = -1;
+
+  OccupancyGrid() = default;
+
+  /// Create a w x h grid with `resolution` meters per cell, lower-left corner
+  /// at `origin`, filled with `fill`.
+  OccupancyGrid(int width, int height, double resolution, Vec2 origin,
+                std::int8_t fill = kUnknown);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  double resolution() const { return resolution_; }
+  const Vec2& origin() const { return origin_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  bool in_bounds(int ix, int iy) const {
+    return ix >= 0 && iy >= 0 && ix < width_ && iy < height_;
+  }
+  bool in_bounds(const GridIndex& g) const { return in_bounds(g.ix, g.iy); }
+
+  std::int8_t at(int ix, int iy) const {
+    return data_[static_cast<std::size_t>(iy) * width_ + ix];
+  }
+  std::int8_t& at(int ix, int iy) {
+    return data_[static_cast<std::size_t>(iy) * width_ + ix];
+  }
+
+  /// Value at cell, or kOccupied when out of bounds (conservative for
+  /// ray casting: the world ends at the map border).
+  std::int8_t at_or_occupied(int ix, int iy) const {
+    return in_bounds(ix, iy) ? at(ix, iy) : kOccupied;
+  }
+
+  /// Cell containing the world point (floor).
+  GridIndex world_to_grid(const Vec2& w) const {
+    return {static_cast<int>(std::floor((w.x - origin_.x) / resolution_)),
+            static_cast<int>(std::floor((w.y - origin_.y) / resolution_))};
+  }
+
+  /// World position of the center of a cell.
+  Vec2 grid_to_world(int ix, int iy) const {
+    return {origin_.x + (ix + 0.5) * resolution_,
+            origin_.y + (iy + 0.5) * resolution_};
+  }
+  Vec2 grid_to_world(const GridIndex& g) const {
+    return grid_to_world(g.ix, g.iy);
+  }
+
+  /// Whether a cell blocks a LiDAR ray. Unknown cells block by default
+  /// (outside the mapped corridor nothing is observable).
+  bool blocks_ray(int ix, int iy) const {
+    const std::int8_t v = at_or_occupied(ix, iy);
+    return v == kOccupied || v == kUnknown;
+  }
+  bool is_free(int ix, int iy) const { return at_or_occupied(ix, iy) == kFree; }
+  bool is_occupied(int ix, int iy) const {
+    return at_or_occupied(ix, iy) == kOccupied;
+  }
+
+  bool is_free_at(const Vec2& w) const {
+    const GridIndex g = world_to_grid(w);
+    return is_free(g.ix, g.iy);
+  }
+  bool is_occupied_at(const Vec2& w) const {
+    const GridIndex g = world_to_grid(w);
+    return is_occupied(g.ix, g.iy);
+  }
+
+  /// Number of cells holding `value`.
+  std::size_t count(std::int8_t value) const;
+
+  /// Length of the map diagonal in meters — an upper bound for any in-map
+  /// range measurement; used as the "max range" sentinel by ray casters.
+  double diagonal() const;
+
+  /// World-space extents.
+  double world_width() const { return width_ * resolution_; }
+  double world_height() const { return height_ * resolution_; }
+
+  const std::vector<std::int8_t>& data() const { return data_; }
+  std::vector<std::int8_t>& data() { return data_; }
+
+ private:
+  int width_{0};
+  int height_{0};
+  double resolution_{0.05};
+  Vec2 origin_{};
+  std::vector<std::int8_t> data_;
+};
+
+}  // namespace srl

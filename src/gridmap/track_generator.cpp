@@ -1,0 +1,173 @@
+#include "gridmap/track_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/angles.hpp"
+#include "common/polyline.hpp"
+
+namespace srl {
+namespace {
+
+/// Stamp a disk of world radius `r` around world point `c`, assigning `value`
+/// to every covered cell that currently satisfies `pred`.
+template <typename Pred>
+void stamp_disk(OccupancyGrid& grid, const Vec2& c, double r,
+                std::int8_t value, Pred pred) {
+  const double res = grid.resolution();
+  const GridIndex center = grid.world_to_grid(c);
+  const int rad = static_cast<int>(std::ceil(r / res)) + 1;
+  const double r2 = r * r;
+  for (int dy = -rad; dy <= rad; ++dy) {
+    for (int dx = -rad; dx <= rad; ++dx) {
+      const int ix = center.ix + dx;
+      const int iy = center.iy + dy;
+      if (!grid.in_bounds(ix, iy)) continue;
+      const Vec2 p = grid.grid_to_world(ix, iy);
+      if ((p - c).squared_norm() > r2) continue;
+      std::int8_t& cell = grid.at(ix, iy);
+      if (pred(cell)) cell = value;
+    }
+  }
+}
+
+}  // namespace
+
+Track TrackGenerator::rasterize(const std::vector<Vec2>& centerline,
+                                const TrackSpec& spec) {
+  Track track;
+  track.half_width = spec.half_width;
+  track.centerline = resample_closed(centerline, spec.centerline_ds);
+  // Tracks are canonically CCW so Frenet lateral deviation has a consistent
+  // sign (positive toward the inside).
+  if (signed_area(track.centerline) < 0.0) {
+    std::reverse(track.centerline.begin(), track.centerline.end());
+  }
+
+  // Bounding box with room for corridor, wall band and margin.
+  const double pad = spec.half_width + spec.wall_thickness + spec.margin;
+  double min_x = centerline.front().x;
+  double max_x = min_x;
+  double min_y = centerline.front().y;
+  double max_y = min_y;
+  for (const Vec2& p : track.centerline) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  const Vec2 origin{min_x - pad, min_y - pad};
+  const int w = static_cast<int>(
+      std::ceil((max_x - min_x + 2.0 * pad) / spec.resolution));
+  const int h = static_cast<int>(
+      std::ceil((max_y - min_y + 2.0 * pad) / spec.resolution));
+  track.grid =
+      OccupancyGrid{w, h, spec.resolution, origin, OccupancyGrid::kUnknown};
+
+  // Stamp walls first (corridor + wall band), then carve the free corridor
+  // out of the band. Sampling at half-resolution steps guarantees coverage.
+  const std::vector<Vec2> dense =
+      resample_closed(track.centerline, spec.resolution * 0.5);
+  const double wall_r = spec.half_width + spec.wall_thickness;
+  for (const Vec2& p : dense) {
+    stamp_disk(track.grid, p, wall_r, OccupancyGrid::kOccupied,
+               [](std::int8_t v) { return v == OccupancyGrid::kUnknown; });
+  }
+  for (const Vec2& p : dense) {
+    stamp_disk(track.grid, p, spec.half_width, OccupancyGrid::kFree,
+               [](std::int8_t) { return true; });
+  }
+  return track;
+}
+
+Track TrackGenerator::oval(double straight_len, double radius,
+                           const TrackSpec& spec) {
+  std::vector<Vec2> pts;
+  const double hs = 0.5 * straight_len;
+  const int arc_steps = std::max(16, static_cast<int>(kPi * radius / 0.2));
+  // Bottom straight, left to right, at y = -radius (CCW circuit).
+  pts.emplace_back(-hs, -radius);
+  pts.emplace_back(hs, -radius);
+  // Right semicircle around (hs, 0) from -90 to +90 degrees.
+  for (int i = 1; i < arc_steps; ++i) {
+    const double a = -kPi / 2.0 + kPi * i / arc_steps;
+    pts.emplace_back(hs + radius * std::cos(a), radius * std::sin(a));
+  }
+  // Top straight, right to left, at y = +radius.
+  pts.emplace_back(hs, radius);
+  pts.emplace_back(-hs, radius);
+  // Left semicircle around (-hs, 0) from 90 to 270 degrees.
+  for (int i = 1; i < arc_steps; ++i) {
+    const double a = kPi / 2.0 + kPi * i / arc_steps;
+    pts.emplace_back(-hs + radius * std::cos(a), radius * std::sin(a));
+  }
+  return rasterize(pts, spec);
+}
+
+Track TrackGenerator::from_waypoints(const std::vector<Vec2>& waypoints,
+                                     const TrackSpec& spec,
+                                     int smooth_iterations) {
+  return rasterize(chaikin_closed(waypoints, smooth_iterations), spec);
+}
+
+Track TrackGenerator::rounded_rect(double length, double width,
+                                   double corner_radius,
+                                   const TrackSpec& spec) {
+  std::vector<Vec2> pts;
+  const double r = std::min({corner_radius, length / 2.0, width / 2.0});
+  const double hx = length / 2.0 - r;  // straight half-extents
+  const double hy = width / 2.0 - r;
+  const int arc_steps = std::max(8, static_cast<int>(0.5 * kPi * r / 0.15));
+
+  const auto arc = [&](Vec2 center, double a0) {
+    for (int i = 0; i <= arc_steps; ++i) {
+      const double a = a0 + 0.5 * kPi * i / arc_steps;
+      pts.emplace_back(center.x + r * std::cos(a), center.y + r * std::sin(a));
+    }
+  };
+  // CCW from the bottom straight: E, NE corner, N... (centerline box
+  // length x width centered at the origin).
+  pts.emplace_back(-hx, -hy - r);
+  pts.emplace_back(hx, -hy - r);
+  arc({hx, -hy}, -kPi / 2.0);
+  pts.emplace_back(hx + r, hy);
+  arc({hx, hy}, 0.0);
+  pts.emplace_back(-hx, hy + r);
+  arc({-hx, hy}, kPi / 2.0);
+  pts.emplace_back(-hx - r, -hy);
+  arc({-hx, -hy}, kPi);
+  return rasterize(pts, spec);
+}
+
+Track TrackGenerator::test_track(const TrackSpec& spec) {
+  return rounded_rect(16.0, 9.0, 2.6, spec);
+}
+
+Track TrackGenerator::hairpin(const TrackSpec& spec) {
+  // Two long parallel straights joined by tight 180-degree turns plus a
+  // mid-track pinch — stresses heading estimation at high curvature.
+  const std::vector<Vec2> wps = {
+      {0.0, 0.0},  {5.0, 0.0},  {10.0, 0.0},  {13.0, 0.5}, {14.5, 2.25},
+      {13.0, 4.0}, {10.0, 4.5}, {5.0, 4.5},   {0.0, 4.5},  {-3.0, 5.0},
+      {-4.5, 6.75}, {-3.0, 8.5}, {0.0, 9.0},  {5.0, 9.0},  {10.0, 9.0},
+      {13.0, 9.5}, {14.5, 11.25}, {13.0, 13.0}, {10.0, 13.5}, {5.0, 13.5},
+      {0.0, 13.5}, {-6.0, 13.0}, {-8.5, 9.0},  {-8.5, 4.5}, {-6.0, 0.5},
+  };
+  return from_waypoints(wps, spec, 3);
+}
+
+Track TrackGenerator::random_circuit(Rng& rng, int n_waypoints, double radius,
+                                     double jitter, const TrackSpec& spec) {
+  std::vector<Vec2> wps;
+  const int n = std::max(5, n_waypoints);
+  wps.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double a = kTwoPi * i / n;
+    const double r =
+        std::max(3.0 * spec.half_width, radius + rng.uniform(-jitter, jitter));
+    wps.emplace_back(r * std::cos(a), r * std::sin(a));
+  }
+  return from_waypoints(wps, spec, 3);
+}
+
+}  // namespace srl

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file ackermann.hpp
+/// \brief Ackermann (kinematic bicycle) geometry shared by the TUM motion
+/// model and the vehicle simulator: wheelbase, steering limits, and the
+/// speed-dependent feasible-curvature envelope that motivates the model.
+
+#include <algorithm>
+#include <cmath>
+
+namespace srl {
+
+/// Geometry and handling limits of the (1:10 scale) race car.
+struct AckermannParams {
+  double wheelbase = 0.33;       ///< m, F1TENTH standard chassis
+  double max_steer = 0.40;       ///< rad, mechanical steering limit
+  double max_lat_accel = 7.0;    ///< m/s^2, grip-limited lateral acceleration
+  double max_speed = 8.0;        ///< m/s
+};
+
+/// Maximum feasible path curvature at longitudinal speed `v`:
+/// the geometric limit tan(max_steer)/wheelbase at low speed, and the
+/// grip limit a_lat / v^2 once centripetal acceleration binds. This envelope
+/// is the physical fact behind the TUM motion model: at 7 m/s a race car
+/// simply cannot yaw fast, so particle heading noise should not either.
+inline double max_curvature(const AckermannParams& p, double v) {
+  const double geometric = std::tan(p.max_steer) / p.wheelbase;
+  if (std::abs(v) < 0.3) return geometric;  // grip limit meaningless at rest
+  const double grip = p.max_lat_accel / (v * v);
+  return std::min(geometric, grip);
+}
+
+/// Curvature commanded by a steering angle (kinematic bicycle).
+inline double steer_to_curvature(const AckermannParams& p, double steer) {
+  return std::tan(std::clamp(steer, -p.max_steer, p.max_steer)) / p.wheelbase;
+}
+
+/// Steering angle that yields a path curvature (inverse of the above).
+inline double curvature_to_steer(const AckermannParams& p, double kappa) {
+  return std::clamp(std::atan(kappa * p.wheelbase), -p.max_steer, p.max_steer);
+}
+
+}  // namespace srl

@@ -1,0 +1,41 @@
+#include "motion/diff_drive.hpp"
+
+#include <cmath>
+
+#include "common/angles.hpp"
+
+namespace srl {
+
+Pose2 DiffDriveModel::sample(const Pose2& pose, const OdometryDelta& odom,
+                             Rng& rng) const {
+  const Pose2& d = odom.delta;
+  const double trans = std::hypot(d.x, d.y);
+
+  // Decompose into rot1 (turn toward the motion direction), trans, rot2
+  // (remaining heading change). For tiny translations the direction of
+  // motion is ill-defined; attribute everything to rot2 as Thrun suggests.
+  double rot1 = 0.0;
+  if (trans > 1e-6) rot1 = normalize_angle(std::atan2(d.y, d.x));
+  const double rot2 = normalize_angle(d.theta - rot1);
+
+  const DiffDriveParams& p = params_;
+  const double rot1_hat =
+      rot1 + rng.gaussian(std::sqrt(p.alpha1 * rot1 * rot1 +
+                                    p.alpha2 * trans * trans) +
+                          p.sigma_floor_theta);
+  const double trans_hat =
+      trans + rng.gaussian(std::sqrt(p.alpha3 * trans * trans +
+                                     p.alpha4 * (rot1 * rot1 + rot2 * rot2)) +
+                           p.sigma_floor_xy);
+  const double rot2_hat =
+      rot2 + rng.gaussian(std::sqrt(p.alpha1 * rot2 * rot2 +
+                                    p.alpha2 * trans * trans) +
+                          p.sigma_floor_theta);
+
+  const double heading = pose.theta + rot1_hat;
+  return Pose2{pose.x + trans_hat * std::cos(heading),
+               pose.y + trans_hat * std::sin(heading),
+               normalize_angle(pose.theta + rot1_hat + rot2_hat)};
+}
+
+}  // namespace srl

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file motion_model.hpp
+/// \brief Probabilistic motion models for the particle filter's prediction
+/// step. A motion model takes a particle pose and an odometry increment and
+/// returns a noisy sample of the successor pose.
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace srl {
+
+/// One odometry increment as consumed by the prediction step.
+struct OdometryDelta {
+  /// Relative motion in the previous body frame (what wheel odometry
+  /// integrates between two filter updates).
+  Pose2 delta;
+  /// Longitudinal speed reported by the odometry source (m/s). The TUM model
+  /// uses this to shape the noise; note that under wheel slip this speed is
+  /// itself corrupted — exactly the paper's experimental condition.
+  double v{0.0};
+  /// Time span of the increment (s).
+  double dt{0.0};
+};
+
+/// Interface: stateless samplers, safe for concurrent use with distinct Rngs.
+class MotionModel {
+ public:
+  virtual ~MotionModel() = default;
+
+  /// Draw one successor pose for a particle at `pose` given odometry `odom`.
+  virtual Pose2 sample(const Pose2& pose, const OdometryDelta& odom,
+                       Rng& rng) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace srl

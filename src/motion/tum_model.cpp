@@ -1,0 +1,69 @@
+#include "motion/tum_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/angles.hpp"
+
+namespace srl {
+
+double TumMotionModel::heading_sigma(double trans, double v) const {
+  const TumModelParams& p = params_;
+  // Diff-drive-like growth with distance...
+  const double uncapped = p.alpha_rot_trans * std::abs(trans);
+  // ...capped by what the steering geometry and grip allow over this step.
+  const double cap =
+      p.beta_curvature * max_curvature(p.ackermann, v) * std::abs(trans);
+  return std::min(uncapped, cap) + p.sigma_floor_theta;
+}
+
+Pose2 TumMotionModel::sample(const Pose2& pose, const OdometryDelta& odom,
+                             Rng& rng) const {
+  const TumModelParams& p = params_;
+  const Pose2& d = odom.delta;
+  const double trans = std::hypot(d.x, d.y);
+  const double v = std::max(std::abs(odom.v),
+                            odom.dt > 0.0 ? trans / odom.dt : 0.0);
+
+  // Longitudinal slip noise: applied along the motion direction, growing
+  // with distance traveled (slip scales with commanded wheel travel).
+  const double sigma_trans = p.alpha_trans * trans + p.sigma_floor_xy;
+  const double trans_hat = trans + rng.gaussian(sigma_trans);
+
+  // Heading increment: optionally clamped to what the steering geometry and
+  // grip could physically have produced over this step.
+  double dtheta_mean = normalize_angle(d.theta);
+  if (p.clamp_mean_heading) {
+    const double envelope =
+        p.envelope_margin * max_curvature(p.ackermann, v) * trans +
+        p.sigma_floor_theta;
+    dtheta_mean = std::clamp(dtheta_mean, -envelope, envelope);
+  }
+
+  // Heading noise: turn-proportional term plus the curvature-capped
+  // translation term (the TUM correction).
+  const double sigma_rot =
+      p.alpha_rot * std::abs(dtheta_mean) + heading_sigma(trans, v);
+  const double dtheta_hat = dtheta_mean + rng.gaussian(sigma_rot);
+
+  // Lateral noise: bounded by the lateral offset a maximally curved path
+  // would accumulate over this step (0.5 * kappa * s^2), never more than the
+  // uncapped diff-drive-style lateral jitter.
+  const double lat_cap = 0.5 * p.beta_curvature *
+                         max_curvature(p.ackermann, v) * trans * trans;
+  const double sigma_lat =
+      std::min(p.alpha_trans * trans, lat_cap) + p.sigma_floor_xy;
+  const double lat_hat = rng.gaussian(sigma_lat);
+
+  // Advance along the arc: half the heading change before translating
+  // (midpoint integration keeps the sample on the commanded arc).
+  const double mid_heading = pose.theta + 0.5 * dtheta_hat +
+                             (trans > 1e-6 ? std::atan2(d.y, d.x) : 0.0);
+  const double cx = std::cos(mid_heading);
+  const double sx = std::sin(mid_heading);
+  return Pose2{pose.x + trans_hat * cx - lat_hat * sx,
+               pose.y + trans_hat * sx + lat_hat * cx,
+               normalize_angle(pose.theta + dtheta_hat)};
+}
+
+}  // namespace srl

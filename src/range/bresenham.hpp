@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file bresenham.hpp
+/// \brief Exact cell-walking ray cast (Amanatides–Woo traversal). This is the
+/// ground-truth backend: it visits every cell the ray passes through and
+/// reports the exact distance to the entry face of the first blocking cell.
+/// Slowest method (O(range / resolution) per query) but has no
+/// discretization error beyond the grid itself — all approximate backends
+/// are validated against it in the tests.
+
+#include "range/range_method.hpp"
+
+namespace srl {
+
+class BresenhamCaster final : public RangeMethod {
+ public:
+  BresenhamCaster(std::shared_ptr<const OccupancyGrid> map, double max_range)
+      : RangeMethod{std::move(map), max_range} {}
+
+  float range(const Pose2& ray) const override;
+  std::string name() const override { return "bresenham"; }
+};
+
+}  // namespace srl

@@ -1,0 +1,146 @@
+#include "range/cddt.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/angles.hpp"
+
+namespace srl {
+namespace {
+
+/// Only blocking cells that touch free space can be the first hit of a ray
+/// cast from free space; interior fill (deep unknown/occupied regions) is
+/// skipped, which is the dominant memory saving on corridor maps.
+bool is_surface_cell(const OccupancyGrid& grid, int ix, int iy) {
+  if (!grid.blocks_ray(ix, iy)) return false;
+  for (int dy = -1; dy <= 1; ++dy) {
+    for (int dx = -1; dx <= 1; ++dx) {
+      if (dx == 0 && dy == 0) continue;
+      if (grid.is_free(ix + dx, iy + dy)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Cddt::Cddt(std::shared_ptr<const OccupancyGrid> map, double max_range,
+           int theta_bins)
+    : RangeMethod{std::move(map), max_range},
+      band_width_{map_->resolution()} {
+  const OccupancyGrid& grid = *map_;
+  const int m = std::max(theta_bins, 1);
+
+  // Collect surface cells once.
+  std::vector<Vec2> surface;
+  for (int iy = 0; iy < grid.height(); ++iy) {
+    for (int ix = 0; ix < grid.width(); ++ix) {
+      if (is_surface_cell(grid, ix, iy)) surface.push_back(grid.grid_to_world(ix, iy));
+    }
+  }
+
+  // Map corners bound the v extent for every rotation.
+  const Vec2 corners[4] = {
+      grid.origin(),
+      grid.origin() + Vec2{grid.world_width(), 0.0},
+      grid.origin() + Vec2{0.0, grid.world_height()},
+      grid.origin() + Vec2{grid.world_width(), grid.world_height()},
+  };
+
+  bins_.resize(static_cast<std::size_t>(m));
+  for (int b = 0; b < m; ++b) {
+    ThetaBin& bin = bins_[static_cast<std::size_t>(b)];
+    const double theta = kPi * b / m;
+    bin.cos_t = std::cos(theta);
+    bin.sin_t = std::sin(theta);
+
+    double v_min = 0.0;
+    double v_max = 0.0;
+    for (int c = 0; c < 4; ++c) {
+      const double v = -corners[c].x * bin.sin_t + corners[c].y * bin.cos_t;
+      if (c == 0) {
+        v_min = v_max = v;
+      } else {
+        v_min = std::min(v_min, v);
+        v_max = std::max(v_max, v);
+      }
+    }
+    bin.v_min = v_min;
+    const auto n_bands = static_cast<std::size_t>(
+                             std::floor((v_max - v_min) / band_width_)) +
+                         1;
+    bin.bands.assign(n_bands, {});
+
+    for (const Vec2& p : surface) {
+      const double u = p.x * bin.cos_t + p.y * bin.sin_t;
+      const double v = -p.x * bin.sin_t + p.y * bin.cos_t;
+      auto band = static_cast<std::size_t>((v - bin.v_min) / band_width_);
+      if (band >= bin.bands.size()) band = bin.bands.size() - 1;
+      bin.bands[band].push_back(static_cast<float>(u));
+    }
+    // Compress: sort each band and drop duplicates within half a cell.
+    const float quantum = static_cast<float>(0.5 * band_width_);
+    for (auto& band : bin.bands) {
+      std::sort(band.begin(), band.end());
+      auto last = std::unique(band.begin(), band.end(),
+                              [quantum](float a, float c) {
+                                return c - a < quantum;
+                              });
+      band.erase(last, band.end());
+      band.shrink_to_fit();
+    }
+  }
+}
+
+float Cddt::range(const Pose2& ray) const {
+  const OccupancyGrid& grid = *map_;
+  const GridIndex start = grid.world_to_grid({ray.x, ray.y});
+  if (grid.blocks_ray(start.ix, start.iy)) return 0.0F;
+
+  // Snap the ray's line direction to the nearest theta bin in [0, pi).
+  const int m = static_cast<int>(bins_.size());
+  double line_angle = ray.theta;
+  while (line_angle < 0.0) line_angle += kPi;
+  while (line_angle >= kPi) line_angle -= kPi;
+  int b = static_cast<int>(line_angle * m / kPi + 0.5);
+  if (b >= m) b -= m;
+  const ThetaBin& bin = bins_[static_cast<std::size_t>(b)];
+
+  // Forward along +u if the actual ray direction agrees with the bin axis.
+  const double dir_dot =
+      std::cos(ray.theta) * bin.cos_t + std::sin(ray.theta) * bin.sin_t;
+  const bool forward = dir_dot >= 0.0;
+
+  const double u = ray.x * bin.cos_t + ray.y * bin.sin_t;
+  const double v = -ray.x * bin.sin_t + ray.y * bin.cos_t;
+  const double band_f = (v - bin.v_min) / band_width_;
+  if (band_f < 0.0) return static_cast<float>(max_range_);
+  auto band = static_cast<std::size_t>(band_f);
+  if (band >= bin.bands.size()) return static_cast<float>(max_range_);
+  const std::vector<float>& obstacles = bin.bands[band];
+
+  // Half-cell slack keeps a particle standing on a wall surface from seeing
+  // "through" the obstacle it is touching.
+  const float slack = static_cast<float>(0.5 * band_width_);
+  float r = static_cast<float>(max_range_);
+  if (forward) {
+    const auto it = std::upper_bound(obstacles.begin(), obstacles.end(),
+                                     static_cast<float>(u) - slack);
+    if (it != obstacles.end()) r = *it - static_cast<float>(u);
+  } else {
+    const auto it = std::lower_bound(obstacles.begin(), obstacles.end(),
+                                     static_cast<float>(u) + slack);
+    if (it != obstacles.begin()) r = static_cast<float>(u) - *std::prev(it);
+  }
+  return std::clamp(r, 0.0F, static_cast<float>(max_range_));
+}
+
+std::size_t Cddt::total_entries() const {
+  std::size_t n = 0;
+  for (const ThetaBin& bin : bins_) {
+    for (const auto& band : bin.bands) n += band.size();
+  }
+  return n;
+}
+
+}  // namespace srl

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file cddt.hpp
+/// \brief Compressed Directional Distance Transform (Walsh & Karaman, ICRA
+/// 2018) — the core rangelibc data structure.
+///
+/// The angle space is discretized into M bins over [0, pi) (a ray at theta
+/// and theta + pi travel the same line in opposite directions). For each bin
+/// the map is conceptually rotated so rays run along +u; blocking cells are
+/// projected to (u, v) and bucketed into bands of width one cell along v.
+/// Each band keeps a sorted, deduplicated ("compressed") list of obstacle u
+/// coordinates, so a query is: locate band from v, binary-search the first
+/// obstacle ahead of u. Query cost is O(log band size); the approximation
+/// error is bounded by the angular bin width and the band discretization.
+
+#include <vector>
+
+#include "range/range_method.hpp"
+
+namespace srl {
+
+class Cddt final : public RangeMethod {
+ public:
+  Cddt(std::shared_ptr<const OccupancyGrid> map, double max_range,
+       int theta_bins = 108);
+
+  float range(const Pose2& ray) const override;
+  std::string name() const override { return "cddt"; }
+
+  int theta_bins() const { return static_cast<int>(bins_.size()); }
+  /// Total stored obstacle projections (memory diagnostic).
+  std::size_t total_entries() const;
+
+ private:
+  struct ThetaBin {
+    double cos_t;
+    double sin_t;
+    double v_min;                            ///< band-0 offset along v
+    std::vector<std::vector<float>> bands;   ///< sorted obstacle u per band
+  };
+
+  std::vector<ThetaBin> bins_;
+  double band_width_;
+};
+
+}  // namespace srl

@@ -1,0 +1,77 @@
+#include "range/lookup_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "common/angles.hpp"
+#include "range/bresenham.hpp"
+
+namespace srl {
+
+RangeLut::RangeLut(std::shared_ptr<const OccupancyGrid> map, double max_range,
+                   int theta_bins, int stride)
+    : RangeMethod{std::move(map), max_range},
+      theta_bins_{std::max(theta_bins, 1)},
+      stride_{std::max(stride, 1)},
+      quantum_{max_range / 65535.0} {
+  const OccupancyGrid& grid = *map_;
+  cells_x_ = (grid.width() + stride_ - 1) / stride_;
+  cells_y_ = (grid.height() + stride_ - 1) / stride_;
+  table_.assign(static_cast<std::size_t>(cells_x_) * cells_y_ * theta_bins_, 0);
+
+  const BresenhamCaster exact{map_, max_range_};
+  const auto fill_rows = [&](int y_begin, int y_end) {
+    for (int cy = y_begin; cy < y_end; ++cy) {
+      const int iy = cy * stride_;
+      for (int cx = 0; cx < cells_x_; ++cx) {
+        const int ix = cx * stride_;
+        if (grid.blocks_ray(ix, iy)) continue;  // stays 0
+        const Vec2 p = grid.grid_to_world(ix, iy);
+        for (int bt = 0; bt < theta_bins_; ++bt) {
+          const double theta = kTwoPi * bt / theta_bins_;
+          const float r = exact.range({p.x, p.y, theta});
+          const auto q = static_cast<std::uint16_t>(
+              std::clamp(std::lround(r / quantum_), 0L, 65535L));
+          table_[index(cx, cy, bt)] = q;
+        }
+      }
+    }
+  };
+
+  const unsigned hw = std::max(1U, std::thread::hardware_concurrency());
+  const int n_threads = static_cast<int>(std::min<unsigned>(hw, 16));
+  if (n_threads <= 1 || cells_y_ < 2 * n_threads) {
+    fill_rows(0, cells_y_);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(n_threads));
+    const int rows_per = (cells_y_ + n_threads - 1) / n_threads;
+    for (int t = 0; t < n_threads; ++t) {
+      const int y0 = t * rows_per;
+      const int y1 = std::min(cells_y_, y0 + rows_per);
+      if (y0 >= y1) break;
+      workers.emplace_back(fill_rows, y0, y1);
+    }
+    for (auto& w : workers) w.join();
+  }
+}
+
+float RangeLut::range(const Pose2& ray) const {
+  const OccupancyGrid& grid = *map_;
+  const GridIndex g = grid.world_to_grid({ray.x, ray.y});
+  if (grid.blocks_ray(g.ix, g.iy)) return 0.0F;
+
+  const int cx = std::clamp(g.ix / stride_, 0, cells_x_ - 1);
+  const int cy = std::clamp(g.iy / stride_, 0, cells_y_ - 1);
+  // Angles arriving here are pose headings plus beam offsets — a handful of
+  // turns at most, so additive wrapping beats fmod in this hot path.
+  double phi = ray.theta;
+  while (phi < 0.0) phi += kTwoPi;
+  while (phi >= kTwoPi) phi -= kTwoPi;
+  int bt = static_cast<int>(phi * theta_bins_ / kTwoPi + 0.5);
+  if (bt >= theta_bins_) bt -= theta_bins_;
+  return static_cast<float>(table_[index(cx, cy, bt)] * quantum_);
+}
+
+}  // namespace srl

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file lookup_table.hpp
+/// \brief Precomputed 3-D range lookup table — the rangelibc mode the paper
+/// runs on the GPU-less Intel NUC. Ranges are precomputed with the exact
+/// caster for every (x, y, theta) on a discretized grid and quantized to
+/// uint16, giving constant-time queries at the cost of memory
+/// (width/stride * height/stride * theta_bins * 2 bytes).
+
+#include <cstdint>
+#include <vector>
+
+#include "range/range_method.hpp"
+
+namespace srl {
+
+class RangeLut final : public RangeMethod {
+ public:
+  /// Builds the table by exhaustive exact ray casting (parallelized over
+  /// rows). `stride` samples every Nth cell in x and y; queries snap to the
+  /// nearest sample. `theta_bins` discretizes the full [0, 2pi) circle.
+  RangeLut(std::shared_ptr<const OccupancyGrid> map, double max_range,
+           int theta_bins = 120, int stride = 1);
+
+  float range(const Pose2& ray) const override;
+  std::string name() const override { return "lut"; }
+
+  std::size_t memory_bytes() const { return table_.size() * sizeof(std::uint16_t); }
+  int theta_bins() const { return theta_bins_; }
+
+ private:
+  std::size_t index(int cx, int cy, int bt) const {
+    return (static_cast<std::size_t>(cy) * cells_x_ + cx) * theta_bins_ + bt;
+  }
+
+  int theta_bins_;
+  int stride_;
+  int cells_x_{0};
+  int cells_y_{0};
+  double quantum_;  ///< meters per uint16 step
+  std::vector<std::uint16_t> table_;
+};
+
+}  // namespace srl

@@ -1,0 +1,28 @@
+#include "range/ray_marching.hpp"
+
+#include <cmath>
+
+namespace srl {
+
+float RayMarching::range(const Pose2& ray) const {
+  const double dx = std::cos(ray.theta);
+  const double dy = std::sin(ray.theta);
+  double x = ray.x;
+  double y = ray.y;
+  double t = 0.0;
+
+  // Bounded iterations: each step is at least epsilon once near a surface,
+  // so max_range / epsilon is a hard ceiling.
+  const int max_steps =
+      static_cast<int>(std::ceil(max_range_ / epsilon_)) + 2;
+  for (int i = 0; i < max_steps && t < max_range_; ++i) {
+    const float d = field_.at_world({x, y});
+    if (d <= static_cast<float>(epsilon_)) return static_cast<float>(t);
+    t += d;
+    x += d * dx;
+    y += d * dy;
+  }
+  return static_cast<float>(max_range_);
+}
+
+}  // namespace srl

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file ray_marching.hpp
+/// \brief Sphere-tracing ray cast over the Euclidean distance transform.
+/// From the current point, the nearest obstacle is `d` meters away in *any*
+/// direction, so the ray can safely advance `d` meters. Converges to the
+/// obstacle surface in a handful of steps in corridor-like maps; cost is
+/// O(steps) with steps ~ log of range in open space.
+
+#include "gridmap/distance_transform.hpp"
+#include "range/range_method.hpp"
+
+namespace srl {
+
+class RayMarching final : public RangeMethod {
+ public:
+  RayMarching(std::shared_ptr<const OccupancyGrid> map, double max_range)
+      : RangeMethod{std::move(map), max_range},
+        field_{distance_transform(*map_)},
+        epsilon_{0.5 * map_->resolution()} {}
+
+  float range(const Pose2& ray) const override;
+  std::string name() const override { return "ray_marching"; }
+
+  const DistanceField& field() const { return field_; }
+
+ private:
+  DistanceField field_;
+  double epsilon_;  ///< convergence threshold, meters
+};
+
+}  // namespace srl

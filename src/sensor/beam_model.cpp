@@ -1,0 +1,69 @@
+#include "sensor/beam_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/angles.hpp"
+
+namespace srl {
+
+BeamModel::BeamModel(const BeamModelParams& params)
+    : params_{params},
+      dim_{static_cast<int>(
+               std::ceil(params.max_range / params.table_resolution)) +
+           1},
+      inv_res_{1.0 / params.table_resolution},
+      log_table_(static_cast<std::size_t>(dim_) * dim_) {
+  for (int zi = 0; zi < dim_; ++zi) {
+    const double z = zi * params_.table_resolution;
+    for (int ei = 0; ei < dim_; ++ei) {
+      const double e = ei * params_.table_resolution;
+      log_table_[static_cast<std::size_t>(zi) * dim_ + ei] =
+          std::log(std::max(prob_exact(z, e), 1e-12));
+    }
+  }
+}
+
+double BeamModel::prob_exact(double measured, double expected) const {
+  const BeamModelParams& p = params_;
+  const double z = std::clamp(measured, 0.0, p.max_range);
+  const double e = std::clamp(expected, 0.0, p.max_range);
+
+  // Hit: Gaussian about the expected range. The normalizer over [0, max]
+  // is folded into the constant; the mixture weights dominate anyway.
+  const double hit = std::exp(-0.5 * (z - e) * (z - e) /
+                              (p.sigma_hit * p.sigma_hit)) /
+                     (p.sigma_hit * std::sqrt(kTwoPi));
+
+  // Short: exponential decay up to the expected range.
+  double shrt = 0.0;
+  if (z <= e && e > 0.0) {
+    const double eta =
+        1.0 / (1.0 - std::exp(-p.lambda_short * e) + 1e-12);
+    shrt = eta * p.lambda_short * std::exp(-p.lambda_short * z);
+  }
+
+  // Max: spike in the last table bin's worth of range.
+  const double max_band = p.table_resolution;
+  const double zmax = z >= p.max_range - max_band ? 1.0 / max_band : 0.0;
+
+  // Rand: uniform over the measurable interval.
+  const double rnd = 1.0 / p.max_range;
+
+  return p.z_hit * hit + p.z_short * shrt + p.z_max * zmax + p.z_rand * rnd;
+}
+
+double BeamModel::prob(float measured, float expected) const {
+  return std::exp(log_prob(measured, expected));
+}
+
+std::size_t BeamModel::index(float measured, float expected) const {
+  auto clamp_bin = [this](float v) {
+    const int b = static_cast<int>(static_cast<double>(v) * inv_res_ + 0.5);
+    return static_cast<std::size_t>(std::clamp(b, 0, dim_ - 1));
+  };
+  return clamp_bin(measured) * static_cast<std::size_t>(dim_) +
+         clamp_bin(expected);
+}
+
+}  // namespace srl

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file beam_model.hpp
+/// \brief Beam-based range likelihood p(z | z*) (Probabilistic Robotics,
+/// ch. 6.3): a mixture of a Gaussian around the expected range, an
+/// exponential short-return component, a max-range spike, and a uniform
+/// noise floor. Likelihoods are precomputed into a 2-D table over
+/// (measured, expected) so the particle filter's inner loop is two integer
+/// ops and a load — the same trick as the MIT racecar particle filter.
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace srl {
+
+struct BeamModelParams {
+  double z_hit = 0.75;    ///< weight of the Gaussian hit component
+  double z_short = 0.05;  ///< weight of unexpected-obstacle short returns
+  double z_max = 0.05;    ///< weight of the max-range spike
+  double z_rand = 0.15;   ///< weight of the uniform floor
+  double sigma_hit = 0.12;     ///< m, hit Gaussian std
+  double lambda_short = 1.0;   ///< 1/m, short-return decay
+  double max_range = 12.0;     ///< m
+  double table_resolution = 0.05;  ///< m per table bin
+};
+
+class BeamModel {
+ public:
+  explicit BeamModel(const BeamModelParams& params = {});
+
+  /// Log-likelihood of measuring `measured` when the map predicts
+  /// `expected`, both clamped to [0, max_range]. Table lookup, O(1).
+  double log_prob(float measured, float expected) const {
+    return log_table_[index(measured, expected)];
+  }
+  double prob(float measured, float expected) const;
+
+  const BeamModelParams& params() const { return params_; }
+  int table_dim() const { return dim_; }
+
+  /// Direct (un-tabled) evaluation, used to build the table and by tests.
+  double prob_exact(double measured, double expected) const;
+
+ private:
+  std::size_t index(float measured, float expected) const;
+
+  BeamModelParams params_;
+  int dim_;
+  double inv_res_;
+  std::vector<double> log_table_;  ///< dim_ x dim_, [measured][expected]
+};
+
+}  // namespace srl

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file lidar_sim.hpp
+/// \brief Simulated LiDAR: casts every beam against the ground-truth map
+/// with an exact/fast range backend and perturbs the returns with Gaussian
+/// range noise and dropouts. This is the exteroceptive half of the testbed
+/// substitution (see DESIGN.md): localizers consume these scans exactly as
+/// they would consume Hokuyo data.
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "range/range_method.hpp"
+#include "sensor/lidar.hpp"
+
+namespace srl {
+
+struct LidarNoise {
+  double sigma_range = 0.02;   ///< m, per-return Gaussian noise
+  double dropout_prob = 0.002; ///< chance a beam returns max range
+};
+
+class LidarSim {
+ public:
+  /// `caster` must be built over the ground-truth map with
+  /// max_range >= config.max_range.
+  LidarSim(LidarConfig config, std::shared_ptr<const RangeMethod> caster,
+           LidarNoise noise = {});
+
+  /// Simulate one revolution finishing at body pose `body` at time `t`,
+  /// while the body moves with `twist` — each beam is cast from the pose
+  /// the sensor actually occupied when that beam fired (motion
+  /// distortion). At racing speed the pose moves ~17 cm during one 25 ms
+  /// revolution, so consumers that do not deskew see warped geometry.
+  LaserScan scan(const Pose2& body, const Twist2& twist, double t,
+                 Rng& rng) const;
+
+  /// Distortion-free convenience overload (static captures, tests).
+  LaserScan scan(const Pose2& body, double t, Rng& rng) const {
+    return scan(body, Twist2{}, t, rng);
+  }
+
+  const LidarConfig& config() const { return config_; }
+
+ private:
+  LidarConfig config_;
+  std::shared_ptr<const RangeMethod> caster_;
+  LidarNoise noise_;
+};
+
+}  // namespace srl

@@ -1,0 +1,72 @@
+#include "sensor/scanline_layout.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace srl {
+
+std::vector<int> uniform_layout(const LidarConfig& config, int count) {
+  std::vector<int> idx;
+  const int n = config.n_beams;
+  const int k = std::clamp(count, 1, n);
+  idx.reserve(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    idx.push_back(k > 1 ? i * (n - 1) / (k - 1) : n / 2);
+  }
+  idx.erase(std::unique(idx.begin(), idx.end()), idx.end());
+  return idx;
+}
+
+std::vector<int> boxed_layout(const LidarConfig& config, int count,
+                              double aspect) {
+  // Virtual box centered on the sensor, elongated along the heading (+x).
+  // Width is arbitrary (angles only depend on the aspect ratio); use 1.
+  const double w = 1.0;
+  const double l = std::max(aspect, 0.1) * w;
+  const double perimeter = 2.0 * (l + w);
+
+  const int k = std::clamp(count, 1, config.n_beams);
+  std::vector<int> idx;
+  idx.reserve(static_cast<std::size_t>(k));
+  // Walk the perimeter starting at the middle of the front edge so the
+  // forward direction always receives a beam.
+  for (int i = 0; i < k; ++i) {
+    double s = perimeter * i / k;
+    double px;
+    double py;
+    if (s < w / 2.0) {  // front edge, upper half
+      px = l / 2.0;
+      py = s;
+    } else if (s < w / 2.0 + l) {  // left edge, front to back
+      px = l / 2.0 - (s - w / 2.0);
+      py = w / 2.0;
+    } else if (s < 1.5 * w + l) {  // rear edge
+      px = -l / 2.0;
+      py = w / 2.0 - (s - w / 2.0 - l);
+    } else if (s < 1.5 * w + 2.0 * l) {  // right edge, back to front
+      px = -l / 2.0 + (s - 1.5 * w - l);
+      py = -w / 2.0;
+    } else {  // front edge, lower half
+      px = l / 2.0;
+      py = -w / 2.0 + (s - 1.5 * w - 2.0 * l);
+    }
+    const double angle = std::atan2(py, px);
+    if (angle < config.angle_min() || angle > -config.angle_min()) {
+      continue;  // behind the scanner's FOV
+    }
+    idx.push_back(config.nearest_beam(angle));
+  }
+  std::sort(idx.begin(), idx.end());
+  idx.erase(std::unique(idx.begin(), idx.end()), idx.end());
+  return idx;
+}
+
+std::vector<double> layout_angles(const LidarConfig& config,
+                                  const std::vector<int>& indices) {
+  std::vector<double> angles;
+  angles.reserve(indices.size());
+  for (int i : indices) angles.push_back(config.beam_angle(i));
+  return angles;
+}
+
+}  // namespace srl

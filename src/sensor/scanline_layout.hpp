@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file scanline_layout.hpp
+/// \brief Beam-subset selection for the particle filter.
+///
+/// Evaluating all 1081 beams per particle is wasteful; both the MIT and TUM
+/// filters score a subset. Two strategies:
+///
+///  - `uniform_layout`: every k-th beam — equal angular spacing.
+///  - `boxed_layout` (TUM, adopted by SynPF): race tracks are corridors, so
+///    beams are chosen such that their intersections with a virtual
+///    corridor-shaped box around the car are *uniformly spaced along the box
+///    perimeter*. With an elongated box (aspect > 1) this concentrates beams
+///    near the heading axis, where they see far down the track and carry the
+///    most longitudinal information — the paper's "more information with a
+///    constant number of scanlines".
+
+#include <vector>
+
+#include "sensor/lidar.hpp"
+
+namespace srl {
+
+/// Indices (sorted, unique) of `count` beams equally spaced across the FOV.
+std::vector<int> uniform_layout(const LidarConfig& config, int count);
+
+/// Boxed layout: `aspect` = box length / box width (length along heading).
+/// `count` target beams; the result may be slightly smaller after removing
+/// duplicates (several box points can snap to one beam at coarse angular
+/// resolution) and beams outside the FOV.
+std::vector<int> boxed_layout(const LidarConfig& config, int count,
+                              double aspect = 3.0);
+
+/// Angles (sensor frame) for a set of beam indices.
+std::vector<double> layout_angles(const LidarConfig& config,
+                                  const std::vector<int>& indices);
+
+}  // namespace srl

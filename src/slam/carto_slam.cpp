@@ -1,0 +1,243 @@
+#include "slam/carto_slam.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/angles.hpp"
+
+namespace srl {
+
+CartoSlam::CartoSlam(CartoSlamOptions options, LidarConfig lidar)
+    : options_{options},
+      lidar_{std::move(lidar)},
+      csm_{options_.csm},
+      gn_{options_.gn} {}
+
+void CartoSlam::initialize(const Pose2& pose) {
+  pose_ = pose;
+  pending_ = OdometryDelta{};
+  submaps_.clear();
+  scan_nodes_.clear();
+  graph_ = PoseGraph2D{};
+  has_node_ = false;
+  nodes_since_optimize_ = 0;
+  loop_closures_ = 0;
+  add_submap(pose);
+  // Gauge: anchor the first submap frame.
+  graph_.add_prior(submaps_.front().graph_id, pose, 1e6, 1e6);
+}
+
+void CartoSlam::add_submap(const Pose2& pose) {
+  SubmapEntry entry;
+  entry.submap = std::make_unique<Submap>(pose, options_.submap_resolution,
+                                          options_.submap_extent);
+  entry.graph_id = graph_.add_node(pose);
+  submaps_.push_back(std::move(entry));
+}
+
+void CartoSlam::on_odometry(const OdometryDelta& odom) {
+  pending_.delta = (pending_.delta * odom.delta).normalized();
+  pending_.dt += odom.dt;
+  pending_.v = odom.v;
+  pose_ = (pose_ * odom.delta).normalized();
+}
+
+Pose2 CartoSlam::on_scan(const LaserScan& scan) {
+  Stopwatch watch;
+  std::vector<Vec2> points =
+      scan_to_points(scan, lidar_, options_.points_stride);
+
+  // Match against the most mature active submap (the older of the two).
+  int match_idx = -1;
+  for (int i = static_cast<int>(submaps_.size()) - 1; i >= 0; --i) {
+    if (!submaps_[static_cast<std::size_t>(i)].submap->finished()) {
+      match_idx = i;
+    }
+  }
+  if (match_idx >= 0 &&
+      submaps_[static_cast<std::size_t>(match_idx)].submap->scan_count() > 0 &&
+      !points.empty()) {
+    Submap& submap = *submaps_[static_cast<std::size_t>(match_idx)].submap;
+    const Pose2 seed_local = submap.to_local(pose_);
+    const ScanMatchResult coarse =
+        csm_.match(submap.grid(), seed_local, points);
+    // Anchor at the odometry seed; start from the correlative match. Along
+    // scan-degenerate directions the solution then follows dead reckoning
+    // instead of matcher noise.
+    const ScanMatchResult fine =
+        gn_.refine(submap.grid(), /*anchor=*/seed_local,
+                   /*start=*/coarse.ok ? coarse.pose : seed_local, points);
+    pose_ = submap.to_world(fine.pose).normalized();
+  }
+
+  maybe_add_node(pose_, std::move(points),
+                 scan_to_points(scan, lidar_, 1));
+  load_.add_busy(watch.elapsed_s());
+  return pose_;
+}
+
+void CartoSlam::maybe_add_node(const Pose2& pose, std::vector<Vec2> points,
+                               const std::vector<Vec2>& dense_points) {
+  if (has_node_) {
+    const Pose2 delta = last_node_pose_.between(pose);
+    const double trans = std::hypot(delta.x, delta.y);
+    if (trans < options_.node_min_translation &&
+        std::abs(delta.theta) < options_.node_min_rotation) {
+      return;
+    }
+  }
+
+  const int node_id = graph_.add_node(pose);
+  NodeEntry node;
+  node.graph_id = node_id;
+  node.points = std::move(points);
+
+  // Odometry constraint between consecutive nodes. The raw odometry since
+  // the previous node is what `pending_` accumulated; after the scan match
+  // moved pose_, the *measured* relative motion is the better odometry
+  // surrogate here, weighted as odometry.
+  if (!scan_nodes_.empty()) {
+    const int prev = scan_nodes_.back().graph_id;
+    const Pose2 rel = graph_.node_pose(prev).between(pose);
+    graph_.add_relative(prev, node_id, rel, options_.odom_weight_t,
+                        options_.odom_weight_r);
+  }
+  pending_ = OdometryDelta{};
+
+  // Insert into all active submaps and add scan-to-submap constraints.
+  // Insertion uses the dense cloud: subsampled hits leave dotted walls at
+  // range whose lattice aliases the correlative matcher.
+  for (SubmapEntry& entry : submaps_) {
+    if (entry.submap->finished()) continue;
+    entry.submap->insert(pose, dense_points, {});
+    graph_.add_relative(entry.graph_id, node_id,
+                        entry.submap->to_local(pose),
+                        options_.match_weight_t, options_.match_weight_r);
+  }
+
+  const int node_index = static_cast<int>(scan_nodes_.size());
+  scan_nodes_.push_back(std::move(node));
+  last_node_pose_ = pose;
+  has_node_ = true;
+
+  // Submap lifecycle: spawn the second active submap at half fill so
+  // consecutive submaps overlap; finish the oldest at the full threshold.
+  std::vector<SubmapEntry*> active;
+  for (SubmapEntry& e : submaps_) {
+    if (!e.submap->finished()) active.push_back(&e);
+  }
+  if (active.size() == 1 &&
+      active[0]->submap->scan_count() >= options_.scans_per_submap / 2) {
+    add_submap(pose);
+  } else if (!active.empty() &&
+             active[0]->submap->scan_count() >= options_.scans_per_submap) {
+    active[0]->submap->finish();
+    search_loop_closures(node_index);
+    if (active.size() < 2) add_submap(pose);
+  }
+
+  ++nodes_since_optimize_;
+  if (nodes_since_optimize_ >= options_.optimize_every_n_nodes) {
+    run_optimization();
+  }
+}
+
+void CartoSlam::search_loop_closures(int node_index) {
+  const NodeEntry& node = scan_nodes_[static_cast<std::size_t>(node_index)];
+  if (node.points.empty()) return;
+  const Pose2 node_pose = graph_.node_pose(node.graph_id);
+
+  CorrelativeOptions wide = options_.csm;
+  wide.linear_window = options_.loop_linear_window;
+  wide.angular_window = options_.loop_angular_window;
+  wide.linear_step = 2.0 * options_.submap_resolution;
+  wide.angular_step = 0.02;
+  wide.min_score = options_.loop_min_score;
+  const CorrelativeScanMatcher wide_matcher{wide};
+
+  for (const SubmapEntry& entry : submaps_) {
+    if (!entry.submap->finished()) continue;
+    const Pose2 submap_pose = entry.submap->pose();
+    const double dist = std::hypot(submap_pose.x - node_pose.x,
+                                   submap_pose.y - node_pose.y);
+    if (dist > options_.loop_search_radius) continue;
+
+    const Pose2 seed_local = entry.submap->to_local(node_pose);
+    const ScanMatchResult coarse =
+        wide_matcher.match(entry.submap->grid(), seed_local, node.points);
+    if (!coarse.ok) continue;
+    const ScanMatchResult fine =
+        gn_.refine(entry.submap->grid(), coarse.pose, node.points);
+    graph_.add_relative(entry.graph_id, node.graph_id, fine.pose,
+                        options_.loop_weight_t, options_.loop_weight_r);
+    ++loop_closures_;
+  }
+}
+
+void CartoSlam::run_optimization() {
+  if (scan_nodes_.empty()) return;
+  const int last_id = scan_nodes_.back().graph_id;
+  const Pose2 before = graph_.node_pose(last_id);
+  graph_.optimize(5);
+  // Write back submap frames.
+  for (SubmapEntry& entry : submaps_) {
+    entry.submap->set_pose(graph_.node_pose(entry.graph_id));
+  }
+  // Propagate the last node's correction to the live pose estimate.
+  const Pose2 after = graph_.node_pose(last_id);
+  pose_ = (after * before.inverse() * pose_).normalized();
+  nodes_since_optimize_ = 0;
+}
+
+OccupancyGrid CartoSlam::build_map() {
+  run_optimization();
+
+  // Bounding box over all submap corners.
+  double min_x = pose_.x;
+  double max_x = pose_.x;
+  double min_y = pose_.y;
+  double max_y = pose_.y;
+  const double half = options_.submap_extent / 2.0;
+  for (const SubmapEntry& entry : submaps_) {
+    const Pose2& sp = entry.submap->pose();
+    const double reach = half * std::numbers::sqrt2;
+    min_x = std::min(min_x, sp.x - reach);
+    max_x = std::max(max_x, sp.x + reach);
+    min_y = std::min(min_y, sp.y - reach);
+    max_y = std::max(max_y, sp.y + reach);
+  }
+  const double res = options_.submap_resolution;
+  const int w = static_cast<int>(std::ceil((max_x - min_x) / res));
+  const int h = static_cast<int>(std::ceil((max_y - min_y) / res));
+  OccupancyGrid map{w, h, res, Vec2{min_x, min_y}, OccupancyGrid::kUnknown};
+
+  // Fuse: occupied beats free beats unknown (later submaps refine earlier).
+  for (const SubmapEntry& entry : submaps_) {
+    const Submap& submap = *entry.submap;
+    const ProbabilityGrid& grid = submap.grid();
+    for (int iy = 0; iy < grid.height(); ++iy) {
+      for (int ix = 0; ix < grid.width(); ++ix) {
+        if (!grid.known(ix, iy)) continue;
+        const float p = grid.probability(ix, iy);
+        std::int8_t value = OccupancyGrid::kUnknown;
+        if (p >= 0.65F) {
+          value = OccupancyGrid::kOccupied;
+        } else if (p <= 0.35F) {
+          value = OccupancyGrid::kFree;
+        } else {
+          continue;
+        }
+        const Vec2 world = submap.pose().transform(grid.grid_to_world(ix, iy));
+        const GridIndex g = map.world_to_grid(world);
+        if (!map.in_bounds(g.ix, g.iy)) continue;
+        std::int8_t& cell = map.at(g.ix, g.iy);
+        if (cell == OccupancyGrid::kOccupied) continue;
+        cell = value;
+      }
+    }
+  }
+  return map;
+}
+
+}  // namespace srl

@@ -1,0 +1,112 @@
+#pragma once
+
+/// \file carto_slam.hpp
+/// \brief CartoLite online SLAM (mapping mode), mirroring Cartographer's
+/// architecture (Hess et al., ICRA 2016):
+///
+///  - local SLAM: odometry-extrapolated seed -> correlative search ->
+///    anchored Gauss-Newton refinement against the active submap;
+///  - submaps: two active (current + next) so consecutive submaps overlap;
+///  - backend: pose graph over scan nodes and submap frames with
+///    scan-to-submap constraints, odometry constraints, and loop closures
+///    found by wide-window matching against finished submaps;
+///  - map export: finished submaps fused into one occupancy grid.
+
+#include <memory>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "common/types.hpp"
+#include "motion/motion_model.hpp"
+#include "sensor/lidar.hpp"
+#include "slam/pose_graph.hpp"
+#include "slam/scan_matching.hpp"
+#include "slam/submap.hpp"
+
+namespace srl {
+
+struct CartoSlamOptions {
+  double submap_resolution = 0.05;  ///< m
+  double submap_extent = 14.0;      ///< m, local grid side
+  int scans_per_submap = 50;        ///< finish threshold
+  /// New node only after this much motion (Cartographer's motion filter).
+  double node_min_translation = 0.15;  ///< m
+  double node_min_rotation = 0.10;     ///< rad
+  int points_stride = 4;               ///< scan subsampling for matching
+  CorrelativeOptions csm{};
+  GaussNewtonOptions gn{};
+  /// Loop closure: wide-window search against finished submaps.
+  double loop_search_radius = 4.0;   ///< m, candidate submap distance
+  double loop_linear_window = 1.5;   ///< m
+  double loop_angular_window = 0.35; ///< rad
+  double loop_min_score = 0.55;
+  int optimize_every_n_nodes = 30;
+  /// Constraint weights (1/sigma^2-like).
+  double odom_weight_t = 50.0;
+  double odom_weight_r = 100.0;
+  double match_weight_t = 400.0;
+  double match_weight_r = 800.0;
+  double loop_weight_t = 200.0;
+  double loop_weight_r = 400.0;
+};
+
+class CartoSlam {
+ public:
+  CartoSlam(CartoSlamOptions options, LidarConfig lidar);
+
+  /// Start at a known pose (world frame of the map being built).
+  void initialize(const Pose2& pose);
+
+  void on_odometry(const OdometryDelta& odom);
+  /// Process one scan; returns the refreshed local-SLAM pose estimate.
+  Pose2 on_scan(const LaserScan& scan);
+
+  Pose2 pose() const { return pose_; }
+
+  /// Run a final full optimization and fuse all submaps into one map.
+  OccupancyGrid build_map();
+
+  int num_nodes() const { return static_cast<int>(scan_nodes_.size()); }
+  int num_submaps() const { return static_cast<int>(submaps_.size()); }
+  int num_loop_closures() const { return loop_closures_; }
+  const PoseGraph2D& graph() const { return graph_; }
+  double mean_scan_update_ms() const { return load_.mean_ms(); }
+
+ private:
+  struct SubmapEntry {
+    std::unique_ptr<Submap> submap;
+    int graph_id;  ///< pose-graph variable holding the submap frame pose
+  };
+  struct NodeEntry {
+    int graph_id;
+    std::vector<Vec2> points;  ///< matched body-frame points (kept for loops)
+  };
+
+  void add_submap(const Pose2& pose);
+  /// `points`: matching-resolution cloud kept on the node for loop closure;
+  /// `dense_points`: full-resolution cloud used for submap insertion.
+  void maybe_add_node(const Pose2& pose, std::vector<Vec2> points,
+                      const std::vector<Vec2>& dense_points);
+  void search_loop_closures(int node_index);
+  void run_optimization();
+
+  CartoSlamOptions options_;
+  LidarConfig lidar_;
+
+  Pose2 pose_{};                 ///< current local-SLAM estimate
+  OdometryDelta pending_{};      ///< odometry since last scan
+  Pose2 last_node_pose_{};
+  bool has_node_{false};
+
+  std::vector<SubmapEntry> submaps_;
+  std::vector<NodeEntry> scan_nodes_;
+  PoseGraph2D graph_;
+  int nodes_since_optimize_{0};
+  int loop_closures_{0};
+
+  CorrelativeScanMatcher csm_;
+  GaussNewtonMatcher gn_;
+  LoadAccumulator load_;
+};
+
+}  // namespace srl

@@ -1,0 +1,40 @@
+#include "slam/linalg.hpp"
+
+#include <cmath>
+
+namespace srl {
+
+bool cholesky_solve(DenseMatrix& a, std::vector<double>& b) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) return false;
+
+  // In-place lower Cholesky: A = L L^T.
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) d -= a(j, k) * a(j, k);
+    if (d <= 0.0 || !std::isfinite(d)) return false;
+    const double ljj = std::sqrt(d);
+    a(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= a(i, k) * a(j, k);
+      a(i, j) = s / ljj;
+    }
+  }
+  // Forward substitution: L y = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= a(i, k) * b[k];
+    b[i] = s / a(i, i);
+  }
+  // Back substitution: L^T x = y.
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double s = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) s -= a(k, i) * b[k];
+    b[i] = s / a(i, i);
+  }
+  return true;
+}
+
+}  // namespace srl

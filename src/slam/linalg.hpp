@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file linalg.hpp
+/// \brief Minimal dense linear algebra for the SE(2) pose-graph optimizer:
+/// a column-major matrix, symmetric solves via Cholesky, and a tiny vector
+/// type. Pose graphs in this project stay in the hundreds of nodes, where a
+/// dense normal-equation solve is simpler and fast enough.
+
+#include <cstddef>
+#include <vector>
+
+namespace srl {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(std::size_t rows, std::size_t cols)
+      : rows_{rows}, cols_{cols}, data_(rows * cols, 0.0) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[c * rows_ + r];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[c * rows_ + r];
+  }
+
+  void set_zero() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+ private:
+  std::size_t rows_{0};
+  std::size_t cols_{0};
+  std::vector<double> data_;
+};
+
+/// Solve A x = b for symmetric positive-definite A via in-place Cholesky.
+/// `a` is destroyed. Returns false if A is not (numerically) SPD; callers
+/// should add damping and retry. b is overwritten with the solution.
+bool cholesky_solve(DenseMatrix& a, std::vector<double>& b);
+
+}  // namespace srl

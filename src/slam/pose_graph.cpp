@@ -1,0 +1,185 @@
+#include "slam/pose_graph.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "common/angles.hpp"
+#include "slam/linalg.hpp"
+
+namespace srl {
+namespace {
+
+/// Residual of a relative constraint: e = t2v(rel^-1 * (Ti^-1 * Tj)).
+std::array<double, 3> relative_residual(const Pose2& ti, const Pose2& tj,
+                                        const Pose2& rel) {
+  const Pose2 delta = ti.inverse() * tj;
+  const Pose2 err = rel.inverse() * delta;
+  return {err.x, err.y, normalize_angle(err.theta)};
+}
+
+std::array<double, 3> prior_residual(const Pose2& tj, const Pose2& abs) {
+  return {tj.x - abs.x, tj.y - abs.y, angle_diff(tj.theta, abs.theta)};
+}
+
+}  // namespace
+
+int PoseGraph2D::add_node(const Pose2& initial) {
+  nodes_.push_back(initial.normalized());
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+void PoseGraph2D::add_relative(int i, int j, const Pose2& rel, double wt,
+                               double wr) {
+  relatives_.push_back(Relative{i, j, rel.normalized(), wt, wr});
+}
+
+void PoseGraph2D::add_prior(int j, const Pose2& abs, double wt, double wr) {
+  priors_.push_back(Prior{j, abs.normalized(), wt, wr});
+}
+
+double PoseGraph2D::cost() const {
+  double c = 0.0;
+  for (const Relative& r : relatives_) {
+    const auto e = relative_residual(nodes_[static_cast<std::size_t>(r.i)],
+                                     nodes_[static_cast<std::size_t>(r.j)],
+                                     r.rel);
+    c += r.wt * (e[0] * e[0] + e[1] * e[1]) + r.wr * e[2] * e[2];
+  }
+  for (const Prior& p : priors_) {
+    const auto e = prior_residual(nodes_[static_cast<std::size_t>(p.j)], p.abs);
+    c += p.wt * (e[0] * e[0] + e[1] * e[1]) + p.wr * e[2] * e[2];
+  }
+  return c;
+}
+
+PoseGraphStats PoseGraph2D::optimize(int max_iterations) {
+  PoseGraphStats stats;
+  stats.initial_cost = cost();
+  const std::size_t n = nodes_.size();
+  if (n == 0) {
+    stats.final_cost = stats.initial_cost;
+    stats.converged = true;
+    return stats;
+  }
+  const std::size_t dim = 3 * n;
+  constexpr double kStep = 1e-6;   // numeric differentiation step
+  constexpr double kDamping = 1e-6;
+
+  DenseMatrix h{dim, dim};
+  std::vector<double> b(dim);
+
+  for (int it = 0; it < max_iterations; ++it) {
+    ++stats.iterations;
+    h.set_zero();
+    std::fill(b.begin(), b.end(), 0.0);
+
+    // Accumulate one block-constraint into H and b given its residual
+    // function evaluated at perturbed variables.
+    const auto accumulate = [&](const std::array<int, 2>& vars,
+                                auto residual_fn, double wt, double wr) {
+      const auto r0 = residual_fn();
+      // Numeric Jacobian: columns for each involved variable component.
+      std::array<std::array<double, 3>, 6> jac{};
+      int n_vars = 0;
+      for (int v = 0; v < 2; ++v) {
+        if (vars[static_cast<std::size_t>(v)] < 0) continue;
+        const auto node = static_cast<std::size_t>(vars[static_cast<std::size_t>(v)]);
+        for (int comp = 0; comp < 3; ++comp) {
+          Pose2& pose = nodes_[node];
+          double* field = comp == 0 ? &pose.x : (comp == 1 ? &pose.y : &pose.theta);
+          const double saved = *field;
+          *field = saved + kStep;
+          const auto r1 = residual_fn();
+          *field = saved;
+          auto& col = jac[static_cast<std::size_t>(3 * v + comp)];
+          for (int k = 0; k < 3; ++k) {
+            double diff = r1[static_cast<std::size_t>(k)] -
+                          r0[static_cast<std::size_t>(k)];
+            if (k == 2) diff = normalize_angle(diff);
+            col[static_cast<std::size_t>(k)] = diff / kStep;
+          }
+        }
+        ++n_vars;
+      }
+      (void)n_vars;
+      const double w[3] = {wt, wt, wr};
+      for (int va = 0; va < 2; ++va) {
+        if (vars[static_cast<std::size_t>(va)] < 0) continue;
+        const std::size_t base_a =
+            3 * static_cast<std::size_t>(vars[static_cast<std::size_t>(va)]);
+        for (int ca = 0; ca < 3; ++ca) {
+          const auto& col_a = jac[static_cast<std::size_t>(3 * va + ca)];
+          double ba = 0.0;
+          for (int k = 0; k < 3; ++k) {
+            ba -= w[k] * col_a[static_cast<std::size_t>(k)] *
+                  r0[static_cast<std::size_t>(k)];
+          }
+          b[base_a + static_cast<std::size_t>(ca)] += ba;
+          for (int vb = 0; vb < 2; ++vb) {
+            if (vars[static_cast<std::size_t>(vb)] < 0) continue;
+            const std::size_t base_b =
+                3 * static_cast<std::size_t>(vars[static_cast<std::size_t>(vb)]);
+            for (int cb = 0; cb < 3; ++cb) {
+              const auto& col_b = jac[static_cast<std::size_t>(3 * vb + cb)];
+              double hv = 0.0;
+              for (int k = 0; k < 3; ++k) {
+                hv += w[k] * col_a[static_cast<std::size_t>(k)] *
+                      col_b[static_cast<std::size_t>(k)];
+              }
+              h(base_a + static_cast<std::size_t>(ca),
+                base_b + static_cast<std::size_t>(cb)) += hv;
+            }
+          }
+        }
+      }
+    };
+
+    for (const Relative& r : relatives_) {
+      accumulate({r.i, r.j},
+                 [&]() {
+                   return relative_residual(
+                       nodes_[static_cast<std::size_t>(r.i)],
+                       nodes_[static_cast<std::size_t>(r.j)], r.rel);
+                 },
+                 r.wt, r.wr);
+    }
+    for (const Prior& p : priors_) {
+      accumulate({p.j, -1},
+                 [&]() {
+                   return prior_residual(nodes_[static_cast<std::size_t>(p.j)],
+                                         p.abs);
+                 },
+                 p.wt, p.wr);
+    }
+
+    for (std::size_t d = 0; d < dim; ++d) h(d, d) += kDamping;
+
+    std::vector<double> dx = b;
+    DenseMatrix h_copy = h;
+    if (!cholesky_solve(h_copy, dx)) {
+      // Singular system (under-constrained graph): add stronger damping once.
+      h_copy = h;
+      for (std::size_t d = 0; d < dim; ++d) h_copy(d, d) += 1e-3;
+      dx = b;
+      if (!cholesky_solve(h_copy, dx)) break;
+    }
+
+    double step_norm_sq = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      Pose2& pose = nodes_[k];
+      pose.x += dx[3 * k];
+      pose.y += dx[3 * k + 1];
+      pose.theta = normalize_angle(pose.theta + dx[3 * k + 2]);
+      step_norm_sq += dx[3 * k] * dx[3 * k] + dx[3 * k + 1] * dx[3 * k + 1] +
+                      dx[3 * k + 2] * dx[3 * k + 2];
+    }
+    if (step_norm_sq < 1e-16) {
+      stats.converged = true;
+      break;
+    }
+  }
+  stats.final_cost = cost();
+  return stats;
+}
+
+}  // namespace srl

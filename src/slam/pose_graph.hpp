@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file pose_graph.hpp
+/// \brief Sparse nonlinear least-squares over SE(2) poses — the global
+/// optimization ("SPA") behind the CartoLite SLAM backend and the sliding
+/// window of the pure-localization mode.
+///
+/// Variables are world poses (scan nodes and submap frames alike).
+/// Constraints:
+///  - relative: T_i^{-1} T_j should equal a measured relative pose
+///    (odometry between consecutive nodes, scan-to-submap matches,
+///    loop closures);
+///  - prior: T_j should equal an absolute pose (gauge fixing, map-anchored
+///    scan matches in pure localization).
+///
+/// Solved by damped Gauss-Newton on the dense normal equations; Jacobians
+/// are computed numerically (graphs here are hundreds of poses, where the
+/// simplicity beats hand-derived sparsity).
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace srl {
+
+struct PoseGraphStats {
+  int iterations{0};
+  double initial_cost{0.0};
+  double final_cost{0.0};
+  bool converged{false};
+};
+
+class PoseGraph2D {
+ public:
+  /// Add a variable; returns its id.
+  int add_node(const Pose2& initial);
+
+  /// Relative constraint: measured T_i^{-1} T_j = `rel`, with translation
+  /// weight `wt` (1/sigma^2-like) and rotation weight `wr`.
+  void add_relative(int i, int j, const Pose2& rel, double wt, double wr);
+
+  /// Absolute prior on node j.
+  void add_prior(int j, const Pose2& abs, double wt, double wr);
+
+  /// Damped Gauss-Newton. Returns optimization statistics.
+  PoseGraphStats optimize(int max_iterations = 10);
+
+  const Pose2& node_pose(int i) const {
+    return nodes_[static_cast<std::size_t>(i)];
+  }
+  void set_node_pose(int i, const Pose2& p) {
+    nodes_[static_cast<std::size_t>(i)] = p;
+  }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  std::size_t num_constraints() const {
+    return relatives_.size() + priors_.size();
+  }
+
+  /// Total weighted squared error at the current estimate.
+  double cost() const;
+
+ private:
+  struct Relative {
+    int i;
+    int j;
+    Pose2 rel;
+    double wt;
+    double wr;
+  };
+  struct Prior {
+    int j;
+    Pose2 abs;
+    double wt;
+    double wr;
+  };
+
+  std::vector<Pose2> nodes_;
+  std::vector<Relative> relatives_;
+  std::vector<Prior> priors_;
+};
+
+}  // namespace srl

@@ -1,0 +1,150 @@
+#include "slam/probability_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gridmap/distance_transform.hpp"
+
+namespace srl {
+namespace {
+
+// Cartographer defaults: hit odds 0.55, miss odds 0.49, probability clamped.
+constexpr float kHitOdds = 0.55F / 0.45F;
+constexpr float kMissOdds = 0.49F / 0.51F;
+constexpr float kMinP = 0.02F;
+constexpr float kMaxP = 0.98F;
+
+}  // namespace
+
+ProbabilityGrid::ProbabilityGrid(int width, int height, double resolution,
+                                 Vec2 origin)
+    : width_{std::max(width, 0)},
+      height_{std::max(height, 0)},
+      resolution_{resolution},
+      origin_{origin},
+      prob_(static_cast<std::size_t>(width_) * height_, kUnknownP) {}
+
+ProbabilityGrid ProbabilityGrid::likelihood_field(const OccupancyGrid& map,
+                                                  double sigma, double p_min,
+                                                  double p_max) {
+  ProbabilityGrid grid{map.width(), map.height(), map.resolution(),
+                       map.origin()};
+  grid.out_of_bounds_p_ = static_cast<float>(p_min);
+  const DistanceField df = distance_to_occupied(map);
+  const double inv_two_sigma_sq = 1.0 / (2.0 * sigma * sigma);
+  for (int iy = 0; iy < map.height(); ++iy) {
+    for (int ix = 0; ix < map.width(); ++ix) {
+      // Unknown cells outside the corridor keep p_min: the matcher should
+      // never prefer placing scan hits in unobserved space.
+      double p = p_min;
+      if (map.at(ix, iy) != OccupancyGrid::kUnknown) {
+        const double d = df.at(ix, iy);
+        p = p_min + (p_max - p_min) * std::exp(-d * d * inv_two_sigma_sq);
+      }
+      grid.prob_[grid.cell_index(ix, iy)] = static_cast<float>(p);
+    }
+  }
+  return grid;
+}
+
+double ProbabilityGrid::interpolate(const Vec2& w) const {
+  if (width_ < 2 || height_ < 2) return probability(0, 0);
+  const double gx = (w.x - origin_.x) / resolution_ - 0.5;
+  const double gy = (w.y - origin_.y) / resolution_ - 0.5;
+  const int x0 = static_cast<int>(std::floor(gx));
+  const int y0 = static_cast<int>(std::floor(gy));
+  const double tx = gx - x0;
+  const double ty = gy - y0;
+  const double d00 = probability(x0, y0);
+  const double d10 = probability(x0 + 1, y0);
+  const double d01 = probability(x0, y0 + 1);
+  const double d11 = probability(x0 + 1, y0 + 1);
+  const double top = d00 + tx * (d10 - d00);
+  const double bot = d01 + tx * (d11 - d01);
+  return top + ty * (bot - top);
+}
+
+void ProbabilityGrid::apply_odds(int ix, int iy, float odds_factor) {
+  if (!in_bounds(ix, iy)) return;
+  float& p = prob_[cell_index(ix, iy)];
+  if (p == kUnknownP) p = 0.5F;
+  const float odds = p / (1.0F - p) * odds_factor;
+  p = std::clamp(odds / (1.0F + odds), kMinP, kMaxP);
+}
+
+void ProbabilityGrid::update_hit(int ix, int iy) {
+  apply_odds(ix, iy, kHitOdds);
+}
+
+void ProbabilityGrid::update_miss(int ix, int iy) {
+  apply_odds(ix, iy, kMissOdds);
+}
+
+void ProbabilityGrid::insert_scan(const Pose2& sensor,
+                                  std::span<const Vec2> hits,
+                                  std::span<const Vec2> passthrough) {
+  const GridIndex s = world_to_grid({sensor.x, sensor.y});
+
+  // Walk the cells between sensor and endpoint with a DDA in grid space.
+  const auto trace_misses = [&](const Vec2& end, bool include_end) {
+    const GridIndex e = world_to_grid(end);
+    int x = s.ix;
+    int y = s.iy;
+    const int dx = std::abs(e.ix - s.ix);
+    const int dy = std::abs(e.iy - s.iy);
+    const int sx = s.ix < e.ix ? 1 : -1;
+    const int sy = s.iy < e.iy ? 1 : -1;
+    int err = dx - dy;
+    while (true) {
+      if (x == e.ix && y == e.iy) {
+        if (include_end) update_miss(x, y);
+        break;
+      }
+      update_miss(x, y);
+      const int e2 = 2 * err;
+      if (e2 > -dy) {
+        err -= dy;
+        x += sx;
+      }
+      if (e2 < dx) {
+        err += dx;
+        y += sy;
+      }
+    }
+  };
+
+  for (const Vec2& h : hits) trace_misses(h, /*include_end=*/false);
+  for (const Vec2& p : passthrough) trace_misses(p, /*include_end=*/true);
+  // Hits are applied after misses so a cell that is both grazed and hit in
+  // one scan nets positive evidence.
+  for (const Vec2& h : hits) {
+    const GridIndex g = world_to_grid(h);
+    update_hit(g.ix, g.iy);
+  }
+}
+
+OccupancyGrid ProbabilityGrid::to_occupancy(double occupied_threshold,
+                                            double free_threshold) const {
+  OccupancyGrid out{width_, height_, resolution_, origin_,
+                    OccupancyGrid::kUnknown};
+  for (int iy = 0; iy < height_; ++iy) {
+    for (int ix = 0; ix < width_; ++ix) {
+      if (!known(ix, iy)) continue;
+      const float p = probability(ix, iy);
+      if (p >= occupied_threshold) {
+        out.at(ix, iy) = OccupancyGrid::kOccupied;
+      } else if (p <= free_threshold) {
+        out.at(ix, iy) = OccupancyGrid::kFree;
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t ProbabilityGrid::known_cells() const {
+  return static_cast<std::size_t>(
+      std::count_if(prob_.begin(), prob_.end(),
+                    [](float p) { return p != kUnknownP; }));
+}
+
+}  // namespace srl

@@ -1,0 +1,108 @@
+#pragma once
+
+/// \file probability_grid.hpp
+/// \brief Log-odds occupancy grid used by the CartoLite SLAM stack: submaps
+/// accumulate hit/miss evidence, scan matchers read smooth probabilities.
+/// Also provides a likelihood-field construction from a finished occupancy
+/// map (Gaussian of the distance to the nearest wall) — the smooth surface
+/// the pure-localization matcher optimizes on, analogous to Cartographer's
+/// interpolated grid costs.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "gridmap/occupancy_grid.hpp"
+
+namespace srl {
+
+class ProbabilityGrid {
+ public:
+  ProbabilityGrid() = default;
+  ProbabilityGrid(int width, int height, double resolution, Vec2 origin);
+
+  /// Build a likelihood field from a finished map: cell value =
+  /// p_min + (p_max - p_min) * exp(-d^2 / (2 sigma^2)) where d is the
+  /// distance to the nearest occupied cell. Cells outside the mapped free
+  /// space keep p_min so the matcher is repelled from unknown territory.
+  static ProbabilityGrid likelihood_field(const OccupancyGrid& map,
+                                          double sigma = 0.2,
+                                          double p_min = 0.05,
+                                          double p_max = 0.95);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  double resolution() const { return resolution_; }
+  const Vec2& origin() const { return origin_; }
+
+  bool in_bounds(int ix, int iy) const {
+    return ix >= 0 && iy >= 0 && ix < width_ && iy < height_;
+  }
+
+  /// Occupancy probability of a cell as seen by the scan matchers. Never-
+  /// touched cells return a LOW value (0.1, Cartographer's convention):
+  /// a matcher must prefer placing scan hits on observed structure over
+  /// drifting into unexplored space. Out-of-bounds returns `p_min` used at
+  /// construction. Probabilities are stored directly (not as log odds) so
+  /// this is a plain load — it sits in the innermost correlative loop.
+  float probability(int ix, int iy) const {
+    if (!in_bounds(ix, iy)) return out_of_bounds_p_;
+    const float p = prob_[cell_index(ix, iy)];
+    return p == kUnknownP ? kUnknownMatchP : p;
+  }
+
+  /// Matcher score for unknown cells.
+  static constexpr float kUnknownMatchP = 0.1F;
+  bool known(int ix, int iy) const {
+    return in_bounds(ix, iy) && prob_[cell_index(ix, iy)] != kUnknownP;
+  }
+
+  /// Bilinearly interpolated probability at a world point (cell centers are
+  /// the sample sites); clamps at the border.
+  double interpolate(const Vec2& w) const;
+
+  /// Evidence updates (clamped log-odds, Cartographer-style hit/miss odds).
+  void update_hit(int ix, int iy);
+  void update_miss(int ix, int iy);
+
+  /// Integrate one scan taken at `sensor` (world pose): each `hit` (world
+  /// point) gets a hit update and the cells on the sensor->hit segment get
+  /// miss updates; `passthrough` points (max-range beams) get misses only.
+  void insert_scan(const Pose2& sensor, std::span<const Vec2> hits,
+                   std::span<const Vec2> passthrough);
+
+  GridIndex world_to_grid(const Vec2& w) const {
+    return {static_cast<int>(std::floor((w.x - origin_.x) / resolution_)),
+            static_cast<int>(std::floor((w.y - origin_.y) / resolution_))};
+  }
+  Vec2 grid_to_world(int ix, int iy) const {
+    return {origin_.x + (ix + 0.5) * resolution_,
+            origin_.y + (iy + 0.5) * resolution_};
+  }
+
+  /// Export to the ROS-convention occupancy grid (for map saving and for
+  /// building localization backends on a SLAM-produced map).
+  OccupancyGrid to_occupancy(double occupied_threshold = 0.65,
+                             double free_threshold = 0.35) const;
+
+  std::size_t known_cells() const;
+
+ private:
+  /// Sentinel for never-updated cells (outside the valid (0,1) range).
+  static constexpr float kUnknownP = -1.0F;
+
+  std::size_t cell_index(int ix, int iy) const {
+    return static_cast<std::size_t>(iy) * width_ + ix;
+  }
+  void apply_odds(int ix, int iy, float odds_factor);
+
+  int width_{0};
+  int height_{0};
+  double resolution_{0.05};
+  Vec2 origin_{};
+  float out_of_bounds_p_{0.05F};
+  std::vector<float> prob_;
+};
+
+}  // namespace srl

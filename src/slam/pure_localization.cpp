@@ -1,0 +1,152 @@
+#include "slam/pure_localization.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace srl {
+namespace {
+
+GaussNewtonOptions make_global_gn(const GaussNewtonOptions& base) {
+  // The global refinement is a constraint search, not odometry tracking:
+  // the anchor is nearly released so the solution can travel to the map.
+  GaussNewtonOptions gn = base;
+  gn.translation_anchor = 0.2;
+  gn.rotation_anchor = 0.1;
+  return gn;
+}
+
+}  // namespace
+
+CartoLocalizer::CartoLocalizer(PureLocalizationOptions options,
+                               std::shared_ptr<const OccupancyGrid> map,
+                               LidarConfig lidar)
+    : options_{options},
+      lidar_{std::move(lidar)},
+      field_{ProbabilityGrid::likelihood_field(*map,
+                                               options.likelihood_sigma)},
+      local_gn_{options.gn},
+      global_gn_{make_global_gn(options.gn)},
+      local_csm_{options.local_csm},
+      global_csm_{options.global_csm},
+      reloc_csm_{options.reloc_csm} {}
+
+void CartoLocalizer::initialize(const Pose2& pose) {
+  pose_ = pose;
+  scan_counter_ = 0;
+  global_fixes_ = 0;
+  failed_global_ = 0;
+  last_global_score_ = 0.0;
+  live_ = std::make_unique<Submap>(pose, options_.submap_resolution,
+                                   options_.submap_extent);
+  pending_.clear();
+  published_base_ = pose;
+  published_accum_ = Pose2{};
+  clock_ = 0.0;
+}
+
+void CartoLocalizer::on_odometry(const OdometryDelta& odom) {
+  // Cartographer's pose extrapolator: odometry dead-reckons between scans
+  // and supplies the twist used to deskew scan motion distortion. A
+  // slipping wheel corrupts both uses.
+  pose_ = (pose_ * odom.delta).normalized();
+  if (odom.dt > 0.0) {
+    odom_twist_ = Twist2{odom.delta.x / odom.dt, odom.delta.y / odom.dt,
+                         odom.delta.theta / odom.dt};
+  }
+  clock_ += odom.dt;
+  published_accum_ = (published_accum_ * odom.delta).normalized();
+  for (PendingOutput& p : pending_) {
+    p.odom_accum = (p.odom_accum * odom.delta).normalized();
+  }
+  // Promote corrections whose pipeline latency has elapsed.
+  while (!pending_.empty() && pending_.front().effective_t <= clock_) {
+    published_base_ = pending_.front().internal_pose;
+    published_accum_ = pending_.front().odom_accum;
+    pending_.pop_front();
+  }
+}
+
+Pose2 CartoLocalizer::on_scan(const LaserScan& scan) {
+  Stopwatch watch;
+  const std::vector<Vec2> points =
+      deskew_scan(scan, lidar_, odom_twist_, options_.points_stride);
+
+  // Local SLAM: anchored Gauss-Newton against the live submap. The first
+  // couple of scans of a fresh submap have too little evidence to match.
+  if (!points.empty() && live_->scan_count() >= 2) {
+    const Pose2 seed_local = live_->to_local(pose_);
+    const ScanMatchResult coarse =
+        local_csm_.match(live_->grid(), seed_local, points);
+    const ScanMatchResult fine =
+        local_gn_.refine(live_->grid(), /*anchor=*/seed_local,
+                         /*start=*/coarse.ok ? coarse.pose : seed_local,
+                         points);
+    pose_ = live_->to_world(fine.pose).normalized();
+  }
+
+  // Insert the scan at the matched pose; roll the submap when full.
+  // Insertion is dense (every beam, like Cartographer): subsampled hits
+  // would leave dotted walls at range whose lattice aliases the
+  // correlative search and pulls the match toward the denser region.
+  const std::vector<Vec2> dense = deskew_scan(scan, lidar_, odom_twist_, 1);
+  if (!dense.empty()) {
+    live_->insert(pose_, dense, {});
+    if (live_->scan_count() >= options_.scans_per_submap) {
+      live_ = std::make_unique<Submap>(pose_, options_.submap_resolution,
+                                       options_.submap_extent);
+    }
+  }
+
+  // Backend: periodic constraint search against the frozen map.
+  ++scan_counter_;
+  if (scan_counter_ % options_.global_period == 0 && !points.empty()) {
+    global_correction(points);
+  }
+
+  // Queue this correction for publication after the pipeline latency.
+  if (options_.output_latency <= 0.0) {
+    published_base_ = pose_;
+    published_accum_ = Pose2{};
+    pending_.clear();
+  } else {
+    pending_.push_back(PendingOutput{clock_ + options_.output_latency, pose_,
+                                     Pose2{}});
+  }
+
+  load_.add_busy(watch.elapsed_s());
+  return pose();
+}
+
+void CartoLocalizer::global_correction(const std::vector<Vec2>& points) {
+  ScanMatchResult coarse = global_csm_.match(field_, pose_, points);
+  last_global_score_ = coarse.score;
+  if (!coarse.ok) {
+    // Repeatedly failing to find a constraint means the trajectory has left
+    // the search window: fall back to the wide relocalization search.
+    if (++failed_global_ < options_.reloc_after_failures) return;
+    coarse = reloc_csm_.match(field_, pose_, points);
+    last_global_score_ = coarse.score;
+    if (!coarse.ok) return;
+  }
+  failed_global_ = 0;
+  const ScanMatchResult fine = global_gn_.refine(field_, coarse.pose, points);
+
+  // Rigid trajectory correction (the optimization's step change): move the
+  // current pose and the live submap together so local consistency holds.
+  const Pose2 correction = fine.pose * pose_.inverse();
+  Pose2 corrected = (correction * pose_).normalized();
+  if (options_.correction_gain < 1.0) {
+    const double g = options_.correction_gain;
+    corrected = Pose2{pose_.x + g * (corrected.x - pose_.x),
+                      pose_.y + g * (corrected.y - pose_.y),
+                      pose_.theta + g * angle_diff(corrected.theta,
+                                                   pose_.theta)}
+                    .normalized();
+  }
+  const Pose2 applied = corrected * pose_.inverse();
+  live_->set_pose((applied * live_->pose()).normalized());
+  pose_ = corrected;
+  ++global_fixes_;
+}
+
+}  // namespace srl

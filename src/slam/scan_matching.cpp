@@ -1,0 +1,177 @@
+#include "slam/scan_matching.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/angles.hpp"
+
+namespace srl {
+
+double score_pose(const ProbabilityGrid& grid, const Pose2& pose,
+                  std::span<const Vec2> points) {
+  if (points.empty()) return 0.0;
+  double sum = 0.0;
+  for (const Vec2& p : points) sum += grid.interpolate(pose.transform(p));
+  return sum / static_cast<double>(points.size());
+}
+
+ScanMatchResult CorrelativeScanMatcher::match(
+    const ProbabilityGrid& grid, const Pose2& seed,
+    std::span<const Vec2> points) const {
+  ScanMatchResult best;
+  best.pose = seed;
+  best.score = -1.0;
+
+  const int n_ang = std::max(
+      1, static_cast<int>(std::round(options_.angular_window /
+                                     options_.angular_step)));
+  const int n_lin = std::max(
+      1,
+      static_cast<int>(std::round(options_.linear_window /
+                                  options_.linear_step)));
+
+  // Rotate the point cloud once per candidate angle, then slide it across
+  // the translation window (the standard CSM factorization).
+  //
+  // Candidates carry a tiny offset penalty so that flat score plateaus —
+  // e.g. the longitudinal direction of a featureless corridor — resolve to
+  // the *seed* instead of the first-visited window corner. Without it the
+  // matcher acquires a systematic drift along any degenerate direction.
+  constexpr double kTieBreak = 2e-3;
+  double best_penalized = -1.0;
+  std::vector<Vec2> rotated(points.size());
+  for (int ia = -n_ang; ia <= n_ang; ++ia) {
+    const double theta =
+        normalize_angle(seed.theta + ia * options_.angular_step);
+    const double c = std::cos(theta);
+    const double s = std::sin(theta);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      rotated[i] = {c * points[i].x - s * points[i].y,
+                    s * points[i].x + c * points[i].y};
+    }
+    const double ang_frac =
+        static_cast<double>(ia) / std::max(n_ang, 1);
+    for (int iy = -n_lin; iy <= n_lin; ++iy) {
+      for (int ix = -n_lin; ix <= n_lin; ++ix) {
+        const double tx = seed.x + ix * options_.linear_step;
+        const double ty = seed.y + iy * options_.linear_step;
+        double sum = 0.0;
+        for (const Vec2& p : rotated) {
+          sum += grid.interpolate({tx + p.x, ty + p.y});
+        }
+        const double score =
+            points.empty() ? 0.0 : sum / static_cast<double>(points.size());
+        const double lin_frac_sq =
+            (static_cast<double>(ix) * ix + static_cast<double>(iy) * iy) /
+            (static_cast<double>(n_lin) * n_lin + 1e-9);
+        const double penalized =
+            score - kTieBreak * (lin_frac_sq + ang_frac * ang_frac);
+        if (penalized > best_penalized) {
+          best_penalized = penalized;
+          best.score = score;
+          best.pose = Pose2{tx, ty, theta};
+        }
+      }
+    }
+  }
+  best.ok = best.score >= options_.min_score;
+  return best;
+}
+
+ScanMatchResult GaussNewtonMatcher::refine(const ProbabilityGrid& grid,
+                                           const Pose2& anchor,
+                                           const Pose2& start,
+                                           std::span<const Vec2> points) const {
+  Pose2 est = start;
+  const Pose2& seed = anchor;
+  const double res = grid.resolution();
+  const double inv_n =
+      points.empty() ? 0.0 : 1.0 / static_cast<double>(points.size());
+
+  for (int it = 0; it < options_.max_iterations; ++it) {
+    // Accumulate the 3x3 normal equations for residuals r_i = 1 - P(T p_i),
+    // J_i = -dP/dxi, plus the quadratic anchor terms about the seed.
+    double h[3][3] = {{0.0}};
+    double b[3] = {0.0, 0.0, 0.0};
+    const double c = std::cos(est.theta);
+    const double s = std::sin(est.theta);
+
+    for (const Vec2& p : points) {
+      const Vec2 w = est.transform(p);
+      const double pc = grid.interpolate(w);
+      // Central-difference probability gradient at half-cell spacing.
+      const double gx = (grid.interpolate({w.x + 0.5 * res, w.y}) -
+                         grid.interpolate({w.x - 0.5 * res, w.y})) /
+                        res;
+      const double gy = (grid.interpolate({w.x, w.y + 0.5 * res}) -
+                         grid.interpolate({w.x, w.y - 0.5 * res})) /
+                        res;
+      // d(T p)/dtheta = R'(theta) * p.
+      const double dxt = -s * p.x - c * p.y;
+      const double dyt = c * p.x - s * p.y;
+      const double jt = gx * dxt + gy * dyt;
+      const double r = 1.0 - pc;
+      const double j[3] = {-gx, -gy, -jt};
+      for (int a = 0; a < 3; ++a) {
+        b[a] += -j[a] * r * inv_n;
+        for (int bb = 0; bb < 3; ++bb) h[a][bb] += j[a] * j[bb] * inv_n;
+      }
+    }
+
+    // Anchor residuals: sqrt(w) * (x - seed.x) etc. — Cartographer's
+    // translation/rotation delta costs.
+    const double wt = options_.translation_anchor;
+    const double wr = options_.rotation_anchor;
+    h[0][0] += wt;
+    h[1][1] += wt;
+    h[2][2] += wr;
+    b[0] += -wt * (est.x - seed.x);
+    b[1] += -wt * (est.y - seed.y);
+    b[2] += -wr * angle_diff(est.theta, seed.theta);
+
+    for (int a = 0; a < 3; ++a) h[a][a] += options_.damping;
+
+    // Solve the 3x3 system by Cramer-free Gaussian elimination.
+    double m[3][4] = {{h[0][0], h[0][1], h[0][2], b[0]},
+                      {h[1][0], h[1][1], h[1][2], b[1]},
+                      {h[2][0], h[2][1], h[2][2], b[2]}};
+    bool singular = false;
+    for (int col = 0; col < 3; ++col) {
+      int piv = col;
+      for (int r2 = col + 1; r2 < 3; ++r2) {
+        if (std::abs(m[r2][col]) > std::abs(m[piv][col])) piv = r2;
+      }
+      if (std::abs(m[piv][col]) < 1e-12) {
+        singular = true;
+        break;
+      }
+      std::swap(m[piv], m[col]);
+      for (int r2 = 0; r2 < 3; ++r2) {
+        if (r2 == col) continue;
+        const double f = m[r2][col] / m[col][col];
+        for (int c2 = col; c2 < 4; ++c2) m[r2][c2] -= f * m[col][c2];
+      }
+    }
+    if (singular) break;
+    const double dx = m[0][3] / m[0][0];
+    const double dy = m[1][3] / m[1][1];
+    const double dt = m[2][3] / m[2][2];
+
+    est.x += dx;
+    est.y += dy;
+    est.theta = normalize_angle(est.theta + dt);
+    if (dx * dx + dy * dy + dt * dt <
+        options_.converge_eps * options_.converge_eps) {
+      break;
+    }
+  }
+
+  ScanMatchResult out;
+  out.pose = est;
+  out.score = score_pose(grid, est, points);
+  out.ok = true;
+  return out;
+}
+
+}  // namespace srl

@@ -1,0 +1,102 @@
+#pragma once
+
+/// \file scan_matching.hpp
+/// \brief The two-stage scan matcher of the CartoLite stack, mirroring
+/// Cartographer's local SLAM:
+///
+///  1. `CorrelativeScanMatcher` — brute-force search over a small
+///     (x, y, theta) window around the odometry seed (Olson 2009 /
+///     Cartographer's RealTimeCorrelativeScanMatcher). Robust to moderate
+///     seed error but limited to its window: when odometry degrades faster
+///     than the window, the match is lost — this is the failure mode the
+///     paper observes on slippery tires.
+///
+///  2. `GaussNewtonMatcher` — sub-cell refinement maximizing the smoothed
+///     map probability at each scan point, with quadratic anchor terms that
+///     penalize deviating from the seed (Cartographer's
+///     translation/rotation_delta_cost_weight). The anchor is precisely the
+///     mechanism that couples the final estimate to odometry quality.
+
+#include <span>
+
+#include "common/types.hpp"
+#include "slam/probability_grid.hpp"
+
+namespace srl {
+
+struct ScanMatchResult {
+  Pose2 pose;
+  double score{0.0};  ///< mean scan-point probability at `pose`, in [0, 1]
+  bool ok{false};     ///< whether the score cleared the matcher's threshold
+};
+
+struct CorrelativeOptions {
+  double linear_window = 0.12;    ///< m, +/- search extent in x and y
+  double angular_window = 0.05;   ///< rad, +/- search extent in theta
+  double linear_step = 0.03;      ///< m
+  double angular_step = 0.0125;   ///< rad
+  double min_score = 0.25;        ///< matches below this report ok = false
+};
+
+class CorrelativeScanMatcher {
+ public:
+  explicit CorrelativeScanMatcher(CorrelativeOptions options = {})
+      : options_{options} {}
+
+  /// Exhaustive window search around `seed`. `points` are scan returns in
+  /// the body frame. Returns the best-scoring pose in the window.
+  ScanMatchResult match(const ProbabilityGrid& grid, const Pose2& seed,
+                        std::span<const Vec2> points) const;
+
+  const CorrelativeOptions& options() const { return options_; }
+
+ private:
+  CorrelativeOptions options_;
+};
+
+struct GaussNewtonOptions {
+  int max_iterations = 12;
+  /// Anchor weights pulling the solution toward the (odometry) seed —
+  /// Cartographer's translation/rotation_delta_cost_weight. High values
+  /// make the matcher superbly stable on clean odometry and drag it along
+  /// with wheel slip: the central trade-off of Table I.
+  double translation_anchor = 100.0; ///< weight pulling x,y toward the seed
+  double rotation_anchor = 40.0;    ///< weight pulling theta toward the seed
+  double damping = 1e-4;            ///< Levenberg damping added to H
+  double converge_eps = 1e-5;       ///< stop when the update norm drops below
+};
+
+class GaussNewtonMatcher {
+ public:
+  explicit GaussNewtonMatcher(GaussNewtonOptions options = {})
+      : options_{options} {}
+
+  /// Refine by maximizing sum_i P(T(p_i)) - anchors, where P is the
+  /// bilinearly interpolated grid probability. The anchor terms keep the
+  /// solution near `anchor`, reproducing Cartographer's odometry trust.
+  ScanMatchResult refine(const ProbabilityGrid& grid, const Pose2& anchor,
+                         std::span<const Vec2> points) const {
+    return refine(grid, anchor, anchor, points);
+  }
+
+  /// As above, but start the iteration from `start` (e.g. a correlative
+  /// match) while still anchoring the cost at `anchor` (the odometry seed).
+  /// Along directions the scan does not constrain — the longitudinal axis
+  /// of a featureless corridor — the anchor dominates and the solution
+  /// returns to dead reckoning instead of following matcher noise.
+  ScanMatchResult refine(const ProbabilityGrid& grid, const Pose2& anchor,
+                         const Pose2& start,
+                         std::span<const Vec2> points) const;
+
+  const GaussNewtonOptions& options() const { return options_; }
+
+ private:
+  GaussNewtonOptions options_;
+};
+
+/// Mean interpolated probability of `points` (body frame) transformed by
+/// `pose` — the common scoring function of both matchers.
+double score_pose(const ProbabilityGrid& grid, const Pose2& pose,
+                  std::span<const Vec2> points);
+
+}  // namespace srl

@@ -1,0 +1,118 @@
+#include "track/raceline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "common/angles.hpp"
+#include "common/polyline.hpp"
+
+namespace srl {
+
+Raceline::Raceline(std::vector<Vec2> points) : points_{std::move(points)} {
+  if (points_.size() < 3) {
+    throw std::invalid_argument{"Raceline needs at least 3 points"};
+  }
+  cum_s_.resize(points_.size() + 1);
+  cum_s_[0] = 0.0;
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const Vec2& a = points_[i];
+    const Vec2& b = points_[(i + 1) % points_.size()];
+    cum_s_[i + 1] = cum_s_[i] + distance(a, b);
+  }
+  length_ = cum_s_.back();
+  curvature_ = curvature_closed(points_);
+}
+
+double Raceline::wrap(double s) const {
+  s = std::fmod(s, length_);
+  if (s < 0.0) s += length_;
+  return s;
+}
+
+Vec2 Raceline::position(double s) const {
+  s = wrap(s);
+  const auto it = std::upper_bound(cum_s_.begin(), cum_s_.end(), s);
+  const auto seg = static_cast<std::size_t>(
+      std::max<std::ptrdiff_t>(0, it - cum_s_.begin() - 1));
+  const std::size_t i = std::min(seg, points_.size() - 1);
+  const Vec2& a = points_[i];
+  const Vec2& b = points_[(i + 1) % points_.size()];
+  const double seg_len = cum_s_[i + 1] - cum_s_[i];
+  const double t = seg_len > 0.0 ? (s - cum_s_[i]) / seg_len : 0.0;
+  return a + (b - a) * t;
+}
+
+double Raceline::heading(double s) const {
+  s = wrap(s);
+  const auto it = std::upper_bound(cum_s_.begin(), cum_s_.end(), s);
+  const auto seg = static_cast<std::size_t>(
+      std::max<std::ptrdiff_t>(0, it - cum_s_.begin() - 1));
+  const std::size_t i = std::min(seg, points_.size() - 1);
+  const Vec2& a = points_[i];
+  const Vec2& b = points_[(i + 1) % points_.size()];
+  return std::atan2(b.y - a.y, b.x - a.x);
+}
+
+double Raceline::curvature(double s) const {
+  s = wrap(s);
+  const auto it = std::upper_bound(cum_s_.begin(), cum_s_.end(), s);
+  const auto seg = static_cast<std::size_t>(
+      std::max<std::ptrdiff_t>(0, it - cum_s_.begin() - 1));
+  const std::size_t i = std::min(seg, points_.size() - 1);
+  return curvature_[i];
+}
+
+Raceline::Projection Raceline::project(const Vec2& p) const {
+  Projection best;
+  double best_d2 = std::numeric_limits<double>::max();
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const Vec2& a = points_[i];
+    const Vec2& b = points_[(i + 1) % points_.size()];
+    const Vec2 ab = b - a;
+    const double len2 = ab.squared_norm();
+    double t = len2 > 0.0 ? (p - a).dot(ab) / len2 : 0.0;
+    t = std::clamp(t, 0.0, 1.0);
+    const Vec2 q = a + ab * t;
+    const double d2 = (p - q).squared_norm();
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best.closest = q;
+      best.s = wrap(cum_s_[i] + t * std::sqrt(len2));
+      // Signed lateral: positive when p is left of the travel direction.
+      best.lateral = ab.normalized().cross(p - q) >= 0.0 ? std::sqrt(d2)
+                                                         : -std::sqrt(d2);
+    }
+  }
+  return best;
+}
+
+double Raceline::progress(double s_from, double s_to) const {
+  double d = wrap(s_to) - wrap(s_from);
+  if (d > length_ / 2.0) d -= length_;
+  if (d <= -length_ / 2.0) d += length_;
+  return d;
+}
+
+bool LapTimer::update(double s, double t) {
+  bool completed = false;
+  if (has_prev_) {
+    // Forward crossing of s = 0: previous sample near the end of the lap,
+    // current sample near the start.
+    const bool crossed = prev_s_ > 0.75 * length_ && s < 0.25 * length_;
+    if (crossed) {
+      if (armed_) {
+        laps_.push_back(t - start_t_);
+        completed = true;
+      }
+      armed_ = true;
+      start_t_ = t;
+    }
+  }
+  prev_s_ = s;
+  has_prev_ = true;
+  return completed;
+}
+
+}  // namespace srl

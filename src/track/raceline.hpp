@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file raceline.hpp
+/// \brief Arc-length parametrized closed race line with Frenet projection.
+/// The Table-I "lateral error" metric is the distance between the car's
+/// true position and this line; the pure-pursuit controller tracks it using
+/// the *estimated* pose, which is how localization quality turns into
+/// driving quality.
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace srl {
+
+class Raceline {
+ public:
+  /// `points`: closed polyline (last connects to first), ordered in the
+  /// direction of travel. Requires at least 3 points.
+  explicit Raceline(std::vector<Vec2> points);
+
+  double length() const { return length_; }
+  std::size_t size() const { return points_.size(); }
+  const std::vector<Vec2>& points() const { return points_; }
+
+  /// Wrap an arc-length coordinate into [0, length).
+  double wrap(double s) const;
+
+  /// Position / tangent heading / signed curvature at arc length s.
+  Vec2 position(double s) const;
+  double heading(double s) const;
+  double curvature(double s) const;
+
+  struct Projection {
+    double s{0.0};        ///< arc length of the closest point
+    double lateral{0.0};  ///< signed offset: positive = left of travel
+    Vec2 closest{};       ///< closest point on the line
+  };
+
+  /// Closest point on the line to `p` (exact over all segments, O(n)).
+  Projection project(const Vec2& p) const;
+
+  /// Signed arc-length progress from `s_from` to `s_to` along the direction
+  /// of travel, in (-length/2, length/2].
+  double progress(double s_from, double s_to) const;
+
+ private:
+  std::vector<Vec2> points_;
+  std::vector<double> cum_s_;      ///< cumulative arc length at each vertex
+  std::vector<double> curvature_;  ///< per-vertex discrete curvature
+  double length_{0.0};
+};
+
+/// Detects start/finish crossings from a stream of arc-length samples and
+/// accumulates lap times. The line is at s = 0; the first crossing arms the
+/// timer (out-lap discarded), each subsequent crossing closes a lap.
+class LapTimer {
+ public:
+  explicit LapTimer(double track_length) : length_{track_length} {}
+
+  /// Feed the current arc-length position and time. Returns true if a lap
+  /// was completed by this update.
+  bool update(double s, double t);
+
+  const std::vector<double>& lap_times() const { return laps_; }
+  int laps() const { return static_cast<int>(laps_.size()); }
+  bool armed() const { return armed_; }
+
+ private:
+  double length_;
+  bool has_prev_{false};
+  bool armed_{false};
+  double prev_s_{0.0};
+  double start_t_{0.0};
+  std::vector<double> laps_;
+};
+
+}  // namespace srl

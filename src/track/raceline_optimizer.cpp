@@ -1,0 +1,138 @@
+#include "track/raceline_optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/angles.hpp"
+#include "common/polyline.hpp"
+
+namespace srl {
+namespace {
+
+/// Squared circumscribed-circle curvature at vertex b of (a, b, c).
+double curvature_sq(const Vec2& a, const Vec2& b, const Vec2& c) {
+  const Vec2 ab = b - a;
+  const Vec2 bc = c - b;
+  const Vec2 ac = c - a;
+  const double cross = ab.cross(bc);
+  const double denom = ab.norm() * bc.norm() * ac.norm();
+  if (denom < 1e-12) return 0.0;
+  const double k = 2.0 * cross / denom;
+  return k * k;
+}
+
+}  // namespace
+
+RacelineOptimizerResult optimize_raceline(
+    const std::vector<Vec2>& centerline, double half_width,
+    const RacelineOptimizerParams& params) {
+  RacelineOptimizerResult result;
+  const std::size_t n = centerline.size();
+  if (n < 8) {
+    result.line = centerline;
+    return result;
+  }
+
+  // Outward normals of the centerline (left of travel for a CCW line).
+  std::vector<Vec2> normals(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2& prev = centerline[(i + n - 1) % n];
+    const Vec2& next = centerline[(i + 1) % n];
+    normals[i] = (next - prev).normalized().perp();
+  }
+
+  const double bound = std::max(0.0, half_width - params.margin);
+  std::vector<double> offsets(n, 0.0);
+
+  const auto point = [&](std::size_t i) {
+    return centerline[i] + normals[i] * offsets[i];
+  };
+  const auto cost_at = [&](std::size_t i) {
+    double c = curvature_sq(point((i + n - 1) % n), point(i),
+                            point((i + 1) % n));
+    const double d = offsets[i] - offsets[(i + 1) % n];
+    return c + params.smoothness * d * d;
+  };
+  const auto total_cost = [&]() {
+    double c = 0.0;
+    for (std::size_t i = 0; i < n; ++i) c += cost_at(i);
+    return c;
+  };
+
+  result.initial_cost = total_cost();
+
+  // Moving a single vertex between ~0.1 m-spaced neighbours only ever
+  // creates a kink, so descent proceeds with smooth raised-cosine *bumps*
+  // spanning 2w+1 vertices: the whole window shifts laterally together
+  // and the curvature change is governed by the bump's own (gentle)
+  // second derivative.
+  const int w = std::clamp(static_cast<int>(n) / 16, 4, 16);
+  std::vector<double> bump(static_cast<std::size_t>(2 * w + 1));
+  for (int d = -w; d <= w; ++d) {
+    bump[static_cast<std::size_t>(d + w)] =
+        0.5 * (1.0 + std::cos(kPi * d / (w + 1)));
+  }
+  // Cost of the region a bump at center i can affect.
+  const auto region_cost = [&](std::size_t i) {
+    double c = 0.0;
+    for (int d = -w - 2; d <= w + 2; ++d) {
+      c += cost_at((i + n + static_cast<std::size_t>(d + static_cast<int>(n)))
+                   % n);
+    }
+    return c;
+  };
+  const auto apply_bump = [&](std::size_t i, double amount) {
+    for (int d = -w; d <= w; ++d) {
+      const std::size_t j =
+          (i + n + static_cast<std::size_t>(d + static_cast<int>(n))) % n;
+      offsets[j] = std::clamp(
+          offsets[j] + amount * bump[static_cast<std::size_t>(d + w)],
+          -bound, bound);
+    }
+  };
+
+  double step = params.initial_step;
+  for (int sweep = 0; sweep < params.iterations; ++sweep) {
+    ++result.sweeps;
+    bool improved = false;
+    for (std::size_t i = 0; i < n; i += static_cast<std::size_t>(
+                                        std::max(w / 2, 1))) {
+      const double before = region_cost(i);
+      const std::vector<double> saved = offsets;
+      double best = before;
+      std::vector<double> best_offsets = saved;
+      for (const double amount : {step, -step}) {
+        apply_bump(i, amount);
+        const double after = region_cost(i);
+        if (after < best - 1e-12) {
+          best = after;
+          best_offsets = offsets;
+        }
+        offsets = saved;
+      }
+      if (best < before - 1e-12) {
+        offsets = std::move(best_offsets);
+        improved = true;
+      }
+    }
+    if (!improved) {
+      step *= 0.5;
+      if (step < params.min_step) break;
+    }
+  }
+
+  result.final_cost = total_cost();
+  result.line.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) result.line.push_back(point(i));
+  // Re-space points uniformly (offsets stretch segment lengths unevenly).
+  result.line = resample_closed(
+      result.line,
+      polyline_length(result.line, true) / static_cast<double>(n));
+  for (const double k : curvature_closed(result.line)) {
+    result.max_abs_curvature = std::max(result.max_abs_curvature,
+                                        std::abs(k));
+  }
+  return result;
+}
+
+}  // namespace srl

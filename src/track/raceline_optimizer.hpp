@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file raceline_optimizer.hpp
+/// \brief Minimum-curvature race line — the "ideal race line" the paper's
+/// lateral-error metric is defined against.
+///
+/// The optimizer shifts every centerline point along its normal within the
+/// corridor (|offset| <= half_width - margin) to minimize
+///
+///     sum_i kappa_i^2 + lambda * sum_i (o_i - o_{i+1})^2
+///
+/// i.e. squared discrete curvature plus an offset-smoothness regularizer,
+/// by coordinate descent with a shrinking step. This is the standard
+/// minimum-curvature heuristic of F1TENTH race stacks (cf. the TUM global
+/// race trajectory optimizer) in a dependency-free form: corners get cut
+/// to the inside, straights stay centered, and the resulting line supports
+/// visibly higher profile speeds through every corner.
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "track/raceline.hpp"
+
+namespace srl {
+
+struct RacelineOptimizerParams {
+  double margin = 0.25;        ///< m kept clear of each wall
+  double smoothness = 0.08;    ///< offset-smoothness weight (lambda)
+  int iterations = 60;         ///< coordinate-descent sweeps
+  double initial_step = 0.08;  ///< m, first offset probe
+  double min_step = 0.005;     ///< m, convergence floor
+};
+
+struct RacelineOptimizerResult {
+  std::vector<Vec2> line;      ///< optimized closed line
+  double initial_cost{0.0};
+  double final_cost{0.0};
+  double max_abs_curvature{0.0};
+  int sweeps{0};
+};
+
+/// Optimize a closed centerline within a corridor of `half_width`.
+/// The input must be approximately uniformly sampled (as produced by
+/// TrackGenerator); the output has the same point count and orientation.
+RacelineOptimizerResult optimize_raceline(
+    const std::vector<Vec2>& centerline, double half_width,
+    const RacelineOptimizerParams& params = {});
+
+}  // namespace srl

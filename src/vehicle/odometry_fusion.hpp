@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file odometry_fusion.hpp
+/// \brief Gyro-fused wheel odometry.
+///
+/// The steering-derived yaw rate of plain wheel odometry is wrong whenever
+/// the commanded curvature is not the achieved one — understeer, slides —
+/// which is exactly the low-grip regime of the paper. F1TENTH race stacks
+/// therefore fuse the wheel encoder's speed with the IMU gyro's yaw rate.
+/// `GyroFusedOdometry` rebuilds the odometry increment with the gyro
+/// (bias-compensated by a slow online estimate taken while standing still)
+/// replacing the steering geometry. The longitudinal channel is untouched:
+/// wheel slip still corrupts it, so this is a partial mitigation — useful
+/// as an ablation axis for the robustness study.
+
+#include "common/types.hpp"
+#include "motion/motion_model.hpp"
+#include "vehicle/sensors.hpp"
+
+namespace srl {
+
+class GyroFusedOdometry {
+ public:
+  /// `bias_alpha`: exponential forgetting for the standstill bias estimate.
+  explicit GyroFusedOdometry(double bias_alpha = 0.02)
+      : bias_alpha_{bias_alpha} {}
+
+  /// Combine a wheel-odometry increment with the gyro reading covering the
+  /// same interval. The returned delta keeps the wheel's translation and
+  /// replaces the heading increment with the integrated (bias-corrected)
+  /// gyro rate.
+  OdometryDelta fuse(const OdometryDelta& wheel, const ImuReading& imu) {
+    // Standstill: the gyro should read zero; learn the bias.
+    if (std::abs(wheel.v) < 0.05) {
+      bias_ = (1.0 - bias_alpha_) * bias_ + bias_alpha_ * imu.yaw_rate;
+    }
+    const double yaw_rate = imu.yaw_rate - bias_;
+    OdometryDelta fused = wheel;
+    fused.delta = integrate_twist(
+        Pose2{}, Twist2{wheel.dt > 0.0 ? wheel.delta.x / wheel.dt : 0.0,
+                        wheel.dt > 0.0 ? wheel.delta.y / wheel.dt : 0.0,
+                        yaw_rate},
+        wheel.dt);
+    return fused;
+  }
+
+  double bias() const { return bias_; }
+
+ private:
+  double bias_alpha_;
+  double bias_{0.0};
+};
+
+}  // namespace srl

@@ -1,0 +1,89 @@
+#include "common/angles.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace srl {
+namespace {
+
+TEST(Angles, NormalizeIdentityInRange) {
+  EXPECT_DOUBLE_EQ(normalize_angle(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(normalize_angle(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(normalize_angle(-1.0), -1.0);
+  EXPECT_DOUBLE_EQ(normalize_angle(3.0), 3.0);
+}
+
+TEST(Angles, NormalizeWraps) {
+  EXPECT_NEAR(normalize_angle(kTwoPi), 0.0, 1e-12);
+  EXPECT_NEAR(normalize_angle(-kTwoPi), 0.0, 1e-12);
+  EXPECT_NEAR(normalize_angle(kPi + 0.1), -kPi + 0.1, 1e-12);
+  EXPECT_NEAR(normalize_angle(-kPi - 0.1), kPi - 0.1, 1e-12);
+  EXPECT_NEAR(normalize_angle(5.0 * kTwoPi + 0.3), 0.3, 1e-9);
+}
+
+TEST(Angles, HalfOpenIntervalConvention) {
+  // Result must lie in (-pi, pi]: +pi maps to itself, -pi to +pi.
+  EXPECT_DOUBLE_EQ(normalize_angle(kPi), kPi);
+  EXPECT_DOUBLE_EQ(normalize_angle(-kPi), kPi);
+}
+
+TEST(Angles, DiffIsShortestArc) {
+  EXPECT_NEAR(angle_diff(0.1, -0.1), 0.2, 1e-12);
+  EXPECT_NEAR(angle_diff(-0.1, 0.1), -0.2, 1e-12);
+  // Crossing the wrap: 179 deg to -179 deg is a 2 deg move.
+  EXPECT_NEAR(angle_diff(deg2rad(-179.0), deg2rad(179.0)), deg2rad(2.0),
+              1e-12);
+}
+
+TEST(Angles, DistSymmetricNonNegative) {
+  EXPECT_NEAR(angle_dist(deg2rad(170.0), deg2rad(-170.0)), deg2rad(20.0),
+              1e-12);
+  EXPECT_NEAR(angle_dist(deg2rad(-170.0), deg2rad(170.0)), deg2rad(20.0),
+              1e-12);
+  EXPECT_GE(angle_dist(2.1, -2.9), 0.0);
+}
+
+TEST(Angles, Deg2RadRoundTrip) {
+  for (double d = -720.0; d <= 720.0; d += 37.0) {
+    EXPECT_NEAR(rad2deg(deg2rad(d)), d, 1e-9);
+  }
+}
+
+TEST(Angles, LerpShortestPath) {
+  EXPECT_NEAR(angle_lerp(0.0, 1.0, 0.5), 0.5, 1e-12);
+  // Interpolating across the wrap goes the short way.
+  const double a = deg2rad(170.0);
+  const double b = deg2rad(-170.0);
+  EXPECT_NEAR(angle_lerp(a, b, 0.5), kPi, 1e-9);
+  EXPECT_NEAR(angle_lerp(a, b, 0.0), a, 1e-12);
+  EXPECT_NEAR(angle_lerp(a, b, 1.0), normalize_angle(b), 1e-9);
+}
+
+/// Property: normalize_angle is idempotent and preserves the angle mod 2pi.
+class AngleSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AngleSweep, NormalizePreservesValueMod2Pi) {
+  const double a = GetParam();
+  const double n = normalize_angle(a);
+  EXPECT_GT(n, -kPi);
+  EXPECT_LE(n, kPi);
+  EXPECT_NEAR(std::remainder(a - n, kTwoPi), 0.0, 1e-9);
+  EXPECT_NEAR(normalize_angle(n), n, 1e-12);
+}
+
+TEST_P(AngleSweep, DiffInverseOfAddition) {
+  const double a = GetParam();
+  const double b = 0.7;
+  EXPECT_NEAR(angle_dist(normalize_angle(b + angle_diff(a, b)),
+                         normalize_angle(a)),
+              0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AngleSweep,
+                         ::testing::Values(-100.0, -7.5, -3.2, -1.0, -1e-9,
+                                           0.0, 1e-9, 0.5, 3.13, 3.15, 42.0,
+                                           1000.0));
+
+}  // namespace
+}  // namespace srl

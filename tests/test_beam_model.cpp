@@ -1,0 +1,97 @@
+#include "sensor/beam_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace srl {
+namespace {
+
+TEST(BeamModel, PeaksAtExpectedRange) {
+  const BeamModel model;
+  const float e = 5.0F;
+  const double at_peak = model.prob(e, e);
+  EXPECT_GT(at_peak, model.prob(e + 1.0F, e));
+  EXPECT_GT(at_peak, model.prob(e - 1.0F, e));
+  EXPECT_GT(at_peak, model.prob(e + 0.5F, e));
+}
+
+TEST(BeamModel, TableMatchesExactOnGridPoints) {
+  BeamModelParams params;
+  const BeamModel model{params};
+  for (double z = 0.0; z <= params.max_range; z += 0.5) {
+    for (double e = 0.0; e <= params.max_range; e += 0.5) {
+      const double exact = std::max(model.prob_exact(z, e), 1e-12);
+      EXPECT_NEAR(model.log_prob(static_cast<float>(z),
+                                 static_cast<float>(e)),
+                  std::log(exact), 1e-9)
+          << "z=" << z << " e=" << e;
+    }
+  }
+}
+
+TEST(BeamModel, ShortReturnsMoreLikelyThanLong) {
+  // The z_short component makes measuring *short* of the expected range
+  // (unexpected obstacle) more likely than measuring long.
+  const BeamModel model;
+  EXPECT_GT(model.prob(3.0F, 6.0F), model.prob(9.0F, 6.0F));
+}
+
+TEST(BeamModel, MaxRangeSpike) {
+  const BeamModel model;
+  const auto max_r = static_cast<float>(model.params().max_range);
+  // A max-range reading with a short expectation: only z_max and z_rand
+  // contribute, yet the probability stays clearly above the random floor.
+  EXPECT_GT(model.prob(max_r, 3.0F),
+            1.1 * model.params().z_rand / model.params().max_range);
+}
+
+TEST(BeamModel, NeverZero) {
+  const BeamModel model;
+  // The uniform floor keeps every combination strictly positive, which is
+  // what keeps particle weights finite.
+  EXPECT_GT(model.prob(0.0F, 12.0F), 0.0);
+  EXPECT_GT(model.prob(12.0F, 0.0F), 0.0);
+  EXPECT_TRUE(std::isfinite(model.log_prob(12.0F, 0.0F)));
+}
+
+TEST(BeamModel, ClampsOutOfRangeInputs) {
+  const BeamModel model;
+  EXPECT_DOUBLE_EQ(model.log_prob(-1.0F, 5.0F), model.log_prob(0.0F, 5.0F));
+  EXPECT_DOUBLE_EQ(model.log_prob(50.0F, 5.0F), model.log_prob(12.0F, 5.0F));
+}
+
+TEST(BeamModel, NarrowSigmaSharpensPeak) {
+  BeamModelParams wide;
+  wide.sigma_hit = 0.3;
+  BeamModelParams narrow;
+  narrow.sigma_hit = 0.05;
+  const BeamModel w{wide};
+  const BeamModel n{narrow};
+  const double ratio_w = w.prob(5.0F, 5.0F) / w.prob(5.4F, 5.0F);
+  const double ratio_n = n.prob(5.0F, 5.0F) / n.prob(5.4F, 5.0F);
+  EXPECT_GT(ratio_n, ratio_w);
+}
+
+TEST(BeamModel, ApproximatelyNormalized) {
+  // Integral over measured z for a mid-range expectation should be near 1
+  // (mixture components are individually normalized up to table effects).
+  const BeamModel model;
+  const double dz = 0.01;
+  double integral = 0.0;
+  for (double z = 0.0; z <= model.params().max_range; z += dz) {
+    integral += model.prob_exact(z, 6.0) * dz;
+  }
+  EXPECT_NEAR(integral, 1.0, 0.15);
+}
+
+TEST(BeamModel, TableDimension) {
+  BeamModelParams params;
+  params.max_range = 10.0;
+  params.table_resolution = 0.1;
+  const BeamModel model{params};
+  EXPECT_EQ(model.table_dim(), 101);
+}
+
+}  // namespace
+}  // namespace srl

@@ -1,0 +1,124 @@
+#include "slam/carto_slam.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/angles.hpp"
+#include "gridmap/track_generator.hpp"
+#include "range/bresenham.hpp"
+#include "sensor/lidar_sim.hpp"
+#include "track/raceline.hpp"
+
+namespace srl {
+namespace {
+
+/// Drive the oval centerline with a known twist, feeding odometry and scans
+/// into the SLAM pipeline. Returns the final pose error.
+struct SlamRun {
+  Track track = TrackGenerator::oval(6.0, 2.0);
+  LidarConfig lidar{};
+  std::shared_ptr<const OccupancyGrid> map =
+      std::make_shared<const OccupancyGrid>(track.grid);
+  LidarSim sim{lidar,
+               std::make_shared<BresenhamCaster>(map, lidar.max_range),
+               LidarNoise{.sigma_range = 0.01, .dropout_prob = 0.0}};
+  Raceline line{track.centerline};
+  Rng rng{19};
+
+  /// Drive `distance` meters along the centerline at `v` m/s.
+  void drive(CartoSlam& slam, double distance, double v,
+             double odom_noise = 0.0) {
+    const double dt = 0.025;  // 40 Hz
+    double s = 1.0;
+    const Vec2 p0 = line.position(s);
+    Pose2 truth{p0.x, p0.y, line.heading(s)};
+    slam.initialize(truth);
+    double traveled = 0.0;
+    double t = 0.0;
+    while (traveled < distance) {
+      // Follow the centerline exactly: yaw rate = v * curvature.
+      const double kappa = line.curvature(s);
+      const Twist2 twist{v, 0.0, v * kappa};
+      truth = integrate_twist(truth, twist, dt).normalized();
+      s = line.wrap(s + v * dt);
+      traveled += v * dt;
+      t += dt;
+      OdometryDelta odom;
+      const double v_noisy = v * (1.0 + rng.gaussian(odom_noise));
+      odom.delta = integrate_twist(Pose2{}, Twist2{v_noisy, 0.0, v * kappa}, dt);
+      odom.v = v_noisy;
+      odom.dt = dt;
+      slam.on_odometry(odom);
+      slam.on_scan(sim.scan(truth, twist, t, rng));
+    }
+    final_truth = truth;
+  }
+
+  Pose2 final_truth{};
+};
+
+TEST(CartoSlam, LocalSlamTracksShortSegment) {
+  SlamRun run;
+  CartoSlamOptions opt;
+  CartoSlam slam{opt, run.lidar};
+  run.drive(slam, 8.0, 2.5, 0.01);
+  const Pose2 est = slam.pose();
+  EXPECT_NEAR(est.x, run.final_truth.x, 0.25);
+  EXPECT_NEAR(est.y, run.final_truth.y, 0.25);
+  EXPECT_NEAR(angle_dist(est.theta, run.final_truth.theta), 0.0, 0.1);
+  EXPECT_GT(slam.num_nodes(), 20);
+  EXPECT_GE(slam.num_submaps(), 1);
+}
+
+TEST(CartoSlam, FullLapClosesLoopAndBuildsMap) {
+  SlamRun run;
+  CartoSlamOptions opt;
+  CartoSlam slam{opt, run.lidar};
+  const double lap = run.line.length();
+  run.drive(slam, lap + 3.0, 2.5, 0.01);
+
+  EXPECT_GT(slam.num_loop_closures(), 0);
+
+  const OccupancyGrid built = slam.build_map();
+  EXPECT_GT(built.count(OccupancyGrid::kFree), 1000U);
+  EXPECT_GT(built.count(OccupancyGrid::kOccupied), 300U);
+
+  // Map quality: centerline points must be free in the built map, walls
+  // near them occupied. Allow a small alignment offset of the SLAM frame.
+  int free_hits = 0;
+  int checked = 0;
+  for (std::size_t i = 0; i < run.track.centerline.size(); i += 5) {
+    const Vec2& p = run.track.centerline[i];
+    const GridIndex g = built.world_to_grid(p);
+    if (!built.in_bounds(g.ix, g.iy)) continue;
+    ++checked;
+    if (built.at(g.ix, g.iy) == OccupancyGrid::kFree) ++free_hits;
+  }
+  ASSERT_GT(checked, 10);
+  EXPECT_GT(static_cast<double>(free_hits) / checked, 0.9);
+}
+
+TEST(CartoSlam, SurvivesOdometryNoise) {
+  SlamRun run;
+  CartoSlamOptions opt;
+  CartoSlam slam{opt, run.lidar};
+  run.drive(slam, 10.0, 2.5, 0.05);  // 5% speed noise
+  const Pose2 est = slam.pose();
+  EXPECT_NEAR(est.x, run.final_truth.x, 0.35);
+  EXPECT_NEAR(est.y, run.final_truth.y, 0.35);
+}
+
+TEST(CartoSlam, NodeMotionFilter) {
+  SlamRun run;
+  CartoSlamOptions opt;
+  opt.node_min_translation = 0.5;
+  CartoSlam slam{opt, run.lidar};
+  run.drive(slam, 5.0, 2.0, 0.0);
+  // 5 m at >=0.5 m per node -> at most ~11 nodes (+1 initial).
+  EXPECT_LE(slam.num_nodes(), 13);
+  EXPECT_GE(slam.num_nodes(), 8);
+}
+
+}  // namespace
+}  // namespace srl

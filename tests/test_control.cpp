@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/angles.hpp"
+#include "control/pure_pursuit.hpp"
+#include "control/speed_profile.hpp"
+#include "gridmap/track_generator.hpp"
+#include "track/raceline.hpp"
+
+namespace srl {
+namespace {
+
+std::vector<Vec2> circle(double r, int n) {
+  std::vector<Vec2> pts;
+  for (int i = 0; i < n; ++i) {
+    const double a = kTwoPi * i / n;
+    pts.emplace_back(r * std::cos(a), r * std::sin(a));
+  }
+  return pts;
+}
+
+TEST(SpeedProfile, RespectsCurvatureCap) {
+  const Raceline line{circle(2.0, 256)};  // constant curvature 0.5
+  SpeedProfileParams params;
+  params.a_lat_budget = 4.0;
+  params.v_max = 10.0;
+  const SpeedProfile profile{line, params};
+  const double expected = std::sqrt(4.0 / 0.5);
+  for (double s = 0.0; s < line.length(); s += 0.9) {
+    EXPECT_NEAR(profile.speed(s), expected, 0.3);
+  }
+}
+
+TEST(SpeedProfile, FasterOnStraights) {
+  const Track track = TrackGenerator::oval(10.0, 2.0);
+  const Raceline line{track.centerline};
+  const SpeedProfile profile{line, SpeedProfileParams{}};
+  // Locate a mid-straight and a mid-corner sample.
+  double v_straight = 0.0;
+  double v_corner = 1e9;
+  for (double s = 0.0; s < line.length(); s += 0.2) {
+    const double k = std::abs(line.curvature(s));
+    if (k < 0.02) v_straight = std::max(v_straight, profile.speed(s));
+    if (k > 0.4) v_corner = std::min(v_corner, profile.speed(s));
+  }
+  EXPECT_GT(v_straight, v_corner + 1.0);
+}
+
+TEST(SpeedProfile, AccelLimitBetweenSamples) {
+  const Track track = TrackGenerator::test_track();
+  const Raceline line{track.centerline};
+  SpeedProfileParams params;
+  const SpeedProfile profile{line, params};
+  const double ds = 0.1;
+  for (double s = 0.0; s < line.length(); s += ds) {
+    const double v0 = profile.speed(s);
+    const double v1 = profile.speed(s + ds);
+    if (v1 > v0) {
+      // v1^2 <= v0^2 + 2 a ds (+ tolerance for sampling)
+      EXPECT_LE(v1 * v1,
+                v0 * v0 + 2.0 * params.a_long_accel * ds + 0.35);
+    } else {
+      EXPECT_LE(v0 * v0,
+                v1 * v1 + 2.0 * params.a_long_brake * ds + 0.35);
+    }
+  }
+}
+
+TEST(SpeedProfile, BoundsAndScale) {
+  const Track track = TrackGenerator::oval(8.0, 2.5);
+  const Raceline line{track.centerline};
+  SpeedProfileParams params;
+  params.scale = 0.5;
+  const SpeedProfile half{line, params};
+  params.scale = 1.0;
+  const SpeedProfile full{line, params};
+  EXPECT_LT(half.max_speed(), 0.6 * full.max_speed());
+  EXPECT_GE(half.min_speed(), params.v_min);
+  EXPECT_LE(full.max_speed(), params.v_max + 1e-9);
+}
+
+TEST(PurePursuit, ZeroSteerOnStraightLine) {
+  const Track track = TrackGenerator::oval(10.0, 2.5);
+  const Raceline line{track.centerline};
+  const SpeedProfile profile{line, SpeedProfileParams{}};
+  const PurePursuit pp{PurePursuitParams{}, AckermannParams{}};
+  // Mid bottom straight, on the line, heading along it (+x).
+  const DriveCommand cmd =
+      pp.control(Pose2{0.0, -2.5, 0.0}, 4.0, line, profile);
+  EXPECT_NEAR(cmd.steer, 0.0, 0.03);
+  EXPECT_GT(cmd.target_speed, 1.0);
+}
+
+TEST(PurePursuit, SteersBackWhenOffsetLeft) {
+  const Track track = TrackGenerator::oval(10.0, 2.5);
+  const Raceline line{track.centerline};
+  const SpeedProfile profile{line, SpeedProfileParams{}};
+  const PurePursuit pp{PurePursuitParams{}, AckermannParams{}};
+  // 0.3 m left of the bottom straight: must steer right (negative).
+  const DriveCommand cmd =
+      pp.control(Pose2{0.0, -2.2, 0.0}, 3.0, line, profile);
+  EXPECT_LT(cmd.steer, -0.01);
+  // Offset right: steer left.
+  const DriveCommand cmd2 =
+      pp.control(Pose2{0.0, -2.8, 0.0}, 3.0, line, profile);
+  EXPECT_GT(cmd2.steer, 0.01);
+}
+
+TEST(PurePursuit, SteersIntoCorner) {
+  const Raceline line{circle(3.0, 256)};  // CCW circle: always turning left
+  const SpeedProfile profile{line, SpeedProfileParams{}};
+  const PurePursuit pp{PurePursuitParams{}, AckermannParams{}};
+  const DriveCommand cmd =
+      pp.control(Pose2{3.0, 0.0, kPi / 2.0}, 2.0, line, profile);
+  EXPECT_GT(cmd.steer, 0.05);  // left = positive
+}
+
+TEST(PurePursuit, KinematicRolloutConvergesToLine) {
+  const Track track = TrackGenerator::oval(10.0, 2.5);
+  const Raceline line{track.centerline};
+  SpeedProfileParams sp;
+  sp.scale = 0.5;  // gentle speeds: pure kinematics below
+  const SpeedProfile profile{line, sp};
+  const AckermannParams ack;
+  const PurePursuit pp{PurePursuitParams{}, ack};
+
+  // Start 0.5 m off the line; roll a kinematic bicycle for 6 s.
+  Pose2 pose{0.0, -2.0, 0.0};
+  double v = 2.0;
+  const double dt = 0.01;
+  for (int i = 0; i < 600; ++i) {
+    const DriveCommand cmd = pp.control(pose, v, line, profile);
+    v += std::clamp(cmd.target_speed - v, -3.0 * dt, 3.0 * dt);
+    const double kappa = steer_to_curvature(ack, cmd.steer);
+    pose = integrate_twist(pose, Twist2{v, 0.0, v * kappa}, dt).normalized();
+  }
+  const auto proj = line.project({pose.x, pose.y});
+  EXPECT_LT(std::abs(proj.lateral), 0.12);
+}
+
+TEST(PurePursuit, LookaheadGrowsWithSpeed) {
+  // Indirect check: at higher believed speed, the commanded curvature for
+  // the same lateral offset is gentler (longer lookahead).
+  const Track track = TrackGenerator::oval(10.0, 2.5);
+  const Raceline line{track.centerline};
+  const SpeedProfile profile{line, SpeedProfileParams{}};
+  const PurePursuit pp{PurePursuitParams{}, AckermannParams{}};
+  const Pose2 offset{0.0, -2.1, 0.0};
+  const DriveCommand slow = pp.control(offset, 1.0, line, profile);
+  const DriveCommand fast = pp.control(offset, 7.0, line, profile);
+  EXPECT_LT(std::abs(fast.steer), std::abs(slow.steer));
+}
+
+}  // namespace
+}  // namespace srl

@@ -1,0 +1,55 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace srl {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in{path};
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = "csv_test_tmp.csv";
+};
+
+TEST_F(CsvTest, HeaderAndRows) {
+  {
+    CsvWriter w{path_};
+    ASSERT_TRUE(w.ok());
+    w.write_header({"a", "b", "c"});
+    w.write_row(std::vector<std::string>{"1", "x", "y"});
+    w.write_row(std::vector<double>{1.5, -2.0, 0.0});
+  }
+  const std::string content = slurp(path_);
+  EXPECT_NE(content.find("a,b,c\n"), std::string::npos);
+  EXPECT_NE(content.find("1,x,y\n"), std::string::npos);
+  EXPECT_NE(content.find("1.5,-2,0\n"), std::string::npos);
+}
+
+TEST_F(CsvTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST_F(CsvTest, EscapedCellWrittenQuoted) {
+  {
+    CsvWriter w{path_};
+    w.write_row(std::vector<std::string>{"a,b", "c"});
+  }
+  EXPECT_EQ(slurp(path_), "\"a,b\",c\n");
+}
+
+}  // namespace
+}  // namespace srl

@@ -1,0 +1,118 @@
+#include "gridmap/distance_transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.hpp"
+
+namespace srl {
+namespace {
+
+/// O(cells^2) reference implementation.
+DistanceField brute_force(const OccupancyGrid& grid) {
+  DistanceField f{grid.width(), grid.height(), grid.resolution(),
+                  grid.origin()};
+  for (int y = 0; y < grid.height(); ++y) {
+    for (int x = 0; x < grid.width(); ++x) {
+      double best = std::numeric_limits<double>::max();
+      for (int by = 0; by < grid.height(); ++by) {
+        for (int bx = 0; bx < grid.width(); ++bx) {
+          if (!grid.blocks_ray(bx, by)) continue;
+          const double d = std::hypot(x - bx, y - by) * grid.resolution();
+          best = std::min(best, d);
+        }
+      }
+      if (best == std::numeric_limits<double>::max()) best = grid.diagonal();
+      f.at(x, y) = static_cast<float>(std::min(best, grid.diagonal()));
+    }
+  }
+  return f;
+}
+
+TEST(DistanceTransform, SingleObstacle) {
+  OccupancyGrid g{11, 11, 1.0, Vec2{}, OccupancyGrid::kFree};
+  g.at(5, 5) = OccupancyGrid::kOccupied;
+  const DistanceField f = distance_transform(g);
+  EXPECT_FLOAT_EQ(f.at(5, 5), 0.0F);
+  EXPECT_FLOAT_EQ(f.at(6, 5), 1.0F);
+  EXPECT_FLOAT_EQ(f.at(5, 0), 5.0F);
+  EXPECT_NEAR(f.at(8, 9), std::hypot(3.0, 4.0), 1e-5);
+}
+
+TEST(DistanceTransform, AllBlockedIsZero) {
+  OccupancyGrid g{5, 5, 0.5, Vec2{}, OccupancyGrid::kOccupied};
+  const DistanceField f = distance_transform(g);
+  for (int y = 0; y < 5; ++y) {
+    for (int x = 0; x < 5; ++x) EXPECT_FLOAT_EQ(f.at(x, y), 0.0F);
+  }
+}
+
+TEST(DistanceTransform, NoObstacleCapsAtDiagonal) {
+  OccupancyGrid g{8, 6, 0.5, Vec2{}, OccupancyGrid::kFree};
+  const DistanceField f = distance_transform(g);
+  for (int y = 0; y < 6; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      EXPECT_FLOAT_EQ(f.at(x, y), static_cast<float>(g.diagonal()));
+    }
+  }
+}
+
+TEST(DistanceTransform, UnknownBlocksButIsNotOccupied) {
+  OccupancyGrid g{9, 9, 1.0, Vec2{}, OccupancyGrid::kFree};
+  g.at(4, 4) = OccupancyGrid::kUnknown;
+  const DistanceField to_block = distance_transform(g);
+  const DistanceField to_occ = distance_to_occupied(g);
+  EXPECT_FLOAT_EQ(to_block.at(4, 4), 0.0F);
+  EXPECT_FLOAT_EQ(to_block.at(5, 4), 1.0F);
+  // No occupied cell exists: distance_to_occupied caps at the diagonal.
+  EXPECT_FLOAT_EQ(to_occ.at(5, 4), static_cast<float>(g.diagonal()));
+}
+
+class DtRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(DtRandom, MatchesBruteForce) {
+  Rng rng{static_cast<std::uint64_t>(GetParam()) * 7919};
+  const int w = rng.uniform_int(3, 24);
+  const int h = rng.uniform_int(3, 24);
+  OccupancyGrid g{w, h, 0.25, Vec2{-1.0, 0.5}, OccupancyGrid::kFree};
+  const double fill = rng.uniform(0.02, 0.4);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (rng.chance(fill)) g.at(x, y) = OccupancyGrid::kOccupied;
+    }
+  }
+  const DistanceField fast = distance_transform(g);
+  const DistanceField ref = brute_force(g);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      EXPECT_NEAR(fast.at(x, y), ref.at(x, y), 1e-4)
+          << "cell (" << x << ", " << y << ") grid " << w << "x" << h;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DtRandom, ::testing::Range(1, 13));
+
+TEST(DistanceField, InterpolationBetweenCells) {
+  OccupancyGrid g{10, 3, 1.0, Vec2{}, OccupancyGrid::kFree};
+  g.at(0, 1) = OccupancyGrid::kOccupied;
+  const DistanceField f = distance_transform(g);
+  // Along the row y=1, distance grows linearly with x: interpolation at a
+  // half-cell should land mid-way.
+  const float a = f.at(3, 1);
+  const float b = f.at(4, 1);
+  const float mid = f.interpolate(g.grid_to_world(3, 1) + Vec2{0.5, 0.0});
+  EXPECT_NEAR(mid, 0.5F * (a + b), 1e-4);
+}
+
+TEST(DistanceField, AtWorldOutOfBoundsIsZero) {
+  OccupancyGrid g{4, 4, 0.5, Vec2{}, OccupancyGrid::kFree};
+  const DistanceField f = distance_transform(g);
+  EXPECT_FLOAT_EQ(f.at_world({-10.0, 0.0}), 0.0F);
+  EXPECT_FLOAT_EQ(f.at_world({100.0, 100.0}), 0.0F);
+}
+
+}  // namespace
+}  // namespace srl

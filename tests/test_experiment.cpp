@@ -1,0 +1,139 @@
+#include "eval/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/angles.hpp"
+#include "common/timer.hpp"
+
+namespace srl {
+namespace {
+
+/// Localizer that dead-reckons odometry only — with noiseless sensors and
+/// grippy tires it stays accurate for a couple of laps, which exercises the
+/// full harness without the cost of building a real localizer.
+class DeadReckoning final : public Localizer {
+ public:
+  void initialize(const Pose2& pose) override { pose_ = pose; }
+  void on_odometry(const OdometryDelta& odom) override {
+    Stopwatch watch;
+    pose_ = (pose_ * odom.delta).normalized();
+    load_.add_busy(watch.elapsed_s());
+  }
+  Pose2 on_scan(const LaserScan&) override { return pose_; }
+  Pose2 pose() const override { return pose_; }
+  std::string name() const override { return "DeadReckoning"; }
+  double mean_scan_update_ms() const override { return load_.mean_ms(); }
+  double total_busy_s() const override { return load_.busy_s(); }
+
+ private:
+  Pose2 pose_{};
+  LoadAccumulator load_;
+};
+
+/// Localizer that freezes: the controller gets a stale pose and drives the
+/// car into a wall — the harness must detect the crash.
+class FrozenLocalizer final : public Localizer {
+ public:
+  void initialize(const Pose2& pose) override { pose_ = pose; }
+  void on_odometry(const OdometryDelta&) override {}
+  Pose2 on_scan(const LaserScan&) override { return pose_; }
+  Pose2 pose() const override { return pose_; }
+  std::string name() const override { return "Frozen"; }
+  double mean_scan_update_ms() const override { return 0.0; }
+  double total_busy_s() const override { return 0.0; }
+
+ private:
+  Pose2 pose_{};
+};
+
+ExperimentConfig quick_config() {
+  ExperimentConfig cfg;
+  cfg.laps = 1;
+  cfg.max_sim_time = 60.0;
+  // Slow and grippy: dead reckoning survives the run.
+  cfg.profile.scale = 0.5;
+  cfg.odom_noise.speed_noise = 0.0;
+  cfg.odom_noise.steer_noise = 0.0;
+  return cfg;
+}
+
+TEST(Experiment, CompletesLapsWithDeadReckoning) {
+  const Track track = TrackGenerator::oval(8.0, 2.5);
+  ExperimentRunner runner{track, quick_config()};
+  DeadReckoning localizer;
+  const ExperimentResult r = runner.run(localizer);
+  EXPECT_TRUE(r.completed) << "sim time " << r.sim_time;
+  ASSERT_EQ(r.lap_times.size(), 1U);
+  EXPECT_GT(r.lap_times[0], 5.0);
+  EXPECT_LT(r.lap_times[0], 40.0);
+  // Dead reckoning drifts and scans are motion-distorted, so alignment is
+  // moderate — it just must be clearly above garbage level.
+  EXPECT_GT(r.scan_alignment, 30.0);
+  EXPECT_GE(r.lateral_mean_cm, 0.0);
+  EXPECT_LT(r.lateral_mean_cm, 50.0);
+  EXPECT_FALSE(r.crashed);
+  EXPECT_GT(r.sim_time, 0.0);
+}
+
+TEST(Experiment, LapStatisticsShapes) {
+  const Track track = TrackGenerator::oval(8.0, 2.5);
+  ExperimentConfig cfg = quick_config();
+  cfg.laps = 2;
+  ExperimentRunner runner{track, cfg};
+  DeadReckoning localizer;
+  const ExperimentResult r = runner.run(localizer);
+  ASSERT_EQ(r.lap_times.size(), 2U);
+  ASSERT_EQ(r.lap_lateral_mean_cm.size(), 2U);
+  EXPECT_NEAR(r.lap_time_mean, (r.lap_times[0] + r.lap_times[1]) / 2.0,
+              1e-9);
+}
+
+TEST(Experiment, DetectsCrashWithFrozenLocalizer) {
+  const Track track = TrackGenerator::oval(8.0, 2.5);
+  ExperimentConfig cfg = quick_config();
+  cfg.max_sim_time = 30.0;
+  ExperimentRunner runner{track, cfg};
+  FrozenLocalizer localizer;
+  const ExperimentResult r = runner.run(localizer);
+  EXPECT_TRUE(r.crashed);
+  EXPECT_FALSE(r.completed);
+}
+
+TEST(Experiment, StartPoseOnRaceline) {
+  const Track track = TrackGenerator::oval(8.0, 2.5);
+  ExperimentRunner runner{track, quick_config()};
+  const Pose2 start = runner.start_pose();
+  const auto proj = runner.raceline().project({start.x, start.y});
+  EXPECT_LT(std::abs(proj.lateral), 0.02);
+  EXPECT_NEAR(angle_dist(start.theta, runner.raceline().heading(proj.s)),
+              0.0, 0.05);
+}
+
+TEST(Experiment, GripChangesSlipDiagnostics) {
+  const Track track = TrackGenerator::test_track();
+  ExperimentConfig hq = quick_config();
+  hq.mu = 0.76;
+  hq.profile.scale = 1.0;
+  ExperimentConfig lq = hq;
+  lq.mu = 0.55;
+  DeadReckoning a;
+  DeadReckoning b;
+  const ExperimentResult rh = ExperimentRunner{track, hq}.run(a);
+  const ExperimentResult rl = ExperimentRunner{track, lq}.run(b);
+  // Regardless of lap completion, the slippery setting must show more slip.
+  EXPECT_GT(rl.mean_abs_slip, rh.mean_abs_slip);
+}
+
+TEST(Experiment, MaxSimTimeGuard) {
+  const Track track = TrackGenerator::oval(8.0, 2.5);
+  ExperimentConfig cfg = quick_config();
+  cfg.max_sim_time = 2.0;  // too short for any lap
+  ExperimentRunner runner{track, cfg};
+  DeadReckoning localizer;
+  const ExperimentResult r = runner.run(localizer);
+  EXPECT_FALSE(r.completed);
+  EXPECT_LE(r.sim_time, 2.1);
+}
+
+}  // namespace
+}  // namespace srl

@@ -1,0 +1,318 @@
+/// Tests for the extension features: gyro-fused odometry and KLD-adaptive
+/// particle counts.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/angles.hpp"
+#include "core/particle_filter.hpp"
+#include "motion/tum_model.hpp"
+#include "range/bresenham.hpp"
+#include "sensor/lidar_sim.hpp"
+#include "sensor/scanline_layout.hpp"
+#include "vehicle/odometry_fusion.hpp"
+
+namespace srl {
+namespace {
+
+// ---------------------------------------------------------------- fusion --
+
+TEST(GyroFusedOdometry, ReplacesSteeringYawWithGyro) {
+  GyroFusedOdometry fusion;
+  OdometryDelta wheel;
+  // Steering geometry claims a hard left that the car (understeering)
+  // did not perform.
+  wheel.delta = Pose2{0.2, 0.01, 0.10};
+  wheel.v = 4.0;
+  wheel.dt = 0.05;
+  ImuReading imu;
+  imu.yaw_rate = 0.4;  // the true yaw rate: 0.02 rad over the interval
+  const OdometryDelta fused = fusion.fuse(wheel, imu);
+  EXPECT_NEAR(fused.delta.theta, 0.02, 1e-6);
+  // Longitudinal distance preserved.
+  EXPECT_NEAR(std::hypot(fused.delta.x, fused.delta.y),
+              std::hypot(wheel.delta.x, wheel.delta.y), 0.01);
+  EXPECT_DOUBLE_EQ(fused.v, wheel.v);
+  EXPECT_DOUBLE_EQ(fused.dt, wheel.dt);
+}
+
+TEST(GyroFusedOdometry, LearnsBiasAtStandstill) {
+  GyroFusedOdometry fusion{0.2};
+  OdometryDelta still;
+  still.delta = Pose2{};
+  still.v = 0.0;
+  still.dt = 0.01;
+  ImuReading imu;
+  imu.yaw_rate = 0.05;  // pure bias: the car is not moving
+  for (int i = 0; i < 200; ++i) fusion.fuse(still, imu);
+  EXPECT_NEAR(fusion.bias(), 0.05, 0.005);
+
+  // After convergence, a moving fuse subtracts the learned bias.
+  OdometryDelta moving;
+  moving.delta = Pose2{0.1, 0.0, 0.0};
+  moving.v = 2.0;
+  moving.dt = 0.05;
+  imu.yaw_rate = 0.05;  // gyro still reads only the bias -> no rotation
+  const OdometryDelta fused = fusion.fuse(moving, imu);
+  EXPECT_NEAR(fused.delta.theta, 0.0, 0.001);
+}
+
+TEST(GyroFusedOdometry, NoBiasLearningWhileMoving) {
+  GyroFusedOdometry fusion{0.2};
+  OdometryDelta moving;
+  moving.delta = Pose2{0.1, 0.0, 0.05};
+  moving.v = 3.0;
+  moving.dt = 0.05;
+  ImuReading imu;
+  imu.yaw_rate = 1.0;
+  for (int i = 0; i < 100; ++i) fusion.fuse(moving, imu);
+  EXPECT_NEAR(fusion.bias(), 0.0, 1e-9);
+}
+
+// ------------------------------------------------------------------- KLD --
+
+std::shared_ptr<const OccupancyGrid> make_room() {
+  auto grid = std::make_shared<OccupancyGrid>(200, 120, 0.05, Vec2{0.0, 0.0},
+                                              OccupancyGrid::kFree);
+  for (int x = 0; x < 200; ++x) {
+    grid->at(x, 0) = OccupancyGrid::kOccupied;
+    grid->at(x, 119) = OccupancyGrid::kOccupied;
+  }
+  for (int y = 0; y < 120; ++y) {
+    grid->at(0, y) = OccupancyGrid::kOccupied;
+    grid->at(199, y) = OccupancyGrid::kOccupied;
+  }
+  for (int y = 40; y < 60; ++y) {
+    for (int x = 60; x < 80; ++x) grid->at(x, y) = OccupancyGrid::kOccupied;
+  }
+  return grid;
+}
+
+ParticleFilter make_kld_filter(std::shared_ptr<const OccupancyGrid> map,
+                               int max_particles, int beams = 40) {
+  const LidarConfig lidar;
+  ParticleFilterConfig cfg;
+  cfg.n_particles = max_particles;
+  cfg.kld_adaptive = true;
+  cfg.kld_min_particles = 200;
+  auto caster = std::make_shared<BresenhamCaster>(map, lidar.max_range);
+  return ParticleFilter{cfg,
+                        std::move(caster),
+                        std::make_shared<TumMotionModel>(),
+                        BeamModel{},
+                        lidar,
+                        uniform_layout(lidar, beams),
+                        7};
+}
+
+LaserScan observe(std::shared_ptr<const OccupancyGrid> map, const Pose2& pose,
+                  Rng& rng) {
+  const LidarConfig lidar;
+  auto caster =
+      std::make_shared<BresenhamCaster>(std::move(map), lidar.max_range);
+  LidarNoise noise;
+  noise.sigma_range = 0.01;
+  noise.dropout_prob = 0.0;
+  const LidarSim sim{lidar, std::move(caster), noise};
+  return sim.scan(pose, 0.0, rng);
+}
+
+TEST(KldAdaptive, ShrinksOnConvergedCloud) {
+  auto map = make_room();
+  ParticleFilter pf = make_kld_filter(map, 4000);
+  const Pose2 truth{4.0, 2.0, 0.5};
+  pf.init_pose(truth);
+  Rng rng{3};
+  for (int i = 0; i < 5; ++i) {
+    pf.correct(observe(map, truth, rng));
+  }
+  // A tight cloud occupies a handful of bins: far fewer particles needed.
+  EXPECT_LT(pf.current_particles(), 1500);
+  EXPECT_GE(pf.current_particles(), 200);
+  // Accuracy is retained.
+  const Pose2 est = pf.estimate();
+  EXPECT_NEAR(est.x, truth.x, 0.12);
+  EXPECT_NEAR(est.y, truth.y, 0.12);
+}
+
+TEST(KldAdaptive, PosteriorWidthControlsCount) {
+  // The cloud size after resampling must track posterior width: a weak
+  // sensor (3 beams) leaves a broad, multi-modal posterior after a global
+  // init; a strong one (40 beams) collapses it. (With 40 beams even a
+  // global prior collapses in one update — the sensor, not the prior,
+  // determines the KLD count.)
+  auto map = make_room();
+  Rng rng{5};
+
+  ParticleFilter weak = make_kld_filter(map, 4000, 3);
+  weak.init_global(*map);
+  for (int i = 0; i < 5 && weak.resample_count() == 0; ++i) {
+    weak.correct(observe(map, {7.5, 4.5, -2.0}, rng));
+  }
+  ASSERT_GT(weak.resample_count(), 0L);
+  const int broad_count = weak.current_particles();
+
+  ParticleFilter strong = make_kld_filter(map, 4000, 40);
+  strong.init_pose({4.0, 2.0, 0.5});
+  for (int i = 0; i < 5; ++i) {
+    strong.correct(observe(map, {4.0, 2.0, 0.5}, rng));
+  }
+  ASSERT_GT(strong.resample_count(), 0L);
+  const int tight_count = strong.current_particles();
+
+  EXPECT_GT(broad_count, 2 * tight_count);
+  EXPECT_GT(broad_count, 600);
+}
+
+TEST(KldAdaptive, DisabledKeepsFixedCount) {
+  auto map = make_room();
+  const LidarConfig lidar;
+  ParticleFilterConfig cfg;
+  cfg.n_particles = 1234;
+  cfg.kld_adaptive = false;
+  auto caster = std::make_shared<BresenhamCaster>(map, lidar.max_range);
+  ParticleFilter pf{cfg,
+                    std::move(caster),
+                    std::make_shared<TumMotionModel>(),
+                    BeamModel{},
+                    lidar,
+                    uniform_layout(lidar, 40),
+                    7};
+  pf.init_pose({4.0, 2.0, 0.0});
+  Rng rng{9};
+  for (int i = 0; i < 3; ++i) pf.correct(observe(map, {4.0, 2.0, 0.0}, rng));
+  EXPECT_EQ(pf.current_particles(), 1234);
+}
+
+TEST(KldAdaptive, GrowsBackWhenUncertaintyRises) {
+  // Weak-sensor filter: converge it near the truth, then disperse the
+  // cloud with noisy predictions; the next resampling must keep more
+  // particles than the converged state did.
+  auto map = make_room();
+  ParticleFilter pf = make_kld_filter(map, 4000, 3);
+  const Pose2 truth{4.0, 2.0, 0.5};
+  pf.init_pose(truth);
+  Rng rng{11};
+  for (int i = 0; i < 6; ++i) pf.correct(observe(map, truth, rng));
+  ASSERT_GT(pf.resample_count(), 0L);
+  const int converged = pf.current_particles();
+
+  // Large-noise predictions disperse the cloud again (standing still, so
+  // the truth does not move)...
+  OdometryDelta odom;
+  odom.delta = Pose2{0.0, 0.0, 0.0};
+  odom.v = 0.0;
+  odom.dt = 0.2;
+  ParticleFilterConfig cfg = pf.config();
+  (void)cfg;
+  for (int i = 0; i < 40; ++i) pf.predict(odom);
+  const long before = pf.resample_count();
+  for (int i = 0; i < 5 && pf.resample_count() == before; ++i) {
+    pf.correct(observe(map, truth, rng));
+  }
+  if (pf.resample_count() > before) {
+    EXPECT_GE(pf.current_particles(), converged);
+  }
+}
+
+// -------------------------------------------------------------- recovery --
+
+TEST(Recovery, InjectionProbRisesAfterKidnap) {
+  auto map = make_room();
+  const LidarConfig lidar;
+  ParticleFilterConfig cfg;
+  cfg.n_particles = 1500;
+  cfg.recovery = true;
+  auto caster = std::make_shared<BresenhamCaster>(map, lidar.max_range);
+  ParticleFilter pf{cfg,
+                    caster,
+                    std::make_shared<TumMotionModel>(),
+                    BeamModel{},
+                    lidar,
+                    uniform_layout(lidar, 40),
+                    7};
+  pf.set_recovery_map(map);
+
+  const Pose2 home{4.0, 2.0, 0.5};
+  pf.init_pose(home);
+  Rng rng{3};
+  // Healthy phase: likelihood stable, no injection.
+  for (int i = 0; i < 8; ++i) pf.correct(observe(map, home, rng));
+  EXPECT_LT(pf.recovery_injection_prob(), 0.05);
+
+  // Kidnap: the car is teleported; the cloud's likelihood collapses and
+  // the injection probability must rise.
+  const Pose2 elsewhere{8.5, 4.5, -2.0};
+  pf.correct(observe(map, elsewhere, rng));
+  pf.correct(observe(map, elsewhere, rng));
+  EXPECT_GT(pf.recovery_injection_prob(), 0.15);
+}
+
+TEST(Recovery, RelocalizesAfterKidnap) {
+  auto map = make_room();
+  const LidarConfig lidar;
+  ParticleFilterConfig cfg;
+  cfg.n_particles = 4000;
+  cfg.recovery = true;
+  auto caster = std::make_shared<BresenhamCaster>(map, lidar.max_range);
+  ParticleFilter pf{cfg,
+                    caster,
+                    std::make_shared<TumMotionModel>(),
+                    BeamModel{},
+                    lidar,
+                    uniform_layout(lidar, 40),
+                    11};
+  pf.set_recovery_map(map);
+
+  const Pose2 home{4.0, 2.0, 0.5};
+  pf.init_pose(home);
+  Rng rng{5};
+  for (int i = 0; i < 6; ++i) pf.correct(observe(map, home, rng));
+
+  // Kidnap, then keep feeding scans from the new location: injected
+  // uniform particles must find it.
+  const Pose2 elsewhere{8.5, 4.5, -2.0};
+  OdometryDelta idle;
+  idle.dt = 0.05;
+  for (int i = 0; i < 30; ++i) {
+    pf.predict(idle);
+    pf.correct(observe(map, elsewhere, rng));
+  }
+  const Pose2 est = pf.estimate();
+  EXPECT_NEAR(est.x, elsewhere.x, 0.4);
+  EXPECT_NEAR(est.y, elsewhere.y, 0.4);
+}
+
+TEST(Recovery, DisabledFilterStaysLost) {
+  auto map = make_room();
+  const LidarConfig lidar;
+  ParticleFilterConfig cfg;
+  cfg.n_particles = 1500;
+  cfg.recovery = false;
+  auto caster = std::make_shared<BresenhamCaster>(map, lidar.max_range);
+  ParticleFilter pf{cfg,
+                    caster,
+                    std::make_shared<TumMotionModel>(),
+                    BeamModel{},
+                    lidar,
+                    uniform_layout(lidar, 40),
+                    11};
+  const Pose2 home{4.0, 2.0, 0.5};
+  pf.init_pose(home);
+  Rng rng{5};
+  for (int i = 0; i < 6; ++i) pf.correct(observe(map, home, rng));
+  const Pose2 elsewhere{8.5, 4.5, -2.0};
+  OdometryDelta idle;
+  idle.dt = 0.05;
+  for (int i = 0; i < 30; ++i) {
+    pf.predict(idle);
+    pf.correct(observe(map, elsewhere, rng));
+  }
+  // Without injection the cloud cannot jump across the room.
+  const Pose2 est = pf.estimate();
+  EXPECT_GT(std::hypot(est.x - elsewhere.x, est.y - elsewhere.y), 1.0);
+}
+
+}  // namespace
+}  // namespace srl

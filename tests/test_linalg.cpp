@@ -1,0 +1,91 @@
+#include "slam/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace srl {
+namespace {
+
+TEST(DenseMatrix, Storage) {
+  DenseMatrix m{3, 2};
+  m(0, 0) = 1.0;
+  m(2, 1) = 5.0;
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(2, 1), 5.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 0.0);
+  m.set_zero();
+  EXPECT_DOUBLE_EQ(m(2, 1), 0.0);
+}
+
+TEST(Cholesky, SolvesIdentity) {
+  DenseMatrix a{3, 3};
+  for (std::size_t i = 0; i < 3; ++i) a(i, i) = 1.0;
+  std::vector<double> b = {1.0, -2.0, 3.0};
+  ASSERT_TRUE(cholesky_solve(a, b));
+  EXPECT_DOUBLE_EQ(b[0], 1.0);
+  EXPECT_DOUBLE_EQ(b[1], -2.0);
+  EXPECT_DOUBLE_EQ(b[2], 3.0);
+}
+
+TEST(Cholesky, SolvesKnownSystem) {
+  // A = [[4,2],[2,3]], b = [8, 7] -> x = [1.25, 1.5]
+  DenseMatrix a{2, 2};
+  a(0, 0) = 4.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 3.0;
+  std::vector<double> b = {8.0, 7.0};
+  ASSERT_TRUE(cholesky_solve(a, b));
+  EXPECT_NEAR(b[0], 1.25, 1e-12);
+  EXPECT_NEAR(b[1], 1.5, 1e-12);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  DenseMatrix a{2, 2};
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 1.0;  // eigenvalues 3, -1
+  std::vector<double> b = {1.0, 1.0};
+  EXPECT_FALSE(cholesky_solve(a, b));
+}
+
+TEST(Cholesky, RejectsSizeMismatch) {
+  DenseMatrix a{3, 2};
+  std::vector<double> b = {1.0, 1.0, 1.0};
+  EXPECT_FALSE(cholesky_solve(a, b));
+}
+
+TEST(Cholesky, RandomSpdSystems) {
+  Rng rng{31};
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(2, 12));
+    // Build SPD A = M^T M + eps I and a known solution x.
+    std::vector<std::vector<double>> m(n, std::vector<double>(n));
+    for (auto& row : m) {
+      for (double& v : row) v = rng.uniform(-1.0, 1.0);
+    }
+    DenseMatrix a{n, n};
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        double s = 0.0;
+        for (std::size_t k = 0; k < n; ++k) s += m[k][i] * m[k][j];
+        a(i, j) = s + (i == j ? 0.1 : 0.0);
+      }
+    }
+    std::vector<double> x(n);
+    for (double& v : x) v = rng.uniform(-5.0, 5.0);
+    std::vector<double> b(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) b[i] += a(i, j) * x[j];
+    }
+    ASSERT_TRUE(cholesky_solve(a, b));
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(b[i], x[i], 1e-7);
+  }
+}
+
+}  // namespace
+}  // namespace srl

@@ -1,0 +1,83 @@
+#include "gridmap/map_degrade.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gridmap/track_generator.hpp"
+
+namespace srl {
+namespace {
+
+TEST(MapDegrade, DeterministicFromSeed) {
+  const Track track = TrackGenerator::oval(5.0, 1.8);
+  Rng a{42};
+  Rng b{42};
+  const OccupancyGrid da = degrade_map(track.grid, a);
+  const OccupancyGrid db = degrade_map(track.grid, b);
+  EXPECT_EQ(da.data(), db.data());
+}
+
+TEST(MapDegrade, OnlyBoundaryCellsChange) {
+  const Track track = TrackGenerator::oval(5.0, 1.8);
+  Rng rng{7};
+  const OccupancyGrid out = degrade_map(track.grid, rng);
+  const OccupancyGrid& in = track.grid;
+  for (int y = 0; y < in.height(); ++y) {
+    for (int x = 0; x < in.width(); ++x) {
+      if (out.at(x, y) == in.at(x, y)) continue;
+      // A changed cell must have been on a free/occupied boundary.
+      bool boundary = false;
+      for (int dy = -1; dy <= 1 && !boundary; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          const std::int8_t self = in.at(x, y);
+          const std::int8_t n = in.at_or_occupied(x + dx, y + dy);
+          if ((self == OccupancyGrid::kOccupied && n == OccupancyGrid::kFree) ||
+              (self == OccupancyGrid::kFree && n == OccupancyGrid::kOccupied)) {
+            boundary = true;
+            break;
+          }
+        }
+      }
+      EXPECT_TRUE(boundary) << "interior cell changed at " << x << "," << y;
+    }
+  }
+}
+
+TEST(MapDegrade, ChangeFractionTracksParameters) {
+  const Track track = TrackGenerator::oval(5.0, 1.8);
+  MapDegradeParams light;
+  light.erode_prob = 0.05;
+  light.dilate_prob = 0.05;
+  light.warp_amplitude = 0.0;
+  MapDegradeParams heavy;
+  heavy.erode_prob = 0.5;
+  heavy.dilate_prob = 0.5;
+  heavy.warp_amplitude = 0.0;
+
+  const auto count_changed = [&](const MapDegradeParams& p) {
+    Rng rng{11};
+    const OccupancyGrid out = degrade_map(track.grid, rng, p);
+    std::size_t changed = 0;
+    for (std::size_t i = 0; i < out.data().size(); ++i) {
+      if (out.data()[i] != track.grid.data()[i]) ++changed;
+    }
+    return changed;
+  };
+  const std::size_t light_changed = count_changed(light);
+  const std::size_t heavy_changed = count_changed(heavy);
+  EXPECT_GT(light_changed, 0U);
+  EXPECT_GT(heavy_changed, 3 * light_changed);
+}
+
+TEST(MapDegrade, ZeroParamsIsIdentity) {
+  const Track track = TrackGenerator::oval(4.0, 1.5);
+  MapDegradeParams none;
+  none.erode_prob = 0.0;
+  none.dilate_prob = 0.0;
+  none.warp_amplitude = 0.0;
+  Rng rng{1};
+  const OccupancyGrid out = degrade_map(track.grid, rng, none);
+  EXPECT_EQ(out.data(), track.grid.data());
+}
+
+}  // namespace
+}  // namespace srl

@@ -1,0 +1,74 @@
+#include "eval/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gridmap/track_generator.hpp"
+#include "range/bresenham.hpp"
+#include "sensor/lidar_sim.hpp"
+
+namespace srl {
+namespace {
+
+struct Fixture {
+  Track track = TrackGenerator::oval(6.0, 2.0);
+  LidarConfig lidar{};
+  std::shared_ptr<const OccupancyGrid> map =
+      std::make_shared<const OccupancyGrid>(track.grid);
+  LidarSim sim{lidar,
+               std::make_shared<BresenhamCaster>(map, lidar.max_range),
+               LidarNoise{.sigma_range = 0.0, .dropout_prob = 0.0}};
+  Pose2 truth{0.0, -2.0, 0.0};
+};
+
+TEST(ScanAlignment, PerfectPoseScoresHigh) {
+  Fixture f;
+  const ScanAlignmentScorer scorer{f.track.grid, 0.1};
+  Rng rng{1};
+  const LaserScan scan = f.sim.scan(f.truth, 0.0, rng);
+  EXPECT_GT(scorer.score(scan, f.lidar, f.truth), 95.0);
+}
+
+TEST(ScanAlignment, ShiftedPoseScoresLower) {
+  Fixture f;
+  const ScanAlignmentScorer scorer{f.track.grid, 0.1};
+  Rng rng{1};
+  const LaserScan scan = f.sim.scan(f.truth, 0.0, rng);
+  const double good = scorer.score(scan, f.lidar, f.truth);
+  const double bad = scorer.score(
+      scan, f.lidar, Pose2{f.truth.x + 0.4, f.truth.y + 0.3, f.truth.theta});
+  EXPECT_LT(bad, good - 20.0);
+}
+
+TEST(ScanAlignment, RotationHurtsMost) {
+  Fixture f;
+  const ScanAlignmentScorer scorer{f.track.grid, 0.1};
+  Rng rng{1};
+  const LaserScan scan = f.sim.scan(f.truth, 0.0, rng);
+  const double rotated = scorer.score(
+      scan, f.lidar, Pose2{f.truth.x, f.truth.y, f.truth.theta + 0.2});
+  EXPECT_LT(rotated, 60.0);
+}
+
+TEST(ScanAlignment, ToleranceMonotone) {
+  Fixture f;
+  Rng rng{1};
+  const LaserScan scan = f.sim.scan(f.truth, 0.0, rng);
+  const Pose2 off{f.truth.x + 0.05, f.truth.y, f.truth.theta};
+  const ScanAlignmentScorer tight{f.track.grid, 0.03};
+  const ScanAlignmentScorer loose{f.track.grid, 0.3};
+  EXPECT_LE(tight.score(scan, f.lidar, off), loose.score(scan, f.lidar, off));
+}
+
+TEST(ScanAlignment, EmptyScanScoresZero) {
+  Fixture f;
+  const ScanAlignmentScorer scorer{f.track.grid, 0.1};
+  LaserScan empty;
+  empty.ranges.assign(static_cast<std::size_t>(f.lidar.n_beams),
+                      static_cast<float>(f.lidar.max_range));
+  EXPECT_DOUBLE_EQ(scorer.score(empty, f.lidar, f.truth), 0.0);
+}
+
+}  // namespace
+}  // namespace srl

@@ -1,0 +1,60 @@
+#include "gridmap/morphology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gridmap/distance_transform.hpp"
+
+namespace srl {
+namespace {
+
+TEST(Inflate, GrowsObstacleByRadius) {
+  OccupancyGrid g{21, 21, 0.1, Vec2{}, OccupancyGrid::kFree};
+  g.at(10, 10) = OccupancyGrid::kOccupied;
+  const OccupancyGrid inflated = inflate(g, 0.35);
+  // Every free cell within 0.35 m becomes occupied; farther stays free.
+  for (int y = 0; y < 21; ++y) {
+    for (int x = 0; x < 21; ++x) {
+      const double d = std::hypot(x - 10, y - 10) * 0.1;
+      if (d <= 0.35) {
+        EXPECT_EQ(inflated.at(x, y), OccupancyGrid::kOccupied)
+            << x << "," << y;
+      } else if (d > 0.45) {
+        EXPECT_EQ(inflated.at(x, y), OccupancyGrid::kFree) << x << "," << y;
+      }
+    }
+  }
+}
+
+TEST(Inflate, ZeroRadiusIsIdentity) {
+  OccupancyGrid g{5, 5, 0.1, Vec2{}, OccupancyGrid::kFree};
+  g.at(2, 2) = OccupancyGrid::kOccupied;
+  const OccupancyGrid out = inflate(g, 0.0);
+  EXPECT_EQ(out.count(OccupancyGrid::kOccupied), 1U);
+}
+
+TEST(Inflate, DoesNotTouchUnknown) {
+  OccupancyGrid g{9, 9, 0.1, Vec2{}, OccupancyGrid::kUnknown};
+  g.at(4, 4) = OccupancyGrid::kOccupied;
+  const OccupancyGrid out = inflate(g, 0.2);
+  // Unknown neighbours stay unknown (only free space is eaten).
+  EXPECT_EQ(out.count(OccupancyGrid::kOccupied), 1U);
+  EXPECT_EQ(out.at(5, 4), OccupancyGrid::kUnknown);
+}
+
+TEST(Inflate, ShrinksFreeSpaceMonotonically) {
+  OccupancyGrid g{30, 30, 0.1, Vec2{}, OccupancyGrid::kFree};
+  for (int x = 0; x < 30; ++x) {
+    g.at(x, 0) = OccupancyGrid::kOccupied;
+    g.at(x, 29) = OccupancyGrid::kOccupied;
+  }
+  const std::size_t free0 = g.count(OccupancyGrid::kFree);
+  const std::size_t free1 = inflate(g, 0.2).count(OccupancyGrid::kFree);
+  const std::size_t free2 = inflate(g, 0.5).count(OccupancyGrid::kFree);
+  EXPECT_GT(free0, free1);
+  EXPECT_GT(free1, free2);
+}
+
+}  // namespace
+}  // namespace srl

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/angles.hpp"
+#include "common/stats.hpp"
+#include "motion/ackermann.hpp"
+#include "motion/diff_drive.hpp"
+#include "motion/tum_model.hpp"
+
+namespace srl {
+namespace {
+
+OdometryDelta straight(double dist, double v) {
+  OdometryDelta d;
+  d.delta = Pose2{dist, 0.0, 0.0};
+  d.v = v;
+  d.dt = v > 0.0 ? dist / v : 0.0;
+  return d;
+}
+
+/// Sample `n` successors and collect dispersion statistics.
+struct CloudStats {
+  RunningStats along;    ///< displacement along the commanded direction
+  RunningStats lateral;  ///< perpendicular displacement
+  std::vector<double> headings;
+};
+
+CloudStats sample_cloud(const MotionModel& model, const OdometryDelta& odom,
+                        int n, std::uint64_t seed) {
+  CloudStats s;
+  Rng rng{seed};
+  for (int i = 0; i < n; ++i) {
+    const Pose2 out = model.sample(Pose2{}, odom, rng);
+    s.along.add(out.x);
+    s.lateral.add(out.y);
+    s.headings.push_back(out.theta);
+  }
+  return s;
+}
+
+TEST(Ackermann, CurvatureEnvelope) {
+  const AckermannParams p;
+  // Low speed: geometric steering limit.
+  EXPECT_NEAR(max_curvature(p, 0.0), std::tan(p.max_steer) / p.wheelbase,
+              1e-12);
+  // High speed: grip limit a_lat / v^2 binds and shrinks with speed.
+  const double k5 = max_curvature(p, 5.0);
+  const double k7 = max_curvature(p, 7.0);
+  EXPECT_NEAR(k5, p.max_lat_accel / 25.0, 1e-12);
+  EXPECT_GT(k5, k7);
+}
+
+TEST(Ackermann, SteerCurvatureRoundTrip) {
+  const AckermannParams p;
+  for (double steer = -0.35; steer <= 0.35; steer += 0.07) {
+    EXPECT_NEAR(curvature_to_steer(p, steer_to_curvature(p, steer)), steer,
+                1e-9);
+  }
+}
+
+TEST(DiffDrive, MeanFollowsOdometry) {
+  const DiffDriveModel model;
+  const auto s = sample_cloud(model, straight(0.2, 2.0), 20000, 11);
+  EXPECT_NEAR(s.along.mean(), 0.2, 0.01);
+  EXPECT_NEAR(s.lateral.mean(), 0.0, 0.01);
+  EXPECT_NEAR(circular_mean(s.headings), 0.0, 0.01);
+}
+
+TEST(DiffDrive, DispersionGrowsWithTranslation) {
+  const DiffDriveModel model;
+  const auto slow = sample_cloud(model, straight(0.05, 1.0), 5000, 3);
+  const auto fast = sample_cloud(model, straight(0.4, 8.0), 5000, 3);
+  EXPECT_GT(fast.along.stddev(), slow.along.stddev());
+  EXPECT_GT(circular_stddev(fast.headings), circular_stddev(slow.headings));
+}
+
+TEST(DiffDrive, PureRotationDecomposition) {
+  const DiffDriveModel model;
+  OdometryDelta turn;
+  turn.delta = Pose2{0.0, 0.0, 0.5};
+  turn.v = 0.0;
+  turn.dt = 0.1;
+  const auto s = sample_cloud(model, turn, 20000, 4);
+  EXPECT_NEAR(circular_mean(s.headings), 0.5, 0.01);
+  EXPECT_NEAR(s.along.mean(), 0.0, 0.01);
+}
+
+TEST(TumModel, LowSpeedMatchesDiffDriveScale) {
+  // Fig. 1 left: at crawling speed the TUM model is diff-drive-like — the
+  // curvature envelope is far from binding.
+  const TumMotionModel tum;
+  const double trans = 0.05;
+  const double v = 0.5;
+  const double cap = tum.params().beta_curvature *
+                     max_curvature(tum.params().ackermann, v) * trans;
+  const double uncapped = tum.params().alpha_rot_trans * trans;
+  EXPECT_LT(uncapped, cap);  // cap inactive at low speed
+}
+
+TEST(TumModel, HighSpeedHeadingDispersionShrinks) {
+  // Fig. 1 right: at 7 m/s the heading dispersion per meter must be far
+  // smaller than the diff-drive equivalent.
+  const TumMotionModel tum;
+  const DiffDriveModel diff;
+  const OdometryDelta odom = straight(0.35, 7.0);  // one 50 ms step at 7 m/s
+  const auto tum_cloud = sample_cloud(tum, odom, 8000, 21);
+  const auto diff_cloud = sample_cloud(diff, odom, 8000, 21);
+  EXPECT_LT(circular_stddev(tum_cloud.headings),
+            0.5 * circular_stddev(diff_cloud.headings));
+  EXPECT_LT(tum_cloud.lateral.stddev(), diff_cloud.lateral.stddev());
+}
+
+TEST(TumModel, HeadingSigmaCapScalesWithSpeed) {
+  const TumMotionModel tum;
+  const double trans = 0.2;
+  EXPECT_GT(tum.heading_sigma(trans, 1.0), tum.heading_sigma(trans, 7.0));
+}
+
+TEST(TumModel, ClampRejectsInfeasibleYaw) {
+  // Steering-derived odometry reporting an impossible yaw for 7 m/s gets
+  // clamped to the feasible envelope.
+  TumModelParams params;
+  params.clamp_mean_heading = true;
+  const TumMotionModel tum{params};
+  OdometryDelta odom;
+  odom.delta = Pose2{0.175, 0.0, 0.15};  // 0.86 rad/m at 7 m/s: infeasible
+  odom.v = 7.0;
+  odom.dt = 0.025;
+  const auto s = sample_cloud(tum, odom, 8000, 9);
+  const double envelope = params.envelope_margin *
+                              max_curvature(params.ackermann, 7.0) * 0.175 +
+                          params.sigma_floor_theta;
+  EXPECT_LT(std::abs(circular_mean(s.headings)), envelope + 0.01);
+  EXPECT_LT(std::abs(circular_mean(s.headings)), 0.15);
+}
+
+TEST(TumModel, ClampDisabledKeepsMean) {
+  TumModelParams params;
+  params.clamp_mean_heading = false;
+  const TumMotionModel tum{params};
+  OdometryDelta odom;
+  odom.delta = Pose2{0.175, 0.0, 0.15};
+  odom.v = 7.0;
+  odom.dt = 0.025;
+  const auto s = sample_cloud(tum, odom, 8000, 9);
+  EXPECT_NEAR(circular_mean(s.headings), 0.15, 0.02);
+}
+
+TEST(TumModel, FeasibleYawPassesThrough) {
+  const TumMotionModel tum;
+  OdometryDelta odom;
+  odom.delta = Pose2{0.2, 0.0, 0.02};  // 0.1 rad/m at 2 m/s: feasible
+  odom.v = 2.0;
+  odom.dt = 0.1;
+  const auto s = sample_cloud(tum, odom, 8000, 13);
+  EXPECT_NEAR(circular_mean(s.headings), 0.02, 0.01);
+}
+
+TEST(TumModel, LongitudinalDispersionNotCapped) {
+  // Slip robustness: longitudinal noise keeps growing with distance even at
+  // high speed (the filter must absorb wheel slip).
+  const TumMotionModel tum;
+  const auto short_step = sample_cloud(tum, straight(0.1, 7.0), 5000, 31);
+  const auto long_step = sample_cloud(tum, straight(0.4, 7.0), 5000, 31);
+  EXPECT_GT(long_step.along.stddev(), 2.0 * short_step.along.stddev());
+}
+
+TEST(MotionModels, DeterministicGivenSeed) {
+  const TumMotionModel tum;
+  Rng a{55};
+  Rng b{55};
+  const OdometryDelta odom = straight(0.3, 5.0);
+  for (int i = 0; i < 20; ++i) {
+    const Pose2 pa = tum.sample(Pose2{1, 2, 0.3}, odom, a);
+    const Pose2 pb = tum.sample(Pose2{1, 2, 0.3}, odom, b);
+    EXPECT_DOUBLE_EQ(pa.x, pb.x);
+    EXPECT_DOUBLE_EQ(pa.theta, pb.theta);
+  }
+}
+
+/// Fig. 1 property across speeds: the ratio of TUM to diff-drive heading
+/// dispersion decreases monotonically as speed rises.
+class SpeedSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SpeedSweep, TumNeverWiderThanDiffDrive) {
+  const double v = GetParam();
+  const TumMotionModel tum;
+  const DiffDriveModel diff;
+  const OdometryDelta odom = straight(v * 0.05, v);
+  const auto tc = sample_cloud(tum, odom, 4000, 71);
+  const auto dc = sample_cloud(diff, odom, 4000, 71);
+  EXPECT_LE(circular_stddev(tc.headings),
+            circular_stddev(dc.headings) * 1.15)
+      << "v = " << v;
+}
+
+INSTANTIATE_TEST_SUITE_P(Speeds, SpeedSweep,
+                         ::testing::Values(0.5, 1.0, 2.0, 3.0, 5.0, 7.0));
+
+}  // namespace
+}  // namespace srl

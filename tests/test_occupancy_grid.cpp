@@ -1,0 +1,97 @@
+#include "gridmap/occupancy_grid.hpp"
+
+#include <gtest/gtest.h>
+
+namespace srl {
+namespace {
+
+TEST(OccupancyGrid, ConstructionAndFill) {
+  OccupancyGrid g{10, 5, 0.1, Vec2{1.0, 2.0}, OccupancyGrid::kFree};
+  EXPECT_EQ(g.width(), 10);
+  EXPECT_EQ(g.height(), 5);
+  EXPECT_EQ(g.size(), 50U);
+  EXPECT_EQ(g.count(OccupancyGrid::kFree), 50U);
+  EXPECT_DOUBLE_EQ(g.world_width(), 1.0);
+  EXPECT_DOUBLE_EQ(g.world_height(), 0.5);
+}
+
+TEST(OccupancyGrid, WorldGridRoundTrip) {
+  OccupancyGrid g{20, 20, 0.05, Vec2{-1.0, -1.0}};
+  for (int iy = 0; iy < g.height(); iy += 3) {
+    for (int ix = 0; ix < g.width(); ix += 3) {
+      const Vec2 c = g.grid_to_world(ix, iy);
+      const GridIndex back = g.world_to_grid(c);
+      EXPECT_EQ(back.ix, ix);
+      EXPECT_EQ(back.iy, iy);
+    }
+  }
+}
+
+TEST(OccupancyGrid, WorldToGridFloors) {
+  OccupancyGrid g{10, 10, 1.0, Vec2{0.0, 0.0}};
+  EXPECT_EQ(g.world_to_grid({0.999, 0.0}).ix, 0);
+  EXPECT_EQ(g.world_to_grid({1.0, 0.0}).ix, 1);
+  EXPECT_EQ(g.world_to_grid({-0.001, 0.0}).ix, -1);
+}
+
+TEST(OccupancyGrid, BoundsChecks) {
+  OccupancyGrid g{4, 3, 0.1, Vec2{}};
+  EXPECT_TRUE(g.in_bounds(0, 0));
+  EXPECT_TRUE(g.in_bounds(3, 2));
+  EXPECT_FALSE(g.in_bounds(4, 0));
+  EXPECT_FALSE(g.in_bounds(0, 3));
+  EXPECT_FALSE(g.in_bounds(-1, 0));
+}
+
+TEST(OccupancyGrid, OutOfBoundsReadsOccupied) {
+  OccupancyGrid g{2, 2, 0.1, Vec2{}, OccupancyGrid::kFree};
+  EXPECT_EQ(g.at_or_occupied(-1, 0), OccupancyGrid::kOccupied);
+  EXPECT_EQ(g.at_or_occupied(0, 5), OccupancyGrid::kOccupied);
+  EXPECT_TRUE(g.blocks_ray(-1, -1));
+  EXPECT_FALSE(g.is_free(2, 2));
+}
+
+TEST(OccupancyGrid, RaySemantics) {
+  OccupancyGrid g{3, 1, 0.1, Vec2{}};
+  g.at(0, 0) = OccupancyGrid::kFree;
+  g.at(1, 0) = OccupancyGrid::kOccupied;
+  g.at(2, 0) = OccupancyGrid::kUnknown;
+  EXPECT_FALSE(g.blocks_ray(0, 0));
+  EXPECT_TRUE(g.blocks_ray(1, 0));
+  EXPECT_TRUE(g.blocks_ray(2, 0));  // unknown blocks
+  EXPECT_TRUE(g.is_occupied(1, 0));
+  EXPECT_FALSE(g.is_occupied(2, 0));  // unknown is not "occupied"
+}
+
+TEST(OccupancyGrid, WorldQueries) {
+  OccupancyGrid g{10, 10, 0.5, Vec2{0.0, 0.0}, OccupancyGrid::kFree};
+  g.at(2, 3) = OccupancyGrid::kOccupied;
+  EXPECT_TRUE(g.is_occupied_at({1.25, 1.75}));
+  EXPECT_TRUE(g.is_free_at({0.25, 0.25}));
+  EXPECT_FALSE(g.is_free_at({-1.0, 0.0}));
+}
+
+TEST(OccupancyGrid, CountByValue) {
+  OccupancyGrid g{4, 4, 0.1, Vec2{}, OccupancyGrid::kUnknown};
+  g.at(0, 0) = OccupancyGrid::kFree;
+  g.at(1, 1) = OccupancyGrid::kOccupied;
+  g.at(2, 2) = OccupancyGrid::kOccupied;
+  EXPECT_EQ(g.count(OccupancyGrid::kFree), 1U);
+  EXPECT_EQ(g.count(OccupancyGrid::kOccupied), 2U);
+  EXPECT_EQ(g.count(OccupancyGrid::kUnknown), 13U);
+}
+
+TEST(OccupancyGrid, DiagonalBound) {
+  OccupancyGrid g{30, 40, 0.1, Vec2{}};
+  EXPECT_NEAR(g.diagonal(), 5.0, 1e-12);
+}
+
+TEST(OccupancyGrid, EmptyGridIsSafe) {
+  OccupancyGrid g;
+  EXPECT_TRUE(g.empty());
+  EXPECT_FALSE(g.in_bounds(0, 0));
+  EXPECT_TRUE(g.blocks_ray(0, 0));
+}
+
+}  // namespace
+}  // namespace srl

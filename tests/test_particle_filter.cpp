@@ -1,0 +1,214 @@
+#include "core/particle_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/angles.hpp"
+#include "motion/tum_model.hpp"
+#include "range/bresenham.hpp"
+#include "sensor/lidar_sim.hpp"
+#include "sensor/scanline_layout.hpp"
+
+namespace srl {
+namespace {
+
+std::shared_ptr<const OccupancyGrid> make_room() {
+  // 10 x 6 m room with an internal pillar to break symmetry.
+  auto grid = std::make_shared<OccupancyGrid>(200, 120, 0.05, Vec2{0.0, 0.0},
+                                              OccupancyGrid::kFree);
+  for (int x = 0; x < 200; ++x) {
+    grid->at(x, 0) = OccupancyGrid::kOccupied;
+    grid->at(x, 119) = OccupancyGrid::kOccupied;
+  }
+  for (int y = 0; y < 120; ++y) {
+    grid->at(0, y) = OccupancyGrid::kOccupied;
+    grid->at(199, y) = OccupancyGrid::kOccupied;
+  }
+  for (int y = 40; y < 60; ++y) {
+    for (int x = 60, xe = 80; x < xe; ++x) {
+      grid->at(x, y) = OccupancyGrid::kOccupied;
+    }
+  }
+  return grid;
+}
+
+ParticleFilter make_filter(std::shared_ptr<const OccupancyGrid> map,
+                           int particles = 800, std::uint64_t seed = 42) {
+  const LidarConfig lidar;
+  ParticleFilterConfig cfg;
+  cfg.n_particles = particles;
+  auto caster = std::make_shared<BresenhamCaster>(map, lidar.max_range);
+  auto motion = std::make_shared<TumMotionModel>();
+  return ParticleFilter{cfg,
+                        std::move(caster),
+                        std::move(motion),
+                        BeamModel{},
+                        lidar,
+                        uniform_layout(lidar, 40),
+                        seed};
+}
+
+LaserScan observe(std::shared_ptr<const OccupancyGrid> map, const Pose2& pose,
+                  Rng& rng) {
+  const LidarConfig lidar;
+  auto caster = std::make_shared<BresenhamCaster>(std::move(map),
+                                                  lidar.max_range);
+  LidarNoise noise;
+  noise.sigma_range = 0.01;
+  noise.dropout_prob = 0.0;
+  const LidarSim sim{lidar, std::move(caster), noise};
+  return sim.scan(pose, 0.0, rng);
+}
+
+TEST(ParticleFilter, InitPoseSpread) {
+  auto map = make_room();
+  ParticleFilter pf = make_filter(map);
+  const Pose2 start{5.0, 3.0, 0.5};
+  pf.init_pose(start);
+  const Pose2 est = pf.estimate();
+  EXPECT_NEAR(est.x, start.x, 0.05);
+  EXPECT_NEAR(est.y, start.y, 0.05);
+  EXPECT_NEAR(angle_dist(est.theta, start.theta), 0.0, 0.03);
+  const PoseCovariance cov = pf.covariance();
+  EXPECT_NEAR(std::sqrt(cov.xx), pf.config().init_sigma_xy, 0.05);
+  EXPECT_GT(cov.tt, 0.0);
+}
+
+TEST(ParticleFilter, InitGlobalOnlyFreeCells) {
+  auto map = make_room();
+  ParticleFilter pf = make_filter(map);
+  pf.init_global(*map);
+  for (const Particle& p : pf.particles()) {
+    EXPECT_TRUE(map->is_free_at({p.pose.x, p.pose.y}))
+        << p.pose.x << "," << p.pose.y;
+  }
+}
+
+TEST(ParticleFilter, PredictMovesCloud) {
+  auto map = make_room();
+  ParticleFilter pf = make_filter(map);
+  pf.init_pose({5.0, 3.0, 0.0});
+  OdometryDelta odom;
+  odom.delta = Pose2{0.5, 0.0, 0.0};
+  odom.v = 2.0;
+  odom.dt = 0.25;
+  pf.predict(odom);
+  EXPECT_NEAR(pf.estimate().x, 5.5, 0.1);
+}
+
+TEST(ParticleFilter, CorrectConcentratesNearTruth) {
+  auto map = make_room();
+  ParticleFilter pf = make_filter(map, 1500);
+  const Pose2 truth{4.0, 2.0, 0.8};
+  // Broad initialization around (but not at) the truth.
+  ParticleFilterConfig cfg = pf.config();
+  pf.init_pose({4.3, 2.3, 0.6});
+  (void)cfg;
+
+  Rng scan_rng{7};
+  for (int i = 0; i < 6; ++i) {
+    const LaserScan scan = observe(map, truth, scan_rng);
+    pf.correct(scan);
+  }
+  const Pose2 est = pf.estimate();
+  EXPECT_NEAR(est.x, truth.x, 0.12);
+  EXPECT_NEAR(est.y, truth.y, 0.12);
+  EXPECT_NEAR(angle_dist(est.theta, truth.theta), 0.0, 0.08);
+  // The posterior tightened relative to the prior.
+  const PoseCovariance cov = pf.covariance();
+  EXPECT_LT(std::sqrt(cov.xx), pf.config().init_sigma_xy);
+}
+
+TEST(ParticleFilter, GlobalLocalizationConverges) {
+  auto map = make_room();
+  ParticleFilter pf = make_filter(map, 4000, 13);
+  pf.init_global(*map);
+  const Pose2 truth{7.5, 4.5, -2.0};
+  Rng scan_rng{21};
+  OdometryDelta odom;
+  odom.delta = Pose2{0.08, 0.0, 0.03};
+  odom.v = 1.0;
+  odom.dt = 0.08;
+  Pose2 truth_now = truth;
+  for (int i = 0; i < 25; ++i) {
+    const LaserScan scan = observe(map, truth_now, scan_rng);
+    pf.correct(scan);
+    pf.predict(odom);
+    truth_now = (truth_now * odom.delta).normalized();
+  }
+  const LaserScan scan = observe(map, truth_now, scan_rng);
+  pf.correct(scan);
+  const Pose2 est = pf.estimate();
+  EXPECT_NEAR(est.x, truth_now.x, 0.3);
+  EXPECT_NEAR(est.y, truth_now.y, 0.3);
+}
+
+TEST(ParticleFilter, EssDropsOnConflictThenResamples) {
+  auto map = make_room();
+  ParticleFilter pf = make_filter(map, 500);
+  pf.init_pose({5.0, 3.0, 0.0});
+  const double ess0 = pf.effective_sample_size();
+  EXPECT_NEAR(ess0, 500.0, 1.0);  // uniform weights
+  Rng scan_rng{3};
+  const LaserScan scan = observe(map, {5.0, 3.0, 0.0}, scan_rng);
+  pf.correct(scan);
+  // After a correction + possible resample the filter stays healthy.
+  EXPECT_GT(pf.effective_sample_size(), 50.0);
+  EXPECT_GE(pf.resample_count(), 0L);
+}
+
+TEST(ParticleFilter, ResamplePreservesMean) {
+  auto map = make_room();
+  ParticleFilter pf = make_filter(map, 3000);
+  pf.init_pose({5.0, 3.0, 1.0});
+  const Pose2 before = pf.estimate();
+  Rng scan_rng{33};
+  const LaserScan scan = observe(map, {5.0, 3.0, 1.0}, scan_rng);
+  pf.correct(scan);  // likely triggers a resample
+  const Pose2 after = pf.estimate();
+  EXPECT_NEAR(before.x, after.x, 0.15);
+  EXPECT_NEAR(before.y, after.y, 0.15);
+}
+
+TEST(ParticleFilter, WeightsNormalizedAfterCorrect) {
+  auto map = make_room();
+  ParticleFilter pf = make_filter(map);
+  pf.init_pose({5.0, 3.0, 0.0});
+  Rng scan_rng{9};
+  const LaserScan scan = observe(map, {5.0, 3.0, 0.0}, scan_rng);
+  pf.correct(scan);
+  double sum = 0.0;
+  for (const Particle& p : pf.particles()) sum += p.weight;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ParticleFilter, DeterministicWithSameSeed) {
+  auto map = make_room();
+  ParticleFilter a = make_filter(map, 300, 99);
+  ParticleFilter b = make_filter(map, 300, 99);
+  a.init_pose({5.0, 3.0, 0.0});
+  b.init_pose({5.0, 3.0, 0.0});
+  Rng ra{1};
+  Rng rb{1};
+  const LaserScan sa = observe(map, {5.0, 3.0, 0.0}, ra);
+  const LaserScan sb = observe(map, {5.0, 3.0, 0.0}, rb);
+  a.correct(sa);
+  b.correct(sb);
+  const Pose2 ea = a.estimate();
+  const Pose2 eb = b.estimate();
+  EXPECT_DOUBLE_EQ(ea.x, eb.x);
+  EXPECT_DOUBLE_EQ(ea.theta, eb.theta);
+}
+
+TEST(ParticleFilter, CircularMeanAcrossWrap) {
+  auto map = make_room();
+  ParticleFilter pf = make_filter(map);
+  pf.init_pose({5.0, 3.0, kPi});  // heading at the wrap
+  const Pose2 est = pf.estimate();
+  EXPECT_NEAR(angle_dist(est.theta, kPi), 0.0, 0.05);
+}
+
+}  // namespace
+}  // namespace srl

@@ -1,0 +1,142 @@
+#include "slam/pose_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/angles.hpp"
+#include "common/rng.hpp"
+
+namespace srl {
+namespace {
+
+void expect_pose_near(const Pose2& a, const Pose2& b, double tol) {
+  EXPECT_NEAR(a.x, b.x, tol);
+  EXPECT_NEAR(a.y, b.y, tol);
+  EXPECT_NEAR(angle_dist(a.theta, b.theta), 0.0, tol);
+}
+
+TEST(PoseGraph, PriorPinsNode) {
+  PoseGraph2D g;
+  const int n = g.add_node(Pose2{1.0, 1.0, 0.5});
+  g.add_prior(n, Pose2{2.0, -1.0, 0.0}, 100.0, 100.0);
+  const PoseGraphStats stats = g.optimize(10);
+  expect_pose_near(g.node_pose(n), Pose2{2.0, -1.0, 0.0}, 1e-4);
+  EXPECT_LT(stats.final_cost, stats.initial_cost);
+}
+
+TEST(PoseGraph, ChainRecoversGroundTruth) {
+  // Ground truth: three poses along a quarter arc. Perfect odometry
+  // constraints + prior on the first node -> exact recovery from a bad
+  // initialization.
+  const Pose2 t0{0.0, 0.0, 0.0};
+  const Pose2 rel{1.0, 0.0, kPi / 6.0};
+  const Pose2 t1 = t0 * rel;
+  const Pose2 t2 = t1 * rel;
+
+  PoseGraph2D g;
+  const int n0 = g.add_node(Pose2{0.3, -0.3, 0.2});
+  const int n1 = g.add_node(Pose2{0.5, 0.5, 1.0});
+  const int n2 = g.add_node(Pose2{3.0, 3.0, -1.0});
+  g.add_prior(n0, t0, 1e4, 1e4);
+  g.add_relative(n0, n1, rel, 100.0, 100.0);
+  g.add_relative(n1, n2, rel, 100.0, 100.0);
+  g.optimize(20);
+  expect_pose_near(g.node_pose(n0), t0, 1e-3);
+  expect_pose_near(g.node_pose(n1), t1, 1e-3);
+  expect_pose_near(g.node_pose(n2), t2, 1e-3);
+}
+
+TEST(PoseGraph, LoopClosureDistributesDrift) {
+  // Square loop: odometry says four 90-degree legs of length 2, but the
+  // initial guess has accumulated heading drift. The loop-closure
+  // constraint from the last node back to the first fixes the shape.
+  const Pose2 leg{2.0, 0.0, kPi / 2.0};
+  PoseGraph2D g;
+  std::vector<int> ids;
+  Pose2 guess{};
+  Rng rng{5};
+  for (int i = 0; i < 5; ++i) {
+    ids.push_back(g.add_node(guess));
+    // Drifting dead reckoning for the next initial guess.
+    const Pose2 noisy{leg.x + rng.gaussian(0.15), leg.y + rng.gaussian(0.15),
+                      leg.theta + rng.gaussian(0.08)};
+    guess = (guess * noisy).normalized();
+  }
+  g.add_prior(ids[0], Pose2{}, 1e4, 1e4);
+  for (int i = 0; i < 4; ++i) {
+    g.add_relative(ids[static_cast<std::size_t>(i)],
+                   ids[static_cast<std::size_t>(i + 1)], leg, 50.0, 50.0);
+  }
+  // Loop closure: node 4 must coincide with node 0 (identity relative).
+  g.add_relative(ids[4], ids[0], Pose2{}, 200.0, 200.0);
+  const PoseGraphStats stats = g.optimize(30);
+  EXPECT_LT(stats.final_cost, 1e-3);
+  expect_pose_near(g.node_pose(ids[4]), g.node_pose(ids[0]), 0.01);
+  // Interior nodes sit at the square corners.
+  expect_pose_near(g.node_pose(ids[1]), Pose2{2.0, 0.0, kPi / 2.0}, 0.05);
+  expect_pose_near(g.node_pose(ids[2]), Pose2{2.0, 2.0, kPi}, 0.05);
+}
+
+TEST(PoseGraph, CostZeroAtGroundTruth) {
+  PoseGraph2D g;
+  const Pose2 a{1.0, 2.0, 0.3};
+  const Pose2 b{2.5, 2.5, 1.0};
+  const int na = g.add_node(a);
+  const int nb = g.add_node(b);
+  g.add_relative(na, nb, a.between(b), 10.0, 10.0);
+  g.add_prior(na, a, 10.0, 10.0);
+  EXPECT_NEAR(g.cost(), 0.0, 1e-12);
+}
+
+TEST(PoseGraph, OptimizeReducesCostMonotonically) {
+  PoseGraph2D g;
+  Rng rng{9};
+  std::vector<int> ids;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(g.add_node(
+        Pose2{rng.uniform(-3, 3), rng.uniform(-3, 3), rng.uniform(-2, 2)}));
+  }
+  g.add_prior(ids[0], Pose2{}, 1e4, 1e4);
+  for (int i = 0; i + 1 < 10; ++i) {
+    g.add_relative(ids[static_cast<std::size_t>(i)],
+                   ids[static_cast<std::size_t>(i + 1)],
+                   Pose2{1.0, 0.1, 0.05}, 20.0, 20.0);
+  }
+  const double cost0 = g.cost();
+  g.optimize(15);
+  EXPECT_LT(g.cost(), 0.01 * cost0);
+}
+
+TEST(PoseGraph, WeightsBalanceConflict) {
+  // Two priors disagree: the strong one wins proportionally.
+  PoseGraph2D g;
+  const int n = g.add_node(Pose2{});
+  g.add_prior(n, Pose2{0.0, 0.0, 0.0}, 100.0, 100.0);
+  g.add_prior(n, Pose2{1.0, 0.0, 0.0}, 300.0, 300.0);
+  g.optimize(10);
+  EXPECT_NEAR(g.node_pose(n).x, 0.75, 0.01);
+}
+
+TEST(PoseGraph, AngleWrapInConstraints) {
+  PoseGraph2D g;
+  const int a = g.add_node(Pose2{0.0, 0.0, kPi - 0.05});
+  const int b = g.add_node(Pose2{1.0, 0.0, -kPi + 0.05});
+  g.add_prior(a, Pose2{0.0, 0.0, kPi - 0.05}, 1e4, 1e4);
+  // Relative heading +0.1 crosses the wrap; the optimizer must not unwind
+  // it the long way.
+  g.add_relative(a, b, Pose2{1.0, 0.0, 0.1}, 100.0, 100.0);
+  g.optimize(10);
+  EXPECT_NEAR(angle_dist(g.node_pose(b).theta, normalize_angle(kPi + 0.05)),
+              0.0, 0.01);
+}
+
+TEST(PoseGraph, EmptyGraphIsFine) {
+  PoseGraph2D g;
+  const PoseGraphStats stats = g.optimize(5);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_EQ(g.num_nodes(), 0);
+}
+
+}  // namespace
+}  // namespace srl

@@ -1,0 +1,145 @@
+#include "track/raceline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/angles.hpp"
+#include "gridmap/track_generator.hpp"
+
+namespace srl {
+namespace {
+
+std::vector<Vec2> circle(double r, int n) {
+  std::vector<Vec2> pts;
+  for (int i = 0; i < n; ++i) {
+    const double a = kTwoPi * i / n;
+    pts.emplace_back(r * std::cos(a), r * std::sin(a));
+  }
+  return pts;
+}
+
+TEST(Raceline, LengthAndWrap) {
+  const Raceline line{circle(2.0, 256)};
+  EXPECT_NEAR(line.length(), kTwoPi * 2.0, 0.02);
+  EXPECT_NEAR(line.wrap(line.length() + 1.0), 1.0, 1e-9);
+  EXPECT_NEAR(line.wrap(-1.0), line.length() - 1.0, 1e-9);
+}
+
+TEST(Raceline, PositionOnCircle) {
+  const double r = 3.0;
+  const Raceline line{circle(r, 512)};
+  for (double s = 0.0; s < line.length(); s += 2.1) {
+    EXPECT_NEAR(line.position(s).norm(), r, 0.01);
+  }
+  // s=0 is the first vertex (r, 0).
+  EXPECT_NEAR(line.position(0.0).x, r, 1e-6);
+}
+
+TEST(Raceline, HeadingTangentToCircle) {
+  const Raceline line{circle(3.0, 512)};
+  // At (3, 0) on a CCW circle, the tangent points along +y.
+  EXPECT_NEAR(angle_dist(line.heading(0.0), kPi / 2.0), 0.0, 0.05);
+}
+
+TEST(Raceline, CurvatureOfCircle) {
+  const double r = 2.5;
+  const Raceline line{circle(r, 256)};
+  for (double s = 0.0; s < line.length(); s += 1.3) {
+    EXPECT_NEAR(line.curvature(s), 1.0 / r, 0.02);
+  }
+}
+
+TEST(Raceline, ProjectionSignConvention) {
+  const Raceline line{circle(3.0, 512)};
+  // A point inside the CCW circle is LEFT of the direction of travel.
+  const auto inside = line.project({2.0, 0.0});
+  EXPECT_GT(inside.lateral, 0.0);
+  EXPECT_NEAR(inside.lateral, 1.0, 0.01);
+  const auto outside = line.project({4.0, 0.0});
+  EXPECT_LT(outside.lateral, 0.0);
+  EXPECT_NEAR(outside.lateral, -1.0, 0.01);
+}
+
+TEST(Raceline, ProjectionFindsClosestPoint) {
+  const Raceline line{circle(3.0, 512)};
+  const auto proj = line.project({0.0, 2.0});
+  EXPECT_NEAR(proj.closest.norm(), 3.0, 0.01);
+  EXPECT_NEAR(proj.closest.y, 3.0, 0.05);
+  EXPECT_NEAR(std::abs(proj.lateral), 1.0, 0.01);
+}
+
+TEST(Raceline, ProgressSignedAndWrapped) {
+  const Raceline line{circle(3.0, 512)};
+  const double len = line.length();
+  EXPECT_NEAR(line.progress(1.0, 2.5), 1.5, 1e-9);
+  EXPECT_NEAR(line.progress(2.5, 1.0), -1.5, 1e-9);
+  // Crossing the start line forward is small positive progress.
+  EXPECT_NEAR(line.progress(len - 0.5, 0.5), 1.0, 1e-9);
+}
+
+TEST(Raceline, SMonotonicAlongTravel) {
+  const Track track = TrackGenerator::oval(6.0, 2.0);
+  const Raceline line{track.centerline};
+  double prev_s = line.project(track.centerline[0]).s;
+  double advanced = 0.0;
+  for (std::size_t i = 1; i < track.centerline.size(); i += 3) {
+    const double s = line.project(track.centerline[i]).s;
+    advanced += line.progress(prev_s, s);
+    prev_s = s;
+  }
+  // Walking the full centerline advances about one lap.
+  EXPECT_NEAR(advanced, line.length(), 0.1 * line.length());
+}
+
+TEST(Raceline, ThrowsOnTooFewPoints) {
+  EXPECT_THROW(Raceline({{0, 0}, {1, 1}}), std::invalid_argument);
+}
+
+TEST(LapTimer, ArmsOnFirstCrossingThenTimes) {
+  LapTimer timer{100.0};
+  EXPECT_FALSE(timer.armed());
+  timer.update(10.0, 0.0);
+  timer.update(50.0, 1.0);
+  timer.update(95.0, 2.0);
+  EXPECT_FALSE(timer.update(2.0, 2.5));  // first crossing arms, no lap yet
+  EXPECT_TRUE(timer.armed());
+  EXPECT_EQ(timer.laps(), 0);
+  timer.update(50.0, 5.0);
+  timer.update(99.0, 9.0);
+  EXPECT_TRUE(timer.update(1.0, 9.5));  // lap complete
+  ASSERT_EQ(timer.laps(), 1);
+  EXPECT_NEAR(timer.lap_times()[0], 7.0, 1e-9);
+}
+
+TEST(LapTimer, IgnoresBackwardJitterAtLine) {
+  LapTimer timer{100.0};
+  timer.update(95.0, 0.0);
+  timer.update(1.0, 0.5);  // armed
+  // Jitter back and forth around the line must not close extra laps
+  // (backward crossing 1 -> 99 is not a forward crossing).
+  timer.update(99.0, 0.6);
+  EXPECT_EQ(timer.laps(), 0);
+  timer.update(1.5, 0.7);  // forward again: this DOES count as a crossing
+  EXPECT_EQ(timer.laps(), 1);
+}
+
+TEST(LapTimer, MultipleLaps) {
+  LapTimer timer{50.0};
+  double t = 0.0;
+  // Samples every 5 m at 5 m/s.
+  for (int lap = 0; lap < 4; ++lap) {
+    for (double s = 0.0; s < 50.0; s += 5.0) {
+      timer.update(s, t);
+      t += 1.0;
+    }
+  }
+  timer.update(0.0, t);
+  EXPECT_EQ(timer.laps(), 3);  // first crossing arms
+  for (double lap_time : timer.lap_times()) {
+    EXPECT_NEAR(lap_time, 10.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace srl

@@ -1,0 +1,116 @@
+#include "track/raceline_optimizer.hpp"
+
+#include "track/raceline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/polyline.hpp"
+#include "control/speed_profile.hpp"
+#include "gridmap/distance_transform.hpp"
+#include "gridmap/track_generator.hpp"
+
+namespace srl {
+namespace {
+
+double max_abs_curvature(const std::vector<Vec2>& line) {
+  double m = 0.0;
+  for (double k : curvature_closed(line)) m = std::max(m, std::abs(k));
+  return m;
+}
+
+TEST(RacelineOptimizer, ReducesCurvatureOnTestTrack) {
+  const Track track = TrackGenerator::test_track();
+  const RacelineOptimizerResult result =
+      optimize_raceline(track.centerline, track.half_width);
+  EXPECT_LT(result.final_cost, result.initial_cost);
+  EXPECT_LT(max_abs_curvature(result.line),
+            0.9 * max_abs_curvature(track.centerline));
+}
+
+TEST(RacelineOptimizer, StaysInsideCorridor) {
+  const Track track = TrackGenerator::test_track();
+  RacelineOptimizerParams params;
+  params.margin = 0.25;
+  const RacelineOptimizerResult result =
+      optimize_raceline(track.centerline, track.half_width, params);
+  const DistanceField walls = distance_transform(track.grid);
+  for (const Vec2& p : result.line) {
+    EXPECT_TRUE(track.grid.is_free_at(p)) << p.x << "," << p.y;
+    // Wall clearance respects the margin (minus grid quantization).
+    EXPECT_GT(walls.at_world(p), params.margin - 0.08) << p.x << "," << p.y;
+  }
+}
+
+TEST(RacelineOptimizer, PreservesPointCountAndOrientation) {
+  const Track track = TrackGenerator::oval(8.0, 2.5);
+  const RacelineOptimizerResult result =
+      optimize_raceline(track.centerline, track.half_width);
+  EXPECT_EQ(result.line.size(), track.centerline.size());
+  EXPECT_GT(signed_area(result.line), 0.0);  // still CCW
+}
+
+TEST(RacelineOptimizer, UsesCorridorWidth) {
+  // A minimum-curvature line is not the centerline: it swings
+  // outside-inside-outside through corners, actually *lengthening* the lap
+  // while flattening it. Verify the optimizer exploits a substantial part
+  // of the available corridor and stays length-sane.
+  const Track track = TrackGenerator::oval(8.0, 2.5);
+  RacelineOptimizerParams params;
+  params.margin = 0.25;
+  const RacelineOptimizerResult result =
+      optimize_raceline(track.centerline, track.half_width, params);
+  const Raceline center{track.centerline};
+  double max_offset = 0.0;
+  for (const Vec2& p : result.line) {
+    max_offset = std::max(max_offset, std::abs(center.project(p).lateral));
+  }
+  const double bound = track.half_width - params.margin;
+  EXPECT_GT(max_offset, 0.4 * bound);
+  EXPECT_LE(max_offset, bound + 0.1);
+  const double len_ratio = polyline_length(result.line, true) /
+                           polyline_length(track.centerline, true);
+  EXPECT_GT(len_ratio, 0.9);
+  EXPECT_LT(len_ratio, 1.25);
+}
+
+TEST(RacelineOptimizer, EnablesFasterSpeedProfile) {
+  // The point of the exercise: lower curvature -> higher corner speeds.
+  const Track track = TrackGenerator::test_track();
+  const RacelineOptimizerResult result =
+      optimize_raceline(track.centerline, track.half_width);
+  const Raceline center{track.centerline};
+  const Raceline optimized{result.line};
+  const SpeedProfile sp_center{center, SpeedProfileParams{}};
+  const SpeedProfile sp_optimized{optimized, SpeedProfileParams{}};
+  EXPECT_GT(sp_optimized.min_speed(), sp_center.min_speed());
+  // Estimated lap time (integrate ds / v) improves.
+  const auto lap_time = [](const Raceline& line, const SpeedProfile& sp) {
+    double t = 0.0;
+    const double ds = 0.1;
+    for (double s = 0.0; s < line.length(); s += ds) t += ds / sp.speed(s);
+    return t;
+  };
+  EXPECT_LT(lap_time(optimized, sp_optimized), lap_time(center, sp_center));
+}
+
+TEST(RacelineOptimizer, DegenerateInputPassesThrough) {
+  const std::vector<Vec2> tiny = {{0, 0}, {1, 0}, {0, 1}};
+  const RacelineOptimizerResult result = optimize_raceline(tiny, 1.0);
+  EXPECT_EQ(result.line.size(), tiny.size());
+}
+
+TEST(RacelineOptimizer, ZeroBoundKeepsCenterline) {
+  const Track track = TrackGenerator::oval(6.0, 2.0);
+  RacelineOptimizerParams params;
+  params.margin = track.half_width;  // no room to move
+  const RacelineOptimizerResult result =
+      optimize_raceline(track.centerline, track.half_width, params);
+  for (std::size_t i = 0; i < result.line.size(); ++i) {
+    EXPECT_NEAR(distance(result.line[i], track.centerline[i]), 0.0, 0.05);
+  }
+}
+
+}  // namespace
+}  // namespace srl

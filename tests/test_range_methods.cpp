@@ -1,0 +1,211 @@
+#include "range/range_method.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/angles.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "gridmap/track_generator.hpp"
+#include "range/bresenham.hpp"
+#include "range/cddt.hpp"
+#include "range/lookup_table.hpp"
+#include "range/ray_marching.hpp"
+
+namespace srl {
+namespace {
+
+/// A square room: free interior, one-cell walls, 10 m x 10 m at 5 cm.
+std::shared_ptr<const OccupancyGrid> make_room() {
+  auto grid = std::make_shared<OccupancyGrid>(200, 200, 0.05, Vec2{0.0, 0.0},
+                                              OccupancyGrid::kFree);
+  for (int i = 0; i < 200; ++i) {
+    grid->at(i, 0) = OccupancyGrid::kOccupied;
+    grid->at(i, 199) = OccupancyGrid::kOccupied;
+    grid->at(0, i) = OccupancyGrid::kOccupied;
+    grid->at(199, i) = OccupancyGrid::kOccupied;
+  }
+  return grid;
+}
+
+TEST(Bresenham, AxisAlignedExact) {
+  auto room = make_room();
+  const BresenhamCaster caster{room, 20.0};
+  const Pose2 center{5.0, 5.0, 0.0};
+  // Wall inner face at x = 9.95 (the wall cell starts there).
+  EXPECT_NEAR(caster.range({5.0, 5.0, 0.0}), 4.95, 1e-6);
+  EXPECT_NEAR(caster.range({5.0, 5.0, kPi}), 4.95, 1e-6);
+  EXPECT_NEAR(caster.range({5.0, 5.0, kPi / 2.0}), 4.95, 1e-6);
+  EXPECT_NEAR(caster.range({5.0, 5.0, -kPi / 2.0}), 4.95, 1e-6);
+}
+
+TEST(Bresenham, DiagonalExact) {
+  auto room = make_room();
+  const BresenhamCaster caster{room, 20.0};
+  // 45 degrees from center: hits the corner region at ~4.95 * sqrt(2).
+  EXPECT_NEAR(caster.range({5.0, 5.0, kPi / 4.0}), 4.95 * std::sqrt(2.0),
+              0.08);
+}
+
+TEST(Bresenham, FromBlockedCellIsZero) {
+  auto room = make_room();
+  const BresenhamCaster caster{room, 20.0};
+  EXPECT_FLOAT_EQ(caster.range({0.01, 0.01, 0.0}), 0.0F);
+}
+
+TEST(Bresenham, OutsideMapIsZero) {
+  auto room = make_room();
+  const BresenhamCaster caster{room, 20.0};
+  EXPECT_FLOAT_EQ(caster.range({-5.0, -5.0, 0.0}), 0.0F);
+}
+
+TEST(Bresenham, MaxRangeCap) {
+  auto room = make_room();
+  const BresenhamCaster caster{room, 2.0};
+  EXPECT_FLOAT_EQ(caster.range({5.0, 5.0, 0.0}), 2.0F);
+}
+
+TEST(RangeFactory, BuildsEveryKind) {
+  auto room = make_room();
+  RangeMethodOptions opt;
+  opt.max_range = 12.0;
+  for (const auto kind :
+       {RangeMethodKind::kBresenham, RangeMethodKind::kRayMarching,
+        RangeMethodKind::kCddt, RangeMethodKind::kLut}) {
+    const auto method = make_range_method(kind, room, opt);
+    ASSERT_NE(method, nullptr);
+    EXPECT_EQ(method->name(), to_string(kind));
+    EXPECT_NEAR(method->range({5.0, 5.0, 0.0}), 4.95, 0.2);
+  }
+}
+
+TEST(RangeMethods, BatchMatchesScalar) {
+  auto room = make_room();
+  const Cddt cddt{room, 12.0};
+  std::vector<Pose2> rays;
+  Rng rng{5};
+  for (int i = 0; i < 50; ++i) {
+    rays.push_back(
+        {rng.uniform(1.0, 9.0), rng.uniform(1.0, 9.0), rng.uniform(-3, 3)});
+  }
+  std::vector<float> out(rays.size());
+  cddt.ranges(rays, out);
+  for (std::size_t i = 0; i < rays.size(); ++i) {
+    EXPECT_FLOAT_EQ(out[i], cddt.range(rays[i]));
+  }
+}
+
+TEST(Cddt, HasCompressedEntries) {
+  auto room = make_room();
+  const Cddt cddt{room, 12.0, 108};
+  EXPECT_EQ(cddt.theta_bins(), 108);
+  EXPECT_GT(cddt.total_entries(), 1000U);
+  // Compression: entries should be far fewer than bins * all wall cells.
+  EXPECT_LT(cddt.total_entries(), 108U * 800U * 2U);
+}
+
+TEST(Lut, MemoryAccounting) {
+  auto room = make_room();
+  const RangeLut lut{room, 12.0, 60, 2};
+  // 100 x 100 sampled cells x 60 bins x 2 bytes.
+  EXPECT_EQ(lut.memory_bytes(), 100U * 100U * 60U * 2U);
+}
+
+struct MethodCase {
+  RangeMethodKind kind;
+  double tolerance;        ///< per-ray deviation counted as "agreeing"
+  double max_outlier_frac; ///< allowed fraction of grazing-incidence outliers
+};
+
+/// Approximate backends are compared to the exact caster with quantile
+/// acceptance: at grazing wall incidence a sub-milliradian angular snap
+/// legitimately changes a range by meters (the same behavior rangelibc
+/// documents), so a small outlier fraction is expected, but the bulk of the
+/// distribution must agree tightly.
+class ApproxVsExact : public ::testing::TestWithParam<MethodCase> {};
+
+TEST_P(ApproxVsExact, AgreesWithBresenhamOnTracks) {
+  const MethodCase param = GetParam();
+  Rng rng{2024};
+  const Track track = TrackGenerator::test_track();
+  auto map = std::make_shared<const OccupancyGrid>(track.grid);
+  RangeMethodOptions opt;
+  opt.max_range = 12.0;
+  const auto method = make_range_method(param.kind, map, opt);
+  const BresenhamCaster exact{map, 12.0};
+
+  std::vector<double> errors;
+  for (int i = 0; i < 4000; ++i) {
+    // Random pose on the corridor (reuse centerline + jitter).
+    const auto& cl = track.centerline;
+    const Vec2 base = cl[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(cl.size()) - 1))];
+    const Pose2 ray{base.x + rng.gaussian(0.3), base.y + rng.gaussian(0.3),
+                    rng.uniform(-kPi, kPi)};
+    const GridIndex g = map->world_to_grid({ray.x, ray.y});
+    if (!map->in_bounds(g.ix, g.iy) || map->blocks_ray(g.ix, g.iy)) continue;
+    const float ref = exact.range(ray);
+    const float got = method->range(ray);
+    ASSERT_TRUE(std::isfinite(got));
+    EXPECT_GE(got, 0.0F);
+    EXPECT_LE(got, 12.0F + 1e-4F);
+    errors.push_back(std::abs(static_cast<double>(got - ref)));
+  }
+  ASSERT_GT(errors.size(), 2000U);
+
+  std::size_t outliers = 0;
+  for (double e : errors) {
+    if (e > param.tolerance) ++outliers;
+  }
+  const double outlier_frac =
+      static_cast<double>(outliers) / static_cast<double>(errors.size());
+  EXPECT_LT(outlier_frac, param.max_outlier_frac) << method->name();
+  EXPECT_LT(median(errors), 0.05) << method->name();
+  EXPECT_LT(percentile(errors, 90.0), param.tolerance) << method->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, ApproxVsExact,
+    ::testing::Values(
+        MethodCase{RangeMethodKind::kRayMarching, 0.15, 0.03},
+        MethodCase{RangeMethodKind::kCddt, 0.30, 0.08},
+        MethodCase{RangeMethodKind::kLut, 0.30, 0.08}),
+    [](const ::testing::TestParamInfo<MethodCase>& info) {
+      return to_string(info.param.kind);
+    });
+
+TEST(RangeMethods, ExactAngleAgreement) {
+  // When the query angle is exactly on a discretization bin, CDDT and LUT
+  // errors collapse to the band/cell level.
+  auto room = make_room();
+  const Cddt cddt{room, 12.0, 108};
+  const RangeLut lut{room, 12.0, 120, 1};
+  const BresenhamCaster exact{room, 12.0};
+  // theta = 0 is a bin center for both.
+  for (double y = 1.0; y < 9.0; y += 0.73) {
+    const Pose2 ray{2.0, y, 0.0};
+    EXPECT_NEAR(cddt.range(ray), exact.range(ray), 0.1) << y;
+    EXPECT_NEAR(lut.range(ray), exact.range(ray), 0.1) << y;
+  }
+}
+
+TEST(RayMarching, NeverOvershootsWalls) {
+  // Sphere tracing can stop early but must never report a range that puts
+  // the endpoint beyond a blocking cell.
+  auto room = make_room();
+  const RayMarching rm{room, 12.0};
+  const BresenhamCaster exact{room, 12.0};
+  Rng rng{77};
+  for (int i = 0; i < 500; ++i) {
+    const Pose2 ray{rng.uniform(0.5, 9.5), rng.uniform(0.5, 9.5),
+                    rng.uniform(-kPi, kPi)};
+    const GridIndex g = room->world_to_grid({ray.x, ray.y});
+    if (room->blocks_ray(g.ix, g.iy)) continue;
+    EXPECT_LE(rm.range(ray), exact.range(ray) + 0.08);
+  }
+}
+
+}  // namespace
+}  // namespace srl

@@ -1,0 +1,177 @@
+#include "slam/scan_matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/angles.hpp"
+#include "gridmap/track_generator.hpp"
+#include "range/bresenham.hpp"
+#include "sensor/lidar.hpp"
+#include "sensor/lidar_sim.hpp"
+
+namespace srl {
+namespace {
+
+/// Fixture: likelihood field of an oval track + a noiseless scan taken at a
+/// known pose, as body-frame points.
+struct MatchFixture {
+  Track track = TrackGenerator::oval(6.0, 2.0);
+  std::shared_ptr<const OccupancyGrid> map =
+      std::make_shared<const OccupancyGrid>(track.grid);
+  ProbabilityGrid field = ProbabilityGrid::likelihood_field(*map, 0.15);
+  LidarConfig lidar{};
+  Pose2 truth{0.0, -2.0, 0.0};  // on the bottom straight... but corners
+                                // visible, so the pose is observable
+  std::vector<Vec2> points;
+
+  MatchFixture() {
+    auto caster = std::make_shared<BresenhamCaster>(map, lidar.max_range);
+    LidarNoise noise;
+    noise.sigma_range = 0.0;
+    noise.dropout_prob = 0.0;
+    const LidarSim sim{lidar, caster, noise};
+    Rng rng{4};
+    const LaserScan scan = sim.scan(truth, 0.0, rng);
+    points = scan_to_points(scan, lidar, 6);
+  }
+};
+
+TEST(ScorePose, HigherAtTruth) {
+  MatchFixture f;
+  const double at_truth = score_pose(f.field, f.truth, f.points);
+  const double shifted =
+      score_pose(f.field, Pose2{f.truth.x, f.truth.y + 0.4, f.truth.theta},
+                 f.points);
+  EXPECT_GT(at_truth, 0.5);
+  EXPECT_GT(at_truth, shifted + 0.1);
+}
+
+TEST(ScorePose, EmptyPointsScoreZero) {
+  MatchFixture f;
+  EXPECT_DOUBLE_EQ(score_pose(f.field, f.truth, {}), 0.0);
+}
+
+TEST(Correlative, RecoversLateralOffset) {
+  MatchFixture f;
+  const CorrelativeScanMatcher csm{CorrelativeOptions{}};
+  const Pose2 seed{f.truth.x, f.truth.y + 0.08, f.truth.theta};
+  const ScanMatchResult r = csm.match(f.field, seed, f.points);
+  EXPECT_TRUE(r.ok);
+  EXPECT_NEAR(r.pose.y, f.truth.y, 0.04);
+}
+
+TEST(Correlative, RecoversRotationOffset) {
+  MatchFixture f;
+  CorrelativeOptions opt;
+  opt.angular_window = 0.1;
+  const CorrelativeScanMatcher csm{opt};
+  const Pose2 seed{f.truth.x, f.truth.y, f.truth.theta + 0.06};
+  const ScanMatchResult r = csm.match(f.field, seed, f.points);
+  EXPECT_TRUE(r.ok);
+  EXPECT_NEAR(angle_dist(r.pose.theta, f.truth.theta), 0.0, 0.03);
+}
+
+TEST(Correlative, TieBreaksTowardSeed) {
+  // On a flat surface (uniform grid), the best candidate is the seed itself
+  // rather than a window corner.
+  ProbabilityGrid flat{100, 100, 0.05, Vec2{}};
+  for (int y = 0; y < 100; ++y) {
+    for (int x = 0; x < 100; ++x) flat.update_hit(x, y);
+  }
+  const CorrelativeScanMatcher csm{CorrelativeOptions{}};
+  const std::vector<Vec2> pts = {{0.5, 0.0}, {0.0, 0.5}, {-0.5, 0.2}};
+  const Pose2 seed{2.5, 2.5, 0.3};
+  const ScanMatchResult r = csm.match(flat, seed, pts);
+  EXPECT_NEAR(r.pose.x, seed.x, 1e-9);
+  EXPECT_NEAR(r.pose.y, seed.y, 1e-9);
+  EXPECT_NEAR(r.pose.theta, seed.theta, 1e-9);
+}
+
+TEST(Correlative, MinScoreGate) {
+  MatchFixture f;
+  CorrelativeOptions opt;
+  opt.min_score = 0.99;  // unreachable
+  const CorrelativeScanMatcher csm{opt};
+  const ScanMatchResult r = csm.match(f.field, f.truth, f.points);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(GaussNewton, SubCellRefinement) {
+  MatchFixture f;
+  GaussNewtonOptions opt;
+  opt.translation_anchor = 0.1;  // nearly free: pure gradient refinement
+  opt.rotation_anchor = 0.05;
+  const GaussNewtonMatcher gn{opt};
+  const Pose2 seed{f.truth.x + 0.04, f.truth.y - 0.05, f.truth.theta + 0.02};
+  const ScanMatchResult r = gn.refine(f.field, seed, f.points);
+  // The corridor constrains laterally and in heading; the longitudinal
+  // direction is weakly observable on a straight, so allow more slack there.
+  EXPECT_LT(std::abs(r.pose.y - f.truth.y), 0.04);
+  EXPECT_LT(std::hypot(r.pose.x - f.truth.x, r.pose.y - f.truth.y), 0.09);
+  EXPECT_LT(angle_dist(r.pose.theta, f.truth.theta), 0.02);
+  EXPECT_GE(r.score, score_pose(f.field, seed, f.points) - 1e-6);
+}
+
+TEST(GaussNewton, StrongAnchorStaysAtSeed) {
+  MatchFixture f;
+  GaussNewtonOptions opt;
+  opt.translation_anchor = 1e7;
+  opt.rotation_anchor = 1e7;
+  const GaussNewtonMatcher gn{opt};
+  const Pose2 seed{f.truth.x + 0.1, f.truth.y, f.truth.theta};
+  const ScanMatchResult r = gn.refine(f.field, seed, f.points);
+  EXPECT_NEAR(r.pose.x, seed.x, 1e-3);
+  EXPECT_NEAR(r.pose.y, seed.y, 1e-3);
+}
+
+TEST(GaussNewton, AnchorSeparateFromStart) {
+  // With a flat grid, the solution must return to the ANCHOR even when the
+  // iteration starts elsewhere — the degenerate-direction behavior.
+  ProbabilityGrid flat{100, 100, 0.05, Vec2{}};
+  for (int y = 0; y < 100; ++y) {
+    for (int x = 0; x < 100; ++x) flat.update_hit(x, y);
+  }
+  GaussNewtonOptions opt;
+  const GaussNewtonMatcher gn{opt};
+  const std::vector<Vec2> pts = {{0.5, 0.0}, {0.0, 0.5}};
+  const Pose2 anchor{2.5, 2.5, 0.0};
+  const Pose2 start{2.6, 2.4, 0.05};
+  const ScanMatchResult r = gn.refine(flat, anchor, start, pts);
+  EXPECT_NEAR(r.pose.x, anchor.x, 0.01);
+  EXPECT_NEAR(r.pose.y, anchor.y, 0.01);
+  EXPECT_NEAR(angle_dist(r.pose.theta, anchor.theta), 0.0, 0.01);
+}
+
+TEST(GaussNewton, EmptyPointsReturnsSeed) {
+  MatchFixture f;
+  const GaussNewtonMatcher gn{GaussNewtonOptions{}};
+  const Pose2 seed{1.0, 2.0, 0.5};
+  const ScanMatchResult r = gn.refine(f.field, seed, {});
+  EXPECT_NEAR(r.pose.x, seed.x, 1e-6);
+}
+
+TEST(Pipeline, CsmPlusGnBeatsEither) {
+  MatchFixture f;
+  const CorrelativeScanMatcher csm{CorrelativeOptions{}};
+  GaussNewtonOptions gopt;
+  gopt.translation_anchor = 1.0;
+  gopt.rotation_anchor = 0.5;
+  const GaussNewtonMatcher gn{gopt};
+  const Pose2 seed{f.truth.x + 0.1, f.truth.y - 0.08, f.truth.theta + 0.04};
+  const ScanMatchResult coarse = csm.match(f.field, seed, f.points);
+  const ScanMatchResult fine =
+      gn.refine(f.field, seed, coarse.ok ? coarse.pose : seed, f.points);
+  // Lateral and heading must be pinned down; longitudinal is corridor-
+  // degenerate and may keep part of the seed offset.
+  EXPECT_LT(std::abs(fine.pose.y - f.truth.y), 0.05);
+  EXPECT_LT(angle_dist(fine.pose.theta, f.truth.theta), 0.02);
+  // GN optimizes the anchored objective, so the raw score may dip slightly
+  // below the unanchored correlative optimum.
+  EXPECT_GE(fine.score + 0.01, coarse.score);
+}
+
+}  // namespace
+}  // namespace srl

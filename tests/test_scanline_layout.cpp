@@ -1,0 +1,129 @@
+#include "sensor/scanline_layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/angles.hpp"
+
+namespace srl {
+namespace {
+
+bool sorted_unique(const std::vector<int>& v) {
+  return std::is_sorted(v.begin(), v.end()) &&
+         std::adjacent_find(v.begin(), v.end()) == v.end();
+}
+
+int count_within(const LidarConfig& cfg, const std::vector<int>& idx,
+                 double half_angle) {
+  int n = 0;
+  for (int i : idx) {
+    if (std::abs(cfg.beam_angle(i)) <= half_angle) ++n;
+  }
+  return n;
+}
+
+TEST(UniformLayout, CountAndCoverage) {
+  const LidarConfig cfg;
+  const auto idx = uniform_layout(cfg, 60);
+  EXPECT_EQ(idx.size(), 60U);
+  EXPECT_TRUE(sorted_unique(idx));
+  EXPECT_EQ(idx.front(), 0);
+  EXPECT_EQ(idx.back(), cfg.n_beams - 1);
+}
+
+TEST(UniformLayout, ClampsToBeamCount) {
+  LidarConfig cfg;
+  cfg.n_beams = 11;
+  const auto idx = uniform_layout(cfg, 100);
+  EXPECT_EQ(idx.size(), 11U);
+}
+
+TEST(UniformLayout, EvenAngularSpacing) {
+  const LidarConfig cfg;
+  const auto idx = uniform_layout(cfg, 30);
+  const auto angles = layout_angles(cfg, idx);
+  std::vector<double> gaps;
+  for (std::size_t i = 1; i < angles.size(); ++i) {
+    gaps.push_back(angles[i] - angles[i - 1]);
+  }
+  const double expected = cfg.fov / 29.0;
+  for (double g : gaps) EXPECT_NEAR(g, expected, 0.15 * expected);
+}
+
+TEST(BoxedLayout, SortedUniqueWithinFov) {
+  const LidarConfig cfg;
+  const auto idx = boxed_layout(cfg, 60, 3.0);
+  EXPECT_TRUE(sorted_unique(idx));
+  EXPECT_GE(idx.size(), 30U);  // some dedup loss allowed
+  for (int i : idx) {
+    EXPECT_GE(i, 0);
+    EXPECT_LT(i, cfg.n_beams);
+  }
+}
+
+TEST(BoxedLayout, ConcentratesBeamsForward) {
+  // The paper's motivation: with an elongated box, more beams point down
+  // the corridor than with the uniform layout.
+  const LidarConfig cfg;
+  const int count = 60;
+  const auto boxed = boxed_layout(cfg, count, 3.0);
+  const auto uniform = uniform_layout(cfg, count);
+  const double cone = deg2rad(30.0);
+  const double boxed_frac =
+      static_cast<double>(count_within(cfg, boxed, cone)) /
+      static_cast<double>(boxed.size());
+  const double uniform_frac =
+      static_cast<double>(count_within(cfg, uniform, cone)) /
+      static_cast<double>(uniform.size());
+  EXPECT_GT(boxed_frac, 1.5 * uniform_frac);
+}
+
+TEST(BoxedLayout, AspectControlsConcentration) {
+  const LidarConfig cfg;
+  const auto slim = boxed_layout(cfg, 80, 6.0);
+  const auto square = boxed_layout(cfg, 80, 1.0);
+  const double cone = deg2rad(25.0);
+  const double slim_frac = static_cast<double>(count_within(cfg, slim, cone)) /
+                           static_cast<double>(slim.size());
+  const double square_frac =
+      static_cast<double>(count_within(cfg, square, cone)) /
+      static_cast<double>(square.size());
+  EXPECT_GT(slim_frac, square_frac);
+}
+
+TEST(BoxedLayout, AlwaysIncludesForwardBeam) {
+  const LidarConfig cfg;
+  for (double aspect : {1.0, 2.0, 3.0, 5.0}) {
+    const auto idx = boxed_layout(cfg, 40, aspect);
+    const auto angles = layout_angles(cfg, idx);
+    const double closest = *std::min_element(
+        angles.begin(), angles.end(),
+        [](double a, double b) { return std::abs(a) < std::abs(b); });
+    EXPECT_LT(std::abs(closest), deg2rad(3.0)) << "aspect " << aspect;
+  }
+}
+
+TEST(LayoutAngles, MatchesConfig) {
+  const LidarConfig cfg;
+  const std::vector<int> idx = {0, cfg.n_beams / 2, cfg.n_beams - 1};
+  const auto angles = layout_angles(cfg, idx);
+  ASSERT_EQ(angles.size(), 3U);
+  EXPECT_NEAR(angles[0], cfg.angle_min(), 1e-9);
+  EXPECT_NEAR(angles[2], -cfg.angle_min(), 1e-9);
+  EXPECT_NEAR(angles[1], 0.0, cfg.angle_increment());
+}
+
+TEST(LidarConfig, NearestBeamInverse) {
+  const LidarConfig cfg;
+  for (int i = 0; i < cfg.n_beams; i += 97) {
+    EXPECT_EQ(cfg.nearest_beam(cfg.beam_angle(i)), i);
+  }
+  // Angles beyond the FOV clamp to the edges.
+  EXPECT_EQ(cfg.nearest_beam(-kPi), 0);
+  EXPECT_EQ(cfg.nearest_beam(kPi), cfg.n_beams - 1);
+}
+
+}  // namespace
+}  // namespace srl

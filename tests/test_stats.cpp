@@ -1,0 +1,152 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/angles.hpp"
+#include "common/rng.hpp"
+
+namespace srl {
+namespace {
+
+TEST(RunningStats, MatchesBatchMoments) {
+  const std::vector<double> xs = {1.0, 2.0, 2.5, -4.0, 7.25, 0.0};
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(rs.stddev(), stddev(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), -4.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 7.25);
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0U);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  rs.add(5.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsConcatenation) {
+  Rng rng{99};
+  RunningStats a;
+  RunningStats b;
+  RunningStats whole;
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.gaussian(2.0, 3.0);
+    (i < 40 ? a : b).add(x);
+    whole.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2U);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2U);
+  EXPECT_NEAR(empty.mean(), 2.0, 1e-12);
+}
+
+TEST(Percentile, InterpolatesSorted) {
+  const std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};  // sorted: 1 2 3 4
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 1.75);
+  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+}
+
+TEST(CircularMean, WrapsCorrectly) {
+  // Angles straddling the wrap average to pi, not 0.
+  const std::vector<double> xs = {kPi - 0.1, -kPi + 0.1};
+  EXPECT_NEAR(angle_dist(circular_mean(xs), kPi), 0.0, 1e-9);
+}
+
+TEST(CircularMean, MatchesArithmeticAwayFromWrap) {
+  const std::vector<double> xs = {0.1, 0.2, 0.3};
+  EXPECT_NEAR(circular_mean(xs), 0.2, 1e-9);
+}
+
+TEST(WeightedCircularMean, RespectsWeights) {
+  const std::vector<double> xs = {0.0, 1.0};
+  const std::vector<double> heavy_first = {10.0, 0.001};
+  EXPECT_NEAR(weighted_circular_mean(xs, heavy_first), 0.0, 1e-3);
+}
+
+TEST(CircularStddev, ZeroForConcentratedLargeForUniform) {
+  const std::vector<double> tight = {0.5, 0.5, 0.5};
+  EXPECT_NEAR(circular_stddev(tight), 0.0, 1e-9);
+  std::vector<double> spread;
+  for (int i = 0; i < 360; ++i) spread.push_back(deg2rad(i));
+  EXPECT_GT(circular_stddev(spread), 2.0);
+}
+
+TEST(CircularStddev, MatchesLinearForSmallSpread) {
+  Rng rng{7};
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.gaussian(0.05));
+  EXPECT_NEAR(circular_stddev(xs), 0.05, 0.003);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h{0.0, 10.0, 10};
+  h.add(0.5);   // bin 0
+  h.add(9.99);  // bin 9
+  h.add(-5.0);  // clamped to bin 0
+  h.add(15.0);  // clamped to bin 9
+  EXPECT_EQ(h.count(), 4U);
+  EXPECT_EQ(h.bin_count(0), 2U);
+  EXPECT_EQ(h.bin_count(9), 2U);
+  EXPECT_NEAR(h.bin_center(0), 0.5, 1e-12);
+  EXPECT_NEAR(h.bin_center(9), 9.5, 1e-12);
+  EXPECT_FALSE(h.ascii().empty());
+}
+
+TEST(Rng, Deterministic) {
+  Rng a{123};
+  Rng b{123};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng{5};
+  RunningStats rs;
+  for (int i = 0; i < 50000; ++i) rs.add(rng.gaussian(1.5, 0.5));
+  EXPECT_NEAR(rs.mean(), 1.5, 0.01);
+  EXPECT_NEAR(rs.stddev(), 0.5, 0.01);
+}
+
+TEST(Rng, ZeroStddevGaussianIsExact) {
+  Rng rng{5};
+  EXPECT_DOUBLE_EQ(rng.gaussian(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(rng.gaussian(3.0, 0.0), 3.0);
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng{11};
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+  }
+}
+
+}  // namespace
+}  // namespace srl

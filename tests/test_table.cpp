@@ -1,0 +1,40 @@
+#include "eval/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace srl {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t{{"name", "value"}};
+  t.add_row({"alpha", "1"});
+  t.add_row({"a-much-longer-name", "22.5"});
+  const std::string out = t.render();
+  // All rows have the same width.
+  std::size_t first_len = out.find('\n');
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t next = out.find('\n', pos);
+    if (next == std::string::npos) break;
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22.5"), std::string::npos);
+}
+
+TEST(TextTable, NumFormatsFixed) {
+  EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::num(-0.5, 3), "-0.500");
+  EXPECT_EQ(TextTable::num(9.0, 0), "9");
+}
+
+TEST(TextTable, ShortRowsPadded) {
+  TextTable t{{"a", "b", "c"}};
+  t.add_row({"only-one"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("only-one"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace srl

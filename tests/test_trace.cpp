@@ -1,0 +1,156 @@
+#include "eval/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+
+#include "common/timer.hpp"
+#include "core/synpf.hpp"
+#include "eval/experiment.hpp"
+#include "gridmap/track_generator.hpp"
+
+namespace srl {
+namespace {
+
+/// Odometry-only localizer for recording traces cheaply.
+class DeadReckoning final : public Localizer {
+ public:
+  void initialize(const Pose2& pose) override { pose_ = pose; }
+  void on_odometry(const OdometryDelta& odom) override {
+    pose_ = (pose_ * odom.delta).normalized();
+  }
+  Pose2 on_scan(const LaserScan&) override { return pose_; }
+  Pose2 pose() const override { return pose_; }
+  std::string name() const override { return "DeadReckoning"; }
+  double mean_scan_update_ms() const override { return 0.0; }
+  double total_busy_s() const override { return 0.0; }
+
+ private:
+  Pose2 pose_{};
+};
+
+/// Short drive on the oval, recorded once for all tests in this file.
+class TraceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    track_ = new Track{TrackGenerator::oval(8.0, 2.5)};
+    trace_ = new SensorTrace{};
+    ExperimentConfig cfg;
+    cfg.laps = 1;
+    cfg.max_sim_time = 25.0;
+    cfg.profile.scale = 0.5;
+    cfg.odom_noise.speed_noise = 0.0;
+    cfg.odom_noise.steer_noise = 0.0;
+    ExperimentRunner runner{*track_, cfg};
+    DeadReckoning driver;
+    runner.run(driver, trace_);
+  }
+  static void TearDownTestSuite() {
+    delete trace_;
+    delete track_;
+    trace_ = nullptr;
+    track_ = nullptr;
+  }
+
+  static Track* track_;
+  static SensorTrace* trace_;
+};
+
+Track* TraceTest::track_ = nullptr;
+SensorTrace* TraceTest::trace_ = nullptr;
+
+TEST_F(TraceTest, RecordingCapturesStreams) {
+  ASSERT_FALSE(trace_->empty());
+  // 100 Hz odometry vs 40 Hz scans: ratio ~2.5.
+  EXPECT_GT(trace_->odometry().size(), 2 * trace_->scans().size());
+  EXPECT_GT(trace_->scans().size(), 100U);
+  EXPECT_GT(trace_->duration(), 5.0);
+  // Timestamps are monotone.
+  for (std::size_t i = 1; i < trace_->odometry().size(); ++i) {
+    EXPECT_LE(trace_->odometry()[i - 1].t, trace_->odometry()[i].t);
+  }
+}
+
+TEST_F(TraceTest, SaveLoadRoundTrip) {
+  const std::string path = "trace_test_tmp.srlt";
+  ASSERT_TRUE(trace_->save(path));
+  const auto loaded = SensorTrace::load(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->odometry().size(), trace_->odometry().size());
+  ASSERT_EQ(loaded->scans().size(), trace_->scans().size());
+  EXPECT_DOUBLE_EQ(loaded->odometry()[5].t, trace_->odometry()[5].t);
+  EXPECT_DOUBLE_EQ(loaded->odometry()[5].odom.delta.x,
+                   trace_->odometry()[5].odom.delta.x);
+  const auto& a = loaded->scans()[3];
+  const auto& b = trace_->scans()[3];
+  EXPECT_DOUBLE_EQ(a.truth.x, b.truth.x);
+  EXPECT_EQ(a.scan.ranges, b.scan.ranges);
+}
+
+TEST_F(TraceTest, LoadRejectsGarbage) {
+  const std::string path = "trace_garbage_tmp.srlt";
+  {
+    std::ofstream out{path, std::ios::binary};
+    out << "not a trace at all";
+  }
+  EXPECT_FALSE(SensorTrace::load(path).has_value());
+  std::remove(path.c_str());
+  EXPECT_FALSE(SensorTrace::load("nonexistent.srlt").has_value());
+}
+
+TEST_F(TraceTest, ReplayIntoSynPfIsAccurateAndDeterministic) {
+  auto map = std::make_shared<const OccupancyGrid>(track_->grid);
+  SynPfConfig cfg;
+  cfg.range = RangeMethodKind::kCddt;
+  cfg.filter.n_particles = 800;
+
+  SynPf a{cfg, map, LidarConfig{}};
+  const SensorTrace::ReplayResult ra = trace_->replay(a);
+  EXPECT_EQ(ra.estimates.size(), trace_->scans().size());
+  EXPECT_LT(ra.pose_rmse_m, 0.2);
+  EXPECT_LT(ra.heading_rmse_rad, 0.1);
+
+  // Same trace + same seed -> bitwise-identical estimates.
+  SynPf b{cfg, map, LidarConfig{}};
+  const SensorTrace::ReplayResult rb = trace_->replay(b);
+  ASSERT_EQ(ra.estimates.size(), rb.estimates.size());
+  for (std::size_t i = 0; i < ra.estimates.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ra.estimates[i].x, rb.estimates[i].x);
+    EXPECT_DOUBLE_EQ(ra.estimates[i].theta, rb.estimates[i].theta);
+  }
+}
+
+TEST_F(TraceTest, ReplayBeatsDeadReckoningOnNoisyOdometry) {
+  // Corrupt the odometry of a copy of the trace; the PF replay must beat
+  // pure dead reckoning on the identical data.
+  SensorTrace corrupted = *trace_;
+  {
+    SensorTrace rebuilt;
+    for (const auto& rec : corrupted.odometry()) {
+      OdometryDelta odom = rec.odom;
+      odom.delta.x *= 1.15;  // 15% longitudinal over-reporting
+      rebuilt.add_odometry(rec.t, odom);
+    }
+    for (const auto& rec : corrupted.scans()) {
+      rebuilt.add_scan(rec.scan, rec.truth);
+    }
+    corrupted = std::move(rebuilt);
+  }
+  DeadReckoning dr;
+  const auto dr_result = corrupted.replay(dr);
+
+  auto map = std::make_shared<const OccupancyGrid>(track_->grid);
+  SynPfConfig cfg;
+  cfg.range = RangeMethodKind::kCddt;
+  cfg.filter.n_particles = 800;
+  SynPf pf{cfg, map, LidarConfig{}};
+  const auto pf_result = corrupted.replay(pf);
+
+  EXPECT_LT(pf_result.pose_rmse_m, 0.3 * dr_result.pose_rmse_m);
+}
+
+}  // namespace
+}  // namespace srl

@@ -1,0 +1,102 @@
+#include "gridmap/track_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/polyline.hpp"
+#include "gridmap/distance_transform.hpp"
+
+namespace srl {
+namespace {
+
+void expect_valid_track(const Track& track, const TrackSpec& spec) {
+  ASSERT_GE(track.centerline.size(), 10U);
+  // Canonical CCW orientation.
+  EXPECT_GT(signed_area(track.centerline), 0.0);
+  // Every centerline point sits in free space with at least ~the corridor
+  // half width of clearance (minus rasterization slack).
+  const DistanceField df = distance_transform(track.grid);
+  for (const Vec2& p : track.centerline) {
+    EXPECT_TRUE(track.grid.is_free_at(p)) << p.x << "," << p.y;
+    EXPECT_GT(df.at_world(p), 0.7 * spec.half_width) << p.x << "," << p.y;
+  }
+  // The corridor is enclosed: walls exist.
+  EXPECT_GT(track.grid.count(OccupancyGrid::kOccupied), 100U);
+  EXPECT_GT(track.grid.count(OccupancyGrid::kFree), 100U);
+}
+
+TEST(TrackGenerator, OvalIsValid) {
+  const TrackSpec spec;
+  const Track track = TrackGenerator::oval(6.0, 2.0, spec);
+  expect_valid_track(track, spec);
+}
+
+TEST(TrackGenerator, OvalCenterlineLength) {
+  const Track track = TrackGenerator::oval(6.0, 2.0);
+  // Stadium perimeter: 2 straights + full circle = 2*6 + 2*pi*2.
+  const double expected = 12.0 + kTwoPi * 2.0;
+  EXPECT_NEAR(polyline_length(track.centerline, true), expected,
+              0.05 * expected);
+}
+
+TEST(TrackGenerator, RoundedRectIsValid) {
+  const TrackSpec spec;
+  const Track track = TrackGenerator::rounded_rect(14.0, 8.0, 2.0, spec);
+  expect_valid_track(track, spec);
+}
+
+TEST(TrackGenerator, TestTrackIsValid) {
+  const TrackSpec spec;
+  const Track track = TrackGenerator::test_track(spec);
+  expect_valid_track(track, spec);
+  // The Table-I geometry: lap length around 43-47 m.
+  const double len = polyline_length(track.centerline, true);
+  EXPECT_GT(len, 35.0);
+  EXPECT_LT(len, 55.0);
+}
+
+TEST(TrackGenerator, HairpinIsValid) {
+  const TrackSpec spec;
+  const Track track = TrackGenerator::hairpin(spec);
+  expect_valid_track(track, spec);
+}
+
+TEST(TrackGenerator, CustomSpecRespected) {
+  TrackSpec spec;
+  spec.half_width = 0.8;
+  spec.resolution = 0.1;
+  const Track track = TrackGenerator::oval(5.0, 1.8, spec);
+  EXPECT_DOUBLE_EQ(track.grid.resolution(), 0.1);
+  EXPECT_DOUBLE_EQ(track.half_width, 0.8);
+  expect_valid_track(track, spec);
+}
+
+TEST(TrackGenerator, CorridorWidthMatchesSpec) {
+  TrackSpec spec;
+  spec.half_width = 1.0;
+  const Track track = TrackGenerator::oval(8.0, 2.5, spec);
+  const DistanceField df = distance_transform(track.grid);
+  // At centerline points along the straight, wall distance ~ half width.
+  int checked = 0;
+  for (const Vec2& p : track.centerline) {
+    if (std::abs(p.y + 2.5) < 0.05 && std::abs(p.x) < 3.0) {
+      EXPECT_NEAR(df.at_world(p), spec.half_width, 0.15);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 5);
+}
+
+class RandomCircuit : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomCircuit, AlwaysValid) {
+  Rng rng{static_cast<std::uint64_t>(GetParam())};
+  const TrackSpec spec;
+  const Track track =
+      TrackGenerator::random_circuit(rng, 10, 6.0, 1.5, spec);
+  expect_valid_track(track, spec);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCircuit, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace srl

@@ -1,0 +1,153 @@
+#include "common/types.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/angles.hpp"
+#include "common/rng.hpp"
+
+namespace srl {
+namespace {
+
+void expect_pose_near(const Pose2& a, const Pose2& b, double tol = 1e-9) {
+  EXPECT_NEAR(a.x, b.x, tol);
+  EXPECT_NEAR(a.y, b.y, tol);
+  EXPECT_NEAR(angle_dist(a.theta, b.theta), 0.0, tol);
+}
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{-3.0, 0.5};
+  EXPECT_DOUBLE_EQ((a + b).x, -2.0);
+  EXPECT_DOUBLE_EQ((a - b).y, 1.5);
+  EXPECT_DOUBLE_EQ((a * 2.0).x, 2.0);
+  EXPECT_DOUBLE_EQ((2.0 * a).y, 4.0);
+  EXPECT_DOUBLE_EQ(a.dot(b), -3.0 + 1.0);
+  EXPECT_DOUBLE_EQ(a.cross(b), 1.0 * 0.5 - 2.0 * (-3.0));
+  EXPECT_DOUBLE_EQ(Vec2(3.0, 4.0).norm(), 5.0);
+}
+
+TEST(Vec2, RotationAndPerp) {
+  const Vec2 x{1.0, 0.0};
+  const Vec2 r = x.rotated(kPi / 2.0);
+  EXPECT_NEAR(r.x, 0.0, 1e-12);
+  EXPECT_NEAR(r.y, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(x.perp().x, 0.0);
+  EXPECT_DOUBLE_EQ(x.perp().y, 1.0);
+  EXPECT_NEAR(Vec2(2.0, 0.0).normalized().norm(), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(Vec2{}.normalized().norm(), 0.0);
+}
+
+TEST(Pose2, IdentityComposition) {
+  const Pose2 p{1.0, -2.0, 0.7};
+  expect_pose_near(p * Pose2{}, p);
+  expect_pose_near(Pose2{} * p, p);
+}
+
+TEST(Pose2, InverseCancels) {
+  const Pose2 p{3.0, 1.0, 2.2};
+  expect_pose_near(p * p.inverse(), Pose2{});
+  expect_pose_near(p.inverse() * p, Pose2{});
+}
+
+TEST(Pose2, BetweenRecoversTarget) {
+  const Pose2 a{1.0, 2.0, 0.3};
+  const Pose2 b{-0.5, 4.0, -1.1};
+  expect_pose_near(a * a.between(b), b);
+}
+
+TEST(Pose2, TransformMatchesComposition) {
+  const Pose2 p{2.0, -1.0, kPi / 3.0};
+  const Vec2 q{0.5, 0.25};
+  const Vec2 via_transform = p.transform(q);
+  const Pose2 as_pose = p * Pose2{q.x, q.y, 0.0};
+  EXPECT_NEAR(via_transform.x, as_pose.x, 1e-12);
+  EXPECT_NEAR(via_transform.y, as_pose.y, 1e-12);
+}
+
+TEST(Pose2, InverseTransformRoundTrip) {
+  const Pose2 p{-1.0, 5.0, 2.9};
+  const Vec2 q{3.0, -2.0};
+  const Vec2 rt = p.inverse_transform(p.transform(q));
+  EXPECT_NEAR(rt.x, q.x, 1e-12);
+  EXPECT_NEAR(rt.y, q.y, 1e-12);
+}
+
+/// Group axioms over random poses.
+class PoseProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PoseProperty, Associativity) {
+  Rng rng{static_cast<std::uint64_t>(GetParam())};
+  for (int i = 0; i < 50; ++i) {
+    const Pose2 a{rng.uniform(-5, 5), rng.uniform(-5, 5), rng.uniform(-3, 3)};
+    const Pose2 b{rng.uniform(-5, 5), rng.uniform(-5, 5), rng.uniform(-3, 3)};
+    const Pose2 c{rng.uniform(-5, 5), rng.uniform(-5, 5), rng.uniform(-3, 3)};
+    expect_pose_near((a * b) * c, a * (b * c), 1e-9);
+  }
+}
+
+TEST_P(PoseProperty, InverseOfProduct) {
+  Rng rng{static_cast<std::uint64_t>(GetParam()) + 17};
+  for (int i = 0; i < 50; ++i) {
+    const Pose2 a{rng.uniform(-5, 5), rng.uniform(-5, 5), rng.uniform(-3, 3)};
+    const Pose2 b{rng.uniform(-5, 5), rng.uniform(-5, 5), rng.uniform(-3, 3)};
+    expect_pose_near((a * b).inverse(), b.inverse() * a.inverse(), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PoseProperty, ::testing::Range(1, 6));
+
+TEST(IntegrateTwist, StraightLine) {
+  const Pose2 p = integrate_twist(Pose2{}, Twist2{2.0, 0.0, 0.0}, 0.5);
+  expect_pose_near(p, Pose2{1.0, 0.0, 0.0});
+}
+
+TEST(IntegrateTwist, PureRotation) {
+  const Pose2 p = integrate_twist(Pose2{}, Twist2{0.0, 0.0, 1.0}, kPi / 2.0);
+  expect_pose_near(p, Pose2{0.0, 0.0, kPi / 2.0}, 1e-9);
+}
+
+TEST(IntegrateTwist, QuarterCircleArc) {
+  // vx = 1, wz = 1 for pi/2 seconds: quarter circle of radius 1 ending at
+  // (1, 1) facing +y.
+  const Pose2 p =
+      integrate_twist(Pose2{}, Twist2{1.0, 0.0, 1.0}, kPi / 2.0);
+  expect_pose_near(p, Pose2{1.0, 1.0, kPi / 2.0}, 1e-9);
+}
+
+TEST(IntegrateTwist, LateralVelocity) {
+  const Pose2 p = integrate_twist(Pose2{}, Twist2{0.0, 1.5, 0.0}, 2.0);
+  expect_pose_near(p, Pose2{0.0, 3.0, 0.0});
+}
+
+TEST(IntegrateTwist, NegativeDtReverses) {
+  const Twist2 tw{1.3, -0.4, 0.8};
+  const Pose2 fwd = integrate_twist(Pose2{}, tw, 0.37);
+  const Pose2 back = integrate_twist(fwd, tw, -0.37);
+  expect_pose_near(back, Pose2{}, 1e-9);
+}
+
+TEST(IntegrateTwist, MatchesSmallStepComposition) {
+  // One big exact step equals many small steps (the exponential map is
+  // exact for constant twists).
+  const Twist2 tw{3.0, 0.5, -1.2};
+  const double total = 0.8;
+  const Pose2 one = integrate_twist(Pose2{1, 2, 0.3}, tw, total);
+  Pose2 many{1, 2, 0.3};
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) many = integrate_twist(many, tw, total / n);
+  expect_pose_near(one, many, 1e-6);
+}
+
+TEST(IntegrateTwist, ZeroYawRateLimitContinuous) {
+  // The wz->0 branch must agree with tiny-but-nonzero wz.
+  const Twist2 small{2.0, 0.5, 1e-10};
+  const Twist2 zero{2.0, 0.5, 0.0};
+  const Pose2 a = integrate_twist(Pose2{}, small, 1.0);
+  const Pose2 b = integrate_twist(Pose2{}, zero, 1.0);
+  expect_pose_near(a, b, 1e-8);
+}
+
+}  // namespace
+}  // namespace srl
