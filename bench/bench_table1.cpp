@@ -21,6 +21,7 @@
 #include "eval/table.hpp"
 #include "gridmap/track_generator.hpp"
 #include "slam/pure_localization.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -47,6 +48,8 @@ int main() {
     std::string odom;
     double mu;
     ExperimentResult r;
+    /// Per-cell registry holding the localizer's stage histograms.
+    std::shared_ptr<telemetry::MetricsRegistry> metrics;
   };
   std::vector<Cell> cells;
 
@@ -74,8 +77,11 @@ int main() {
       }
       std::cout << "  running " << localizer->name() << " / "
                 << (mu == kMuHq ? "HQ" : "LQ") << " ..." << std::flush;
+      auto metrics = std::make_shared<telemetry::MetricsRegistry>();
       Cell cell{localizer->name(), mu == kMuHq ? "HQ" : "LQ", mu,
-                runner.run(*localizer)};
+                runner.run(*localizer, nullptr,
+                           telemetry::Sink{metrics.get(), nullptr}),
+                metrics};
       std::cout << " done (" << cell.r.lap_times.size() << " laps"
                 << (cell.r.crashed ? ", CRASHED" : "") << ")\n";
       cells.push_back(std::move(cell));
@@ -83,9 +89,9 @@ int main() {
   }
 
   TextTable table{{"Method", "Odom", "LapTime mu [s]", "sigma", "Err mu [cm]",
-                   "sigma", "ScanAlign [%]", "Load [%]", "Update [ms]",
-                   "PoseRMSE [cm]", "Lat [cm]", "Long [cm]", "Hdg [mrad]",
-                   "Slip [m/s]", "Drift [m/lap]"}};
+                   "sigma", "ScanAlign [%]", "Load [%]", "Upd p50 [ms]",
+                   "p95", "p99", "PoseRMSE [cm]", "Lat [cm]", "Long [cm]",
+                   "Hdg [mrad]", "Slip [m/s]", "Drift [m/lap]"}};
   for (const Cell& c : cells) {
     table.add_row({c.method, c.odom, TextTable::num(c.r.lap_time_mean),
                    TextTable::num(c.r.lap_time_std),
@@ -93,7 +99,9 @@ int main() {
                    TextTable::num(c.r.lateral_std_cm),
                    TextTable::num(c.r.scan_alignment, 1),
                    TextTable::num(c.r.load_percent, 2),
-                   TextTable::num(c.r.mean_update_ms, 2),
+                   TextTable::num(c.r.update_p50_ms, 2),
+                   TextTable::num(c.r.update_p95_ms, 2),
+                   TextTable::num(c.r.update_p99_ms, 2),
                    TextTable::num(c.r.pose_rmse_m * 100.0, 2),
                    TextTable::num(c.r.pose_lat_rmse_m * 100.0, 2),
                    TextTable::num(c.r.pose_long_rmse_m * 100.0, 2),
@@ -102,6 +110,25 @@ int main() {
                    TextTable::num(c.r.odom_drift_m_per_lap, 2)});
   }
   std::cout << "\n" << table.render();
+
+  // Per-stage latency percentiles from each cell's metrics registry — the
+  // breakdown behind the Update column (predict / raycast / weight /
+  // resample for SynPF; local match / insert / global for CartoLite).
+  TextTable stages{{"Method", "Odom", "Stage", "n", "mean [ms]", "p50 [ms]",
+                    "p95 [ms]", "p99 [ms]", "max [ms]"}};
+  for (const Cell& c : cells) {
+    for (const auto& row : c.metrics->rows()) {
+      if (row.kind != "histogram" || row.hist.count == 0) continue;
+      stages.add_row({c.method, c.odom, row.name,
+                      std::to_string(row.hist.count),
+                      TextTable::num(row.hist.mean, 3),
+                      TextTable::num(row.hist.p50, 3),
+                      TextTable::num(row.hist.p95, 3),
+                      TextTable::num(row.hist.p99, 3),
+                      TextTable::num(row.hist.max, 3)});
+    }
+  }
+  std::cout << "\nPer-stage scan-update latency:\n" << stages.render();
 
   // Paper's numbers for side-by-side comparison.
   std::cout << "\nPaper (Table I): Cartographer HQ 9.167/0.097 6.864/0.264 "
@@ -143,8 +170,9 @@ int main() {
   CsvWriter csv{"table1.csv"};
   csv.write_header({"method", "odom", "mu", "lap_time_mean", "lap_time_std",
                     "lateral_mean_cm", "lateral_std_cm", "scan_align",
-                    "load_percent", "update_ms", "slip", "drift_m_per_lap",
-                    "crashed"});
+                    "load_percent", "update_ms", "update_p50_ms",
+                    "update_p95_ms", "update_p99_ms", "slip",
+                    "drift_m_per_lap", "crashed"});
   for (const Cell& c : cells) {
     csv.write_row(std::vector<std::string>{
         c.method, c.odom, TextTable::num(c.mu, 2),
@@ -154,10 +182,21 @@ int main() {
         TextTable::num(c.r.scan_alignment, 2),
         TextTable::num(c.r.load_percent, 2),
         TextTable::num(c.r.mean_update_ms, 3),
+        TextTable::num(c.r.update_p50_ms, 3),
+        TextTable::num(c.r.update_p95_ms, 3),
+        TextTable::num(c.r.update_p99_ms, 3),
         TextTable::num(c.r.mean_abs_slip, 3),
         TextTable::num(c.r.odom_drift_m_per_lap, 3),
         c.r.crashed ? "1" : "0"});
   }
   std::cout << "\nwrote table1.csv\n";
+
+  // Full metric dump (stage histograms, health gauges, backend counters)
+  // for each cell, for offline analysis.
+  for (const Cell& c : cells) {
+    const std::string path = "table1_metrics_" + c.method + "_" + c.odom +
+                             ".csv";
+    if (c.metrics->write_csv(path)) std::cout << "wrote " << path << "\n";
+  }
   return 0;
 }

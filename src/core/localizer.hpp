@@ -11,6 +11,7 @@
 #include "common/types.hpp"
 #include "motion/motion_model.hpp"
 #include "sensor/lidar.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace srl {
 
@@ -36,6 +37,12 @@ class Localizer {
   virtual double mean_scan_update_ms() const = 0;
   /// Total busy seconds across all updates (for the CPU-load column).
   virtual double total_busy_s() const = 0;
+
+  /// Attach a telemetry sink (metrics registry and/or trace buffer); an
+  /// implementation that overrides this records per-stage latency
+  /// histograms, spans, and health gauges into it. Either pointer may be
+  /// null; the default implementation ignores the sink entirely.
+  virtual void set_telemetry(const telemetry::Sink& sink) { (void)sink; }
 };
 
 }  // namespace srl

@@ -57,60 +57,159 @@ void ParticleFilter::init_global(const OccupancyGrid& map) {
   }
 }
 
+void ParticleFilter::set_telemetry(const telemetry::Sink& sink) {
+  sink_ = sink;
+  if (sink.metrics != nullptr) {
+    telemetry::MetricsRegistry& m = *sink.metrics;
+    h_predict_ = &m.histogram("pf.predict_ms");
+    h_raycast_ = &m.histogram("pf.raycast_ms");
+    h_weight_ = &m.histogram("pf.weight_ms");
+    h_resample_ = &m.histogram("pf.resample_ms");
+    g_ess_ = &m.gauge("pf.ess");
+    g_ess_fraction_ = &m.gauge("pf.ess_fraction");
+    g_entropy_ = &m.gauge("pf.weight_entropy");
+    g_max_share_ = &m.gauge("pf.max_weight_share");
+    g_particles_ = &m.gauge("pf.particles");
+    g_pose_jump_ = &m.gauge("pf.pose_jump_m");
+    c_updates_ = &m.counter("pf.updates");
+    c_resamples_ = &m.counter("pf.resamples");
+    c_jump_alarms_ = &m.counter("pf.pose_jump_alarms");
+    caster_->attach_telemetry(m);
+  } else {
+    h_predict_ = h_raycast_ = h_weight_ = h_resample_ = nullptr;
+    g_ess_ = g_ess_fraction_ = g_entropy_ = g_max_share_ = nullptr;
+    g_particles_ = g_pose_jump_ = nullptr;
+    c_updates_ = c_resamples_ = c_jump_alarms_ = nullptr;
+  }
+}
+
 void ParticleFilter::predict(const OdometryDelta& odom) {
+  telemetry::ScopedSpan span{sink_.trace, "pf.predict"};
+  telemetry::StageTimer timer{h_predict_};
   for (Particle& p : particles_) {
     p.pose = motion_->sample(p.pose, odom, rng_);
   }
+  timer.stop();
 }
 
 void ParticleFilter::correct(const LaserScan& scan) {
   const std::size_t n = particles_.size();
   const std::size_t k = beam_indices_.size();
-  double max_log = -std::numeric_limits<double>::infinity();
 
-  for (std::size_t i = 0; i < n; ++i) {
-    const Pose2 sensor = particles_[i].pose * lidar_.mount;
-    double log_w = 0.0;
-    for (std::size_t j = 0; j < k; ++j) {
-      const auto idx = static_cast<std::size_t>(beam_indices_[j]);
-      if (idx >= scan.ranges.size()) continue;
-      const float measured = scan.ranges[idx];
-      const float expected =
-          caster_->range({sensor.x, sensor.y, sensor.theta + beam_angles_[j]});
-      log_w += beam_model_.log_prob(measured, expected);
+  // Propagated prior estimate, kept only for the pose-jump detector.
+  const bool health_on = sink_.metrics != nullptr;
+  const Pose2 predicted = health_on ? estimate() : Pose2{};
+
+  // Stage 1 — raycast: expected range for every (particle, beam) pair
+  // through the backend's batch interface, into a reusable scratch buffer.
+  {
+    telemetry::ScopedSpan span{sink_.trace, "pf.raycast"};
+    telemetry::StageTimer timer{h_raycast_};
+    expected_.resize(n * k);
+    ray_scratch_.resize(k);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Pose2 sensor = particles_[i].pose * lidar_.mount;
+      for (std::size_t j = 0; j < k; ++j) {
+        ray_scratch_[j] =
+            Pose2{sensor.x, sensor.y, sensor.theta + beam_angles_[j]};
+      }
+      caster_->ranges(ray_scratch_,
+                      std::span<float>{expected_}.subspan(i * k, k));
     }
-    log_weights_[i] = log_w;
-    max_log = std::max(max_log, log_w);
+    timer.stop();
   }
 
-  // Recovery bookkeeping (AMCL w_slow / w_fast): the per-beam geometric
-  // mean likelihood of the cloud is the health signal.
-  if (config_.recovery && k > 0) {
-    double sum_log = 0.0;
-    for (std::size_t i = 0; i < n; ++i) sum_log += log_weights_[i];
-    const double w_avg =
-        std::exp(sum_log / (static_cast<double>(n) * static_cast<double>(k)));
-    if (w_slow_ == 0.0) w_slow_ = w_avg;
-    if (w_fast_ == 0.0) w_fast_ = w_avg;
-    w_slow_ += config_.recovery_alpha_slow * (w_avg - w_slow_);
-    w_fast_ += config_.recovery_alpha_fast * (w_avg - w_fast_);
-    injection_prob_ =
-        w_slow_ > 0.0 ? std::max(0.0, 1.0 - w_fast_ / w_slow_) : 0.0;
+  // Stage 2 — weight: score each particle's expected ranges against the
+  // measured scan with the beam model, then squash and normalize.
+  {
+    telemetry::ScopedSpan weight_span{sink_.trace, "pf.weight"};
+    telemetry::StageTimer weight_timer{h_weight_};
+    double max_log = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      double log_w = 0.0;
+      const float* expected_row = expected_.data() + i * k;
+      for (std::size_t j = 0; j < k; ++j) {
+        const auto idx = static_cast<std::size_t>(beam_indices_[j]);
+        if (idx >= scan.ranges.size()) continue;
+        log_w += beam_model_.log_prob(scan.ranges[idx], expected_row[j]);
+      }
+      log_weights_[i] = log_w;
+      max_log = std::max(max_log, log_w);
+    }
+
+    // Recovery bookkeeping (AMCL w_slow / w_fast): the per-beam geometric
+    // mean likelihood of the cloud is the health signal.
+    if (config_.recovery && k > 0) {
+      double sum_log = 0.0;
+      for (std::size_t i = 0; i < n; ++i) sum_log += log_weights_[i];
+      const double w_avg = std::exp(
+          sum_log / (static_cast<double>(n) * static_cast<double>(k)));
+      if (w_slow_ == 0.0) w_slow_ = w_avg;
+      if (w_fast_ == 0.0) w_fast_ = w_avg;
+      w_slow_ += config_.recovery_alpha_slow * (w_avg - w_slow_);
+      w_fast_ += config_.recovery_alpha_fast * (w_avg - w_fast_);
+      injection_prob_ =
+          w_slow_ > 0.0 ? std::max(0.0, 1.0 - w_fast_ / w_slow_) : 0.0;
+    }
+
+    // Squash and exponentiate relative to the max for numerical stability;
+    // fold in the prior weights (uniform after a resample, usually a no-op).
+    const double inv_squash = 1.0 / std::max(config_.squash_factor, 1e-6);
+    for (std::size_t i = 0; i < n; ++i) {
+      particles_[i].weight *=
+          std::exp((log_weights_[i] - max_log) * inv_squash);
+    }
+    normalize_weights();
+    weight_timer.stop();
   }
 
-  // Squash and exponentiate relative to the max for numerical stability;
-  // fold in the prior weights (uniform after a resample, so usually a no-op).
-  const double inv_squash = 1.0 / std::max(config_.squash_factor, 1e-6);
-  for (std::size_t i = 0; i < n; ++i) {
-    particles_[i].weight *=
-        std::exp((log_weights_[i] - max_log) * inv_squash);
-  }
-  normalize_weights();
+  // Health is sampled on the post-update, pre-resample weights — after a
+  // resample they are uniform by construction and carry no signal.
+  if (health_on) sample_health();
 
   if (effective_sample_size() <
       config_.resample_ess_fraction * static_cast<double>(n)) {
+    telemetry::ScopedSpan span{sink_.trace, "pf.resample"};
+    telemetry::StageTimer timer{h_resample_};
     resample();
+    timer.stop();
+    if (c_resamples_ != nullptr) c_resamples_->add();
   }
+
+  if (health_on) {
+    health_.resample_count = resamples_;
+    jump_detector_.update(predicted, estimate(), health_);
+    if (health_.pose_jump_alarm && c_jump_alarms_ != nullptr) {
+      c_jump_alarms_->add();
+    }
+    g_pose_jump_->set(health_.pose_jump_m);
+    g_particles_->set(static_cast<double>(particles_.size()));
+    c_updates_->add();
+  }
+}
+
+void ParticleFilter::sample_health() {
+  weight_scratch_.resize(particles_.size());
+  for (std::size_t i = 0; i < particles_.size(); ++i) {
+    weight_scratch_[i] = particles_[i].weight;
+  }
+  health_.n_particles = static_cast<int>(particles_.size());
+  health_.ess = telemetry::effective_sample_size(weight_scratch_);
+  health_.ess_fraction =
+      health_.n_particles > 0
+          ? health_.ess / static_cast<double>(health_.n_particles)
+          : 0.0;
+  health_.weight_entropy = telemetry::weight_entropy(weight_scratch_);
+  health_.normalized_entropy =
+      health_.n_particles > 1
+          ? health_.weight_entropy /
+                std::log(static_cast<double>(health_.n_particles))
+          : 0.0;
+  health_.max_weight_share = telemetry::max_weight_share(weight_scratch_);
+  g_ess_->set(health_.ess);
+  g_ess_fraction_->set(health_.ess_fraction);
+  g_entropy_->set(health_.weight_entropy);
+  g_max_share_->set(health_.max_weight_share);
 }
 
 void ParticleFilter::normalize_weights() {

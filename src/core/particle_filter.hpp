@@ -19,6 +19,7 @@
 #include "range/range_method.hpp"
 #include "sensor/beam_model.hpp"
 #include "sensor/lidar.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace srl {
 
@@ -119,9 +120,23 @@ class ParticleFilter {
   /// Last computed injection probability (diagnostic; 0 while healthy).
   double recovery_injection_prob() const { return injection_prob_; }
 
+  /// Attach a telemetry sink. With a metrics registry, every correct()
+  /// records per-stage latency histograms (pf.predict_ms / pf.raycast_ms /
+  /// pf.weight_ms / pf.resample_ms), samples a FilterHealth snapshot into
+  /// gauges (pf.ess, pf.weight_entropy, pf.max_weight_share, ...), and
+  /// forwards the registry to the range backend's query counters. With a
+  /// trace buffer, stages emit nested spans. A default-constructed sink
+  /// detaches; the filter then runs the exact un-instrumented hot path.
+  void set_telemetry(const telemetry::Sink& sink);
+  /// Health snapshot of the most recent measurement update (only populated
+  /// while a metrics registry is attached).
+  const telemetry::FilterHealth& health() const { return health_; }
+
  private:
   void normalize_weights();
   void resample();
+  /// Sample ESS / entropy / max-share gauges on the pre-resample weights.
+  void sample_health();
   /// KLD bound: particles required for k occupied histogram bins.
   std::size_t kld_bound(std::size_t k) const;
   /// Uniform random pose over the recovery map's free cells.
@@ -137,8 +152,29 @@ class ParticleFilter {
 
   std::vector<Particle> particles_;
   std::vector<double> log_weights_;  ///< scratch for correct()
+  std::vector<float> expected_;      ///< scratch: n x k expected ranges
+  std::vector<Pose2> ray_scratch_;   ///< scratch: k ray poses per particle
+  std::vector<double> weight_scratch_;  ///< scratch for health sampling
   Rng rng_;
   long resamples_{0};
+
+  // Telemetry (all pointers null while detached).
+  telemetry::Sink sink_{};
+  telemetry::Histogram* h_predict_{nullptr};
+  telemetry::Histogram* h_raycast_{nullptr};
+  telemetry::Histogram* h_weight_{nullptr};
+  telemetry::Histogram* h_resample_{nullptr};
+  telemetry::Gauge* g_ess_{nullptr};
+  telemetry::Gauge* g_ess_fraction_{nullptr};
+  telemetry::Gauge* g_entropy_{nullptr};
+  telemetry::Gauge* g_max_share_{nullptr};
+  telemetry::Gauge* g_particles_{nullptr};
+  telemetry::Gauge* g_pose_jump_{nullptr};
+  telemetry::Counter* c_updates_{nullptr};
+  telemetry::Counter* c_resamples_{nullptr};
+  telemetry::Counter* c_jump_alarms_{nullptr};
+  telemetry::PoseJumpDetector jump_detector_{};
+  telemetry::FilterHealth health_{};
 
   std::shared_ptr<const OccupancyGrid> recovery_map_;
   double w_slow_{0.0};

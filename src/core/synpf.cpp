@@ -48,13 +48,24 @@ void SynPf::on_odometry(const OdometryDelta& odom) {
   propagated_ = (propagated_ * odom.delta).normalized();
 }
 
+void SynPf::set_telemetry(const telemetry::Sink& sink) {
+  sink_ = sink;
+  h_update_ = sink.metrics != nullptr
+                  ? &sink.metrics->histogram("synpf.update_ms")
+                  : nullptr;
+  pf_->set_telemetry(sink);
+}
+
 Pose2 SynPf::on_scan(const LaserScan& scan) {
+  telemetry::ScopedSpan span{sink_.trace, "synpf.on_scan"};
   Stopwatch watch;
   pf_->predict(pending_);
   pending_ = OdometryDelta{};
   pf_->correct(scan);
   propagated_ = pf_->estimate();
-  load_.add_busy(watch.elapsed_s());
+  const double busy_s = watch.elapsed_s();
+  load_.add_busy(busy_s);
+  if (h_update_ != nullptr) h_update_->record(busy_s * 1e3);
   return propagated_;
 }
 

@@ -54,6 +54,10 @@ class SynPf final : public Localizer {
   std::string name() const override { return "SynPF"; }
   double mean_scan_update_ms() const override { return load_.mean_ms(); }
   double total_busy_s() const override { return load_.busy_s(); }
+  /// Attach metrics/tracing: records "synpf.update_ms" and the per-stage
+  /// pf.* histograms, spans, and filter-health gauges (see
+  /// ParticleFilter::set_telemetry).
+  void set_telemetry(const telemetry::Sink& sink) override;
 
   ParticleFilter& filter() { return *pf_; }
   const SynPfConfig& config() const { return config_; }
@@ -64,6 +68,8 @@ class SynPf final : public Localizer {
   OdometryDelta pending_{};   ///< odometry accumulated since the last scan
   Pose2 propagated_{};        ///< last estimate, dead-reckoned by odometry
   LoadAccumulator load_;
+  telemetry::Sink sink_{};
+  telemetry::Histogram* h_update_{nullptr};
 };
 
 }  // namespace srl

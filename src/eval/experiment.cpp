@@ -29,9 +29,12 @@ Pose2 ExperimentRunner::start_pose() const {
 }
 
 ExperimentResult ExperimentRunner::run(Localizer& localizer,
-                                       SensorTrace* record) {
+                                       SensorTrace* record,
+                                       telemetry::Sink sink) {
   ExperimentResult result;
   Rng rng{config_.seed};
+  if (sink.enabled()) localizer.set_telemetry(sink);
+  telemetry::Histogram update_ms;  // harness-side latency distribution
 
   VehicleParams vp = config_.vehicle;
   vp.mu = config_.mu;
@@ -97,7 +100,9 @@ ExperimentResult ExperimentRunner::run(Localizer& localizer,
       next_scan += scan_dt;
       const LaserScan scan = lidar.scan(state.pose, state.twist(), t, rng);
       if (record != nullptr) record->add_scan(scan, state.pose);
+      Stopwatch update_watch;
       const Pose2 est = localizer.on_scan(scan);
+      update_ms.record(update_watch.elapsed_ms());
       if (timer.armed()) {
         alignment_percent.add(alignment_.score(scan, config_.lidar, est));
       }
@@ -161,6 +166,10 @@ ExperimentResult ExperimentRunner::run(Localizer& localizer,
   result.lateral_std_cm = stddev(result.lap_lateral_mean_cm);
   result.scan_alignment = alignment_percent.mean();
   result.mean_update_ms = localizer.mean_scan_update_ms();
+  result.update_p50_ms = update_ms.percentile(0.50);
+  result.update_p95_ms = update_ms.percentile(0.95);
+  result.update_p99_ms = update_ms.percentile(0.99);
+  result.update_max_ms = update_ms.max();
   result.load_percent =
       t > 0.0 ? 100.0 * localizer.total_busy_s() / t : 0.0;
   if (pose_err_samples > 0) {

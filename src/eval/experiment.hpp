@@ -62,6 +62,13 @@ struct ExperimentResult {
   double scan_alignment{0.0};    ///< %, averaged over timed-lap scans
   double load_percent{0.0};      ///< localizer busy / simulated time * 100
   double mean_update_ms{0.0};    ///< mean localizer scan-update latency
+  /// Scan-update latency distribution, timed around every on_scan call by
+  /// the harness (telemetry::Histogram percentiles) — how Table-I latency
+  /// is reported now, instead of the mean alone.
+  double update_p50_ms{0.0};
+  double update_p95_ms{0.0};
+  double update_p99_ms{0.0};
+  double update_max_ms{0.0};
   double pose_rmse_m{0.0};       ///< true-vs-estimated position RMSE
   double pose_lat_rmse_m{0.0};   ///< component normal to the race line
   double pose_long_rmse_m{0.0};  ///< component along the race line
@@ -80,8 +87,12 @@ class ExperimentRunner {
   /// Race `localizer` through the configured laps. The localizer must have
   /// been built over this track's map. If `record` is non-null, every
   /// odometry increment and scan (with ground truth) is captured for
-  /// later open-loop replay (eval/trace.hpp).
-  ExperimentResult run(Localizer& localizer, SensorTrace* record = nullptr);
+  /// later open-loop replay (eval/trace.hpp). A non-empty telemetry `sink`
+  /// is attached to the localizer (per-stage histograms, health gauges,
+  /// spans); update-latency percentiles are filled into the result either
+  /// way.
+  ExperimentResult run(Localizer& localizer, SensorTrace* record = nullptr,
+                       telemetry::Sink sink = {});
 
   /// Start pose used for every run (on the race line, facing forward).
   Pose2 start_pose() const;

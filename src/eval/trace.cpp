@@ -44,10 +44,16 @@ double SensorTrace::duration() const {
   return any ? t1 - t0 : 0.0;
 }
 
-SensorTrace::ReplayResult SensorTrace::replay(Localizer& localizer) const {
+SensorTrace::ReplayResult SensorTrace::replay(Localizer& localizer,
+                                              telemetry::Sink sink) const {
   ReplayResult result;
   if (scans_.empty()) return result;
+  if (sink.enabled()) localizer.set_telemetry(sink);
   localizer.initialize(scans_.front().truth);
+
+  // The replay loop measures update latency itself so every localizer gets
+  // a percentile readout, with or without its own instrumentation.
+  telemetry::Histogram update_ms;
 
   std::size_t oi = 0;
   double err_sq = 0.0;
@@ -58,7 +64,13 @@ SensorTrace::ReplayResult SensorTrace::replay(Localizer& localizer) const {
       localizer.on_odometry(odometry_[oi].odom);
       ++oi;
     }
-    const Pose2 est = localizer.on_scan(rec.scan);
+    Stopwatch watch;
+    Pose2 est;
+    {
+      telemetry::ScopedSpan span{sink.trace, "replay.scan_update"};
+      est = localizer.on_scan(rec.scan);
+    }
+    update_ms.record(watch.elapsed_ms());
     result.estimates.push_back(est);
     const double ex = est.x - rec.truth.x;
     const double ey = est.y - rec.truth.y;
@@ -70,6 +82,10 @@ SensorTrace::ReplayResult SensorTrace::replay(Localizer& localizer) const {
   result.pose_rmse_m = std::sqrt(err_sq / n);
   result.heading_rmse_rad = std::sqrt(hdg_sq / n);
   result.mean_update_ms = localizer.mean_scan_update_ms();
+  result.p50_update_ms = update_ms.percentile(0.50);
+  result.p95_update_ms = update_ms.percentile(0.95);
+  result.p99_update_ms = update_ms.percentile(0.99);
+  result.max_update_ms = update_ms.max();
   return result;
 }
 

@@ -18,6 +18,7 @@
 #include "core/localizer.hpp"
 #include "motion/motion_model.hpp"
 #include "sensor/lidar.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace srl {
 
@@ -53,12 +54,20 @@ class SensorTrace {
     std::vector<Pose2> estimates;  ///< localizer pose at each scan
     double pose_rmse_m{0.0};       ///< vs the recorded ground truth
     double heading_rmse_rad{0.0};
-    double mean_update_ms{0.0};
+    double mean_update_ms{0.0};    ///< localizer-reported mean (back-compat)
+    /// Update-latency distribution, measured around every on_scan call by
+    /// the replay loop itself (telemetry::Histogram percentiles).
+    double p50_update_ms{0.0};
+    double p95_update_ms{0.0};
+    double p99_update_ms{0.0};
+    double max_update_ms{0.0};
   };
 
   /// Feed every event in time order into `localizer` (initialized at the
   /// first recorded truth pose) and score it against the recorded truth.
-  ReplayResult replay(Localizer& localizer) const;
+  /// When `sink` is non-empty it is attached to the localizer (per-stage
+  /// histograms, health gauges) and each scan update emits a span.
+  ReplayResult replay(Localizer& localizer, telemetry::Sink sink = {}) const;
 
   /// Binary container I/O ("SRLT" magic + version). Returns false / nullopt
   /// on I/O or format errors.

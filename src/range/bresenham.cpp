@@ -6,6 +6,7 @@
 namespace srl {
 
 float BresenhamCaster::range(const Pose2& ray) const {
+  note_query();
   const OccupancyGrid& grid = *map_;
   const double res = grid.resolution();
 

@@ -93,6 +93,7 @@ Cddt::Cddt(std::shared_ptr<const OccupancyGrid> map, double max_range,
 }
 
 float Cddt::range(const Pose2& ray) const {
+  note_query();
   const OccupancyGrid& grid = *map_;
   const GridIndex start = grid.world_to_grid({ray.x, ray.y});
   if (grid.blocks_ray(start.ix, start.iy)) return 0.0F;

@@ -58,6 +58,7 @@ RangeLut::RangeLut(std::shared_ptr<const OccupancyGrid> map, double max_range,
 }
 
 float RangeLut::range(const Pose2& ray) const {
+  note_query();
   const OccupancyGrid& grid = *map_;
   const GridIndex g = grid.world_to_grid({ray.x, ray.y});
   if (grid.blocks_ray(g.ix, g.iy)) return 0.0F;

@@ -15,6 +15,7 @@
 
 #include "common/types.hpp"
 #include "gridmap/occupancy_grid.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace srl {
 
@@ -40,16 +41,36 @@ class RangeMethod {
   /// Batch query; default loops over range(). `out.size()` must equal
   /// `rays.size()`.
   virtual void ranges(std::span<const Pose2> rays, std::span<float> out) const {
+    telemetry::StageTimer timer{batch_ms_};
     for (std::size_t i = 0; i < rays.size(); ++i) out[i] = range(rays[i]);
+    timer.stop();
   }
 
   double max_range() const { return max_range_; }
   const OccupancyGrid& map() const { return *map_; }
   std::shared_ptr<const OccupancyGrid> map_ptr() const { return map_; }
 
+  /// Register this backend's query counter ("range.<name>.queries") and
+  /// batch latency histogram ("range.<name>.batch_ms") with `registry`.
+  /// Declared const because backends are logically immutable — the telemetry
+  /// handles are the only mutable state. Attach before concurrent use; the
+  /// recorded metrics themselves are thread-safe.
+  void attach_telemetry(telemetry::MetricsRegistry& registry) const {
+    queries_ = &registry.counter("range." + name() + ".queries");
+    batch_ms_ = &registry.histogram("range." + name() + ".batch_ms");
+  }
+
  protected:
+  /// Called by every backend's range() — one relaxed increment when
+  /// attached, one predictable branch when not.
+  void note_query() const {
+    if (queries_ != nullptr) queries_->add();
+  }
+
   std::shared_ptr<const OccupancyGrid> map_;
   double max_range_;
+  mutable telemetry::Counter* queries_{nullptr};
+  mutable telemetry::Histogram* batch_ms_{nullptr};
 };
 
 /// Which backend to build. `kLut` is the mode the paper uses on the GPU-less

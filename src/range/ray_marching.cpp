@@ -5,6 +5,7 @@
 namespace srl {
 
 float RayMarching::range(const Pose2& ray) const {
+  note_query();
   const double dx = std::cos(ray.theta);
   const double dy = std::sin(ray.theta);
   double x = ray.x;

@@ -66,7 +66,25 @@ void CartoLocalizer::on_odometry(const OdometryDelta& odom) {
   }
 }
 
+void CartoLocalizer::set_telemetry(const telemetry::Sink& sink) {
+  sink_ = sink;
+  if (sink.metrics != nullptr) {
+    telemetry::MetricsRegistry& m = *sink.metrics;
+    h_update_ = &m.histogram("carto.update_ms");
+    h_local_match_ = &m.histogram("carto.local_match_ms");
+    h_insert_ = &m.histogram("carto.insert_ms");
+    h_global_ = &m.histogram("carto.global_ms");
+    c_global_fixes_ = &m.counter("carto.global_fixes");
+    c_global_failures_ = &m.counter("carto.global_failures");
+    c_relocs_ = &m.counter("carto.reloc_searches");
+  } else {
+    h_update_ = h_local_match_ = h_insert_ = h_global_ = nullptr;
+    c_global_fixes_ = c_global_failures_ = c_relocs_ = nullptr;
+  }
+}
+
 Pose2 CartoLocalizer::on_scan(const LaserScan& scan) {
+  telemetry::ScopedSpan span{sink_.trace, "carto.on_scan"};
   Stopwatch watch;
   const std::vector<Vec2> points =
       deskew_scan(scan, lidar_, odom_twist_, options_.points_stride);
@@ -74,6 +92,8 @@ Pose2 CartoLocalizer::on_scan(const LaserScan& scan) {
   // Local SLAM: anchored Gauss-Newton against the live submap. The first
   // couple of scans of a fresh submap have too little evidence to match.
   if (!points.empty() && live_->scan_count() >= 2) {
+    telemetry::ScopedSpan match_span{sink_.trace, "carto.local_match"};
+    telemetry::StageTimer timer{h_local_match_};
     const Pose2 seed_local = live_->to_local(pose_);
     const ScanMatchResult coarse =
         local_csm_.match(live_->grid(), seed_local, points);
@@ -82,6 +102,7 @@ Pose2 CartoLocalizer::on_scan(const LaserScan& scan) {
                          /*start=*/coarse.ok ? coarse.pose : seed_local,
                          points);
     pose_ = live_->to_world(fine.pose).normalized();
+    timer.stop();
   }
 
   // Insert the scan at the matched pose; roll the submap when full.
@@ -90,17 +111,23 @@ Pose2 CartoLocalizer::on_scan(const LaserScan& scan) {
   // correlative search and pulls the match toward the denser region.
   const std::vector<Vec2> dense = deskew_scan(scan, lidar_, odom_twist_, 1);
   if (!dense.empty()) {
+    telemetry::ScopedSpan insert_span{sink_.trace, "carto.submap_insert"};
+    telemetry::StageTimer timer{h_insert_};
     live_->insert(pose_, dense, {});
     if (live_->scan_count() >= options_.scans_per_submap) {
       live_ = std::make_unique<Submap>(pose_, options_.submap_resolution,
                                        options_.submap_extent);
     }
+    timer.stop();
   }
 
   // Backend: periodic constraint search against the frozen map.
   ++scan_counter_;
   if (scan_counter_ % options_.global_period == 0 && !points.empty()) {
+    telemetry::ScopedSpan global_span{sink_.trace, "carto.global_correction"};
+    telemetry::StageTimer timer{h_global_};
     global_correction(points);
+    timer.stop();
   }
 
   // Queue this correction for publication after the pipeline latency.
@@ -113,7 +140,9 @@ Pose2 CartoLocalizer::on_scan(const LaserScan& scan) {
                                      Pose2{}});
   }
 
-  load_.add_busy(watch.elapsed_s());
+  const double busy_s = watch.elapsed_s();
+  load_.add_busy(busy_s);
+  if (h_update_ != nullptr) h_update_->record(busy_s * 1e3);
   return pose();
 }
 
@@ -121,9 +150,11 @@ void CartoLocalizer::global_correction(const std::vector<Vec2>& points) {
   ScanMatchResult coarse = global_csm_.match(field_, pose_, points);
   last_global_score_ = coarse.score;
   if (!coarse.ok) {
+    if (c_global_failures_ != nullptr) c_global_failures_->add();
     // Repeatedly failing to find a constraint means the trajectory has left
     // the search window: fall back to the wide relocalization search.
     if (++failed_global_ < options_.reloc_after_failures) return;
+    if (c_relocs_ != nullptr) c_relocs_->add();
     coarse = reloc_csm_.match(field_, pose_, points);
     last_global_score_ = coarse.score;
     if (!coarse.ok) return;
@@ -147,6 +178,7 @@ void CartoLocalizer::global_correction(const std::vector<Vec2>& points) {
   live_->set_pose((applied * live_->pose()).normalized());
   pose_ = corrected;
   ++global_fixes_;
+  if (c_global_fixes_ != nullptr) c_global_fixes_->add();
 }
 
 }  // namespace srl

@@ -99,6 +99,11 @@ class CartoLocalizer final : public Localizer {
   std::string name() const override { return "Cartographer"; }
   double mean_scan_update_ms() const override { return load_.mean_ms(); }
   double total_busy_s() const override { return load_.busy_s(); }
+  /// Attach metrics/tracing: per-stage histograms (carto.update_ms,
+  /// carto.local_match_ms, carto.insert_ms, carto.global_ms), spans, and
+  /// counters for global fixes / relocalization searches / failed
+  /// constraint searches.
+  void set_telemetry(const telemetry::Sink& sink) override;
 
   const ProbabilityGrid& field() const { return field_; }
   double last_global_score() const { return last_global_score_; }
@@ -135,6 +140,15 @@ class CartoLocalizer final : public Localizer {
   double last_global_score_{0.0};
   long global_fixes_{0};
   LoadAccumulator load_;
+
+  telemetry::Sink sink_{};
+  telemetry::Histogram* h_update_{nullptr};
+  telemetry::Histogram* h_local_match_{nullptr};
+  telemetry::Histogram* h_insert_{nullptr};
+  telemetry::Histogram* h_global_{nullptr};
+  telemetry::Counter* c_global_fixes_{nullptr};
+  telemetry::Counter* c_global_failures_{nullptr};
+  telemetry::Counter* c_relocs_{nullptr};
 };
 
 }  // namespace srl

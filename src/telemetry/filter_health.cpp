@@ -1,0 +1,55 @@
+#include "telemetry/filter_health.hpp"
+
+#include <cmath>
+
+#include "common/angles.hpp"
+
+namespace srl::telemetry {
+
+double effective_sample_size(std::span<const double> weights) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double w : weights) {
+    sum += w;
+    sum_sq += w * w;
+  }
+  return sum_sq > 0.0 ? sum * sum / sum_sq : 0.0;
+}
+
+double weight_entropy(std::span<const double> weights) {
+  double sum = 0.0;
+  for (const double w : weights) sum += w;
+  if (sum <= 0.0) return 0.0;
+  double h = 0.0;
+  for (const double w : weights) {
+    if (w <= 0.0) continue;
+    const double p = w / sum;
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+double max_weight_share(std::span<const double> weights) {
+  double sum = 0.0;
+  double max_w = 0.0;
+  for (const double w : weights) {
+    sum += w;
+    max_w = std::max(max_w, w);
+  }
+  return sum > 0.0 ? max_w / sum : 0.0;
+}
+
+bool PoseJumpDetector::update(const Pose2& predicted, const Pose2& corrected,
+                              FilterHealth& health) {
+  const double dx = corrected.x - predicted.x;
+  const double dy = corrected.y - predicted.y;
+  health.pose_jump_m = std::sqrt(dx * dx + dy * dy);
+  health.pose_jump_rad =
+      std::abs(angle_dist(corrected.theta, predicted.theta));
+  health.pose_jump_alarm = health.pose_jump_m > xy_threshold_ ||
+                           health.pose_jump_rad > theta_threshold_;
+  if (health.pose_jump_alarm) ++alarms_;
+  return health.pose_jump_alarm;
+}
+
+}  // namespace srl::telemetry

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file telemetry.hpp
+/// \brief Umbrella header and the `Sink` handle threaded through the system.
+///
+/// Instrumented components (`ParticleFilter`, `SynPf`, `CartoLocalizer`,
+/// the range backends, `ExperimentRunner`, `SensorTrace::replay`) accept a
+/// `Sink` — a pair of nullable pointers. Either side may be absent: a null
+/// metrics registry skips all counter/gauge/histogram records, a null trace
+/// buffer makes every `ScopedSpan` a no-op. The default-constructed Sink is
+/// the zero-cost configuration (one predictable branch per record site).
+
+#include "telemetry/filter_health.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace_buffer.hpp"
+
+#include "common/timer.hpp"
+
+namespace srl::telemetry {
+
+/// Non-owning telemetry destination. Cheap to copy; both pointers nullable.
+struct Sink {
+  MetricsRegistry* metrics{nullptr};
+  TraceBuffer* trace{nullptr};
+
+  bool enabled() const { return metrics != nullptr || trace != nullptr; }
+};
+
+/// Owning bundle for examples, benches and tests: registry + trace buffer
+/// with a ready-made Sink over them.
+struct Telemetry {
+  MetricsRegistry metrics;
+  TraceBuffer trace;
+
+  Sink sink() { return Sink{&metrics, &trace}; }
+};
+
+/// Stage stopwatch that records into a histogram on `stop()` — and does
+/// nothing at all (not even a clock read) when the histogram is null.
+class StageTimer {
+ public:
+  explicit StageTimer(Histogram* histogram) : histogram_{histogram} {
+    if (histogram_ != nullptr) watch_.restart();
+  }
+
+  /// Record elapsed milliseconds; idempotent via re-arm on restart only.
+  void stop() {
+    if (histogram_ != nullptr) {
+      histogram_->record(watch_.elapsed_ms());
+      histogram_ = nullptr;
+    }
+  }
+
+ private:
+  Histogram* histogram_;
+  Stopwatch watch_;
+};
+
+}  // namespace srl::telemetry
