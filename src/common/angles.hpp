@@ -38,4 +38,24 @@ inline double angle_lerp(double a, double b, double t) {
   return normalize_angle(a + t * angle_diff(b, a));
 }
 
+/// Wrap an angle into [0, period), in bounded time for *any* input.
+/// Hot-path friendly: one branch when already in range and one addition /
+/// subtraction when within a turn (the common case for pose headings plus
+/// beam offsets), falling back to fmod for arbitrary magnitudes. Non-finite
+/// inputs wrap to 0 instead of looping forever or feeding NaN into a
+/// UB float->int cast downstream.
+inline double wrap_into(double a, double period) {
+  if (a >= 0.0 && a < period) return a;
+  if (a >= -period && a < 0.0) {
+    a += period;
+    // -eps + period can round up to exactly `period`.
+    return a < period ? a : 0.0;
+  }
+  if (a >= period && a < 2.0 * period) return a - period;
+  a = std::fmod(a, period);
+  if (std::isnan(a)) return 0.0;
+  if (a < 0.0) a += period;
+  return a < period ? a : 0.0;
+}
+
 }  // namespace srl

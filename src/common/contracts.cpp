@@ -1,0 +1,95 @@
+#include "common/contracts.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace srl::contracts {
+namespace {
+
+// Handler/observer registration is cold (startup, test setup) and dispatch
+// is cold (violations only), so a mutex around the state is fine.
+std::mutex& state_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+struct State {
+  Handler handler{abort_handler};
+  Observer observer{nullptr};
+  void* observer_context{nullptr};
+};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+}  // namespace
+
+const char* to_string(Kind kind) {
+  switch (kind) {
+    case Kind::kExpects:
+      return "EXPECTS";
+    case Kind::kEnsures:
+      return "ENSURES";
+    case Kind::kInvariant:
+      return "INVARIANT";
+  }
+  return "CONTRACT";
+}
+
+std::string describe(const Violation& v) {
+  std::string out = to_string(v.kind);
+  out += " failed: ";
+  out += v.condition;
+  if (v.message != nullptr && v.message[0] != '\0') {
+    out += " (";
+    out += v.message;
+    out += ")";
+  }
+  out += " at ";
+  out += v.file;
+  out += ":";
+  out += std::to_string(v.line);
+  out += " in ";
+  out += v.function;
+  return out;
+}
+
+Handler set_handler(Handler handler) {
+  const std::lock_guard<std::mutex> lock{state_mutex()};
+  Handler previous = state().handler;
+  state().handler = handler != nullptr ? handler : abort_handler;
+  return previous;
+}
+
+void set_observer(Observer observer, void* context) {
+  const std::lock_guard<std::mutex> lock{state_mutex()};
+  state().observer = observer;
+  state().observer_context = context;
+}
+
+void abort_handler(const Violation& v) {
+  std::fputs(describe(v).c_str(), stderr);
+  std::fputc('\n', stderr);
+  std::abort();
+}
+
+void throwing_handler(const Violation& v) { throw ViolationError{v}; }
+
+void handle_violation(const Violation& v) {
+  Handler handler = nullptr;
+  Observer observer = nullptr;
+  void* context = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock{state_mutex()};
+    handler = state().handler;
+    observer = state().observer;
+    context = state().observer_context;
+  }
+  if (observer != nullptr) observer(v, context);
+  handler(v);
+}
+
+}  // namespace srl::contracts

@@ -1,0 +1,148 @@
+#pragma once
+
+/// \file contracts.hpp
+/// \brief Runtime contract checks (preconditions, postconditions, invariants)
+/// behind the `SYNPF_CHECKED` build flavor.
+///
+/// The paper's headline claim is *robustness*, so the reproduction's
+/// credibility rests on every numerical stage being verifiably sane. These
+/// macros let hot seams state their contracts — particle weights finite and
+/// normalized, query poses finite, grid indices in bounds, information
+/// matrices positive definite — without paying for the checks in the release
+/// benchmark build:
+///
+///  - In a `SYNPF_CHECKED` build (CMake `-DSRL_CHECKED=ON`, the `checked`
+///    preset) every contract is evaluated. A violation is forwarded to the
+///    installed observer (e.g. `telemetry::ContractMonitor`, which counts it
+///    in a `MetricsRegistry`) and then to the violation handler, which by
+///    default prints the contract and aborts.
+///  - In any other build the macros compile to nothing: the condition sits
+///    in an unevaluated operand, so it is type-checked but generates no code
+///    — `bench_table1` release numbers are unaffected.
+///
+/// Usage:
+///
+///     void step(double dt) {
+///       SYNPF_EXPECTS(std::isfinite(dt) && dt > 0.0);
+///       ...
+///       SYNPF_ENSURES_MSG(std::isfinite(state_.v), "state NaN after step");
+///     }
+///
+/// Tests exercise contracts by installing a throwing handler via
+/// `contracts::ScopedHandler` and asserting on `contracts::ViolationError`.
+
+#include <stdexcept>
+#include <string>
+
+namespace srl::contracts {
+
+/// Which contract family fired.
+enum class Kind { kExpects, kEnsures, kInvariant };
+
+const char* to_string(Kind kind);
+
+/// Everything known about one failed contract check.
+struct Violation {
+  Kind kind{Kind::kExpects};
+  const char* condition{""};  ///< stringized condition text
+  const char* message{""};    ///< optional extra context ("" when none)
+  const char* file{""};
+  int line{0};
+  const char* function{""};
+};
+
+/// Render "EXPECTS failed: <cond> (<msg>) at file:line in function".
+std::string describe(const Violation& v);
+
+/// Thrown by the handler installed in tests (see `throwing_handler`).
+class ViolationError : public std::logic_error {
+ public:
+  explicit ViolationError(const Violation& v)
+      : std::logic_error(describe(v)), violation_(v) {}
+  const Violation& violation() const { return violation_; }
+
+ private:
+  Violation violation_;
+};
+
+/// Terminal response to a violation. The default handler writes the
+/// description to stderr and aborts. A handler may instead throw (tests) or
+/// return (log-and-continue soak runs); when it returns, execution resumes
+/// after the failed check.
+using Handler = void (*)(const Violation&);
+
+/// Passive tap invoked for every violation *before* the handler — the seam
+/// through which `telemetry::ContractMonitor` counts violations into the
+/// PR-1 metrics registry. Must not throw.
+using Observer = void (*)(const Violation&, void* context);
+
+/// Install a handler; returns the previous one. Thread-safe.
+Handler set_handler(Handler handler);
+
+/// Install (or clear, with nullptr) the observer. Thread-safe.
+void set_observer(Observer observer, void* context);
+
+/// Default handler: print to stderr, then std::abort().
+void abort_handler(const Violation& v);
+
+/// Test handler: throw `ViolationError`.
+void throwing_handler(const Violation& v);
+
+/// Called by the SYNPF_* macros on a failed check. Cold path.
+void handle_violation(const Violation& v);
+
+/// RAII handler swap for tests:
+///     contracts::ScopedHandler guard{contracts::throwing_handler};
+///     EXPECT_THROW(filter.predict(bad_odom), contracts::ViolationError);
+class ScopedHandler {
+ public:
+  explicit ScopedHandler(Handler handler) : previous_{set_handler(handler)} {}
+  ~ScopedHandler() { set_handler(previous_); }
+  ScopedHandler(const ScopedHandler&) = delete;
+  ScopedHandler& operator=(const ScopedHandler&) = delete;
+
+ private:
+  Handler previous_;
+};
+
+/// Whether contracts are compiled into this build.
+constexpr bool enabled() {
+#if defined(SYNPF_CHECKED)
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace srl::contracts
+
+#if defined(SYNPF_CHECKED)
+#define SYNPF_CONTRACT_IMPL_(kind_, cond_, msg_)                         \
+  do {                                                                   \
+    if (!(cond_)) {                                                      \
+      ::srl::contracts::handle_violation(::srl::contracts::Violation{    \
+          ::srl::contracts::Kind::kind_, #cond_, msg_, __FILE__,         \
+          __LINE__, static_cast<const char*>(__func__)});                \
+    }                                                                    \
+  } while (false)
+#else
+// Unevaluated operand: the condition must still compile, but no code or
+// side effects survive into the release build.
+#define SYNPF_CONTRACT_IMPL_(kind_, cond_, msg_) \
+  do {                                           \
+    (void)sizeof(static_cast<bool>(cond_));      \
+    (void)sizeof(msg_);                          \
+  } while (false)
+#endif
+
+/// Precondition: argument/state requirements at function entry.
+#define SYNPF_EXPECTS(cond_) SYNPF_CONTRACT_IMPL_(kExpects, cond_, "")
+#define SYNPF_EXPECTS_MSG(cond_, msg_) SYNPF_CONTRACT_IMPL_(kExpects, cond_, msg_)
+
+/// Postcondition: guarantees at function exit.
+#define SYNPF_ENSURES(cond_) SYNPF_CONTRACT_IMPL_(kEnsures, cond_, "")
+#define SYNPF_ENSURES_MSG(cond_, msg_) SYNPF_CONTRACT_IMPL_(kEnsures, cond_, msg_)
+
+/// Invariant: conditions that must hold at interior checkpoints.
+#define SYNPF_INVARIANT(cond_) SYNPF_CONTRACT_IMPL_(kInvariant, cond_, "")
+#define SYNPF_INVARIANT_MSG(cond_, msg_) SYNPF_CONTRACT_IMPL_(kInvariant, cond_, msg_)

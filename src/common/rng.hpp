@@ -6,6 +6,8 @@
 /// explicitly passed `Rng` so experiments are reproducible from a seed.
 
 #include <cstdint>
+#include <istream>
+#include <ostream>
 #include <random>
 
 namespace srl {
@@ -48,6 +50,17 @@ class Rng {
   std::uint64_t next_seed() { return engine_(); }
 
   std::mt19937_64& engine() { return engine_; }
+
+  /// Serialize the *complete* generator state — the engine and the cached
+  /// Box-Muller pair of the persistent normal distribution — so a restored
+  /// Rng reproduces the exact remaining stream bit for bit (the determinism
+  /// checker round-trips this across a save/restore).
+  friend std::ostream& operator<<(std::ostream& os, const Rng& rng) {
+    return os << rng.engine_ << ' ' << rng.standard_normal_;
+  }
+  friend std::istream& operator>>(std::istream& is, Rng& rng) {
+    return is >> rng.engine_ >> rng.standard_normal_;
+  }
 
  private:
   std::mt19937_64 engine_;

@@ -4,7 +4,6 @@
 /// \brief Wall-clock timing helpers used for the latency measurements
 /// (the paper's 1.25 ms sensor-update claim and the CPU-load column).
 
-#include <algorithm>
 #include <chrono>
 
 namespace srl {
@@ -31,20 +30,16 @@ class Stopwatch {
 /// Accumulates total busy time over repeated timed sections; the ratio of
 /// busy time to wall time is the compute-load proxy reported in Table I.
 ///
-/// \deprecated For per-section latency *distributions* prefer
-/// `telemetry::Histogram` (src/telemetry/metrics.hpp), which adds
-/// percentiles (p50/p95/p99) on top of the mean/min/max kept here. This
-/// class remains for the aggregate busy-time bookkeeping behind the
-/// CPU-load column; instrumented code has migrated its latency reporting to
-/// histograms.
+/// Deliberately minimal: only the aggregate busy-time bookkeeping behind the
+/// CPU-load column and the per-section mean live here. Per-section latency
+/// *distributions* (min/max/percentiles) belong to `telemetry::Histogram`
+/// (src/telemetry/metrics.hpp), which all instrumented code now uses.
 class LoadAccumulator {
  public:
   /// Record one timed section of `seconds` busy time.
   void add_busy(double seconds) {
     busy_s_ += seconds;
     ++sections_;
-    min_s_ = sections_ == 1 ? seconds : std::min(min_s_, seconds);
-    max_s_ = std::max(max_s_, seconds);
   }
 
   double busy_s() const { return busy_s_; }
@@ -53,9 +48,6 @@ class LoadAccumulator {
   double mean_ms() const {
     return sections_ > 0 ? busy_s_ * 1e3 / static_cast<double>(sections_) : 0.0;
   }
-  /// Shortest / longest recorded section in milliseconds (0 when empty).
-  double min_ms() const { return sections_ > 0 ? min_s_ * 1e3 : 0.0; }
-  double max_ms() const { return max_s_ * 1e3; }
   /// Busy fraction of `wall_s` as a CPU-core percentage (htop-style).
   double load_percent(double wall_s) const {
     return wall_s > 0.0 ? 100.0 * busy_s_ / wall_s : 0.0;
@@ -63,8 +55,6 @@ class LoadAccumulator {
 
  private:
   double busy_s_{0.0};
-  double min_s_{0.0};
-  double max_s_{0.0};
   long sections_{0};
 };
 

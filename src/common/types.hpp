@@ -142,6 +142,18 @@ struct Twist2 {
 /// composed onto `pose`. Handles the wz -> 0 limit analytically.
 Pose2 integrate_twist(const Pose2& pose, const Twist2& twist, double dt);
 
+/// Componentwise finiteness — the contract helpers used by preconditions on
+/// geometry-consuming seams (range queries, motion prediction, simulation).
+inline bool finite(const Vec2& v) {
+  return std::isfinite(v.x) && std::isfinite(v.y);
+}
+inline bool finite(const Pose2& p) {
+  return std::isfinite(p.x) && std::isfinite(p.y) && std::isfinite(p.theta);
+}
+inline bool finite(const Twist2& t) {
+  return std::isfinite(t.vx) && std::isfinite(t.vy) && std::isfinite(t.wz);
+}
+
 std::ostream& operator<<(std::ostream& os, const Vec2& v);
 std::ostream& operator<<(std::ostream& os, const Pose2& p);
 std::ostream& operator<<(std::ostream& os, const Twist2& t);

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/angles.hpp"
+#include "common/contracts.hpp"
 #include "sensor/scanline_layout.hpp"
 
 namespace srl {
@@ -84,6 +85,9 @@ void ParticleFilter::set_telemetry(const telemetry::Sink& sink) {
 }
 
 void ParticleFilter::predict(const OdometryDelta& odom) {
+  SYNPF_EXPECTS_MSG(finite(odom.delta) && std::isfinite(odom.v) &&
+                        std::isfinite(odom.dt),
+                    "odometry increment must be finite");
   telemetry::ScopedSpan span{sink_.trace, "pf.predict"};
   telemetry::StageTimer timer{h_predict_};
   for (Particle& p : particles_) {
@@ -163,6 +167,9 @@ void ParticleFilter::correct(const LaserScan& scan) {
     weight_timer.stop();
   }
 
+  SYNPF_INVARIANT_MSG(effective_sample_size() > 0.0,
+                      "ESS must be positive after weighting");
+
   // Health is sampled on the post-update, pre-resample weights — after a
   // resample they are uniform by construction and carry no signal.
   if (health_on) sample_health();
@@ -223,6 +230,17 @@ void ParticleFilter::normalize_weights() {
     return;
   }
   for (Particle& p : particles_) p.weight /= sum;
+  SYNPF_ENSURES_MSG(weights_normalized(),
+                    "particle weights must be finite, non-negative and sum to 1");
+}
+
+bool ParticleFilter::weights_normalized() const {
+  double sum = 0.0;
+  for (const Particle& p : particles_) {
+    if (!std::isfinite(p.weight) || p.weight < 0.0) return false;
+    sum += p.weight;
+  }
+  return std::abs(sum - 1.0) < 1e-6;
 }
 
 double ParticleFilter::effective_sample_size() const {
@@ -278,7 +296,7 @@ void ParticleFilter::resample() {
       ++i;
       cumulative += particles_[i].weight;
     }
-    drawn.push_back(Particle{particles_[i].pose, step});
+    drawn.emplace_back(particles_[i].pose, step);
     target += step;
   }
 

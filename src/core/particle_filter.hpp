@@ -134,6 +134,9 @@ class ParticleFilter {
 
  private:
   void normalize_weights();
+  /// Contract helper: every weight finite and non-negative, sum within 1e-6
+  /// of 1. Only evaluated in SYNPF_CHECKED builds.
+  bool weights_normalized() const;
   void resample();
   /// Sample ESS / entropy / max-share gauges on the pre-resample weights.
   void sample_health();

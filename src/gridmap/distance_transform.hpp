@@ -34,20 +34,26 @@ class DistanceField {
   }
 
   float at(int ix, int iy) const {
-    return data_[static_cast<std::size_t>(iy) * width_ + ix];
+    SYNPF_EXPECTS_MSG(in_bounds(ix, iy), "distance field read out of bounds");
+    return data_[static_cast<std::size_t>(iy) * static_cast<std::size_t>(width_) +
+                 static_cast<std::size_t>(ix)];
   }
   float& at(int ix, int iy) {
-    return data_[static_cast<std::size_t>(iy) * width_ + ix];
+    SYNPF_EXPECTS_MSG(in_bounds(ix, iy), "distance field write out of bounds");
+    return data_[static_cast<std::size_t>(iy) * static_cast<std::size_t>(width_) +
+                 static_cast<std::size_t>(ix)];
   }
   /// Distance at cell, or 0 outside the map (the border blocks rays).
   float at_or_zero(int ix, int iy) const {
     return in_bounds(ix, iy) ? at(ix, iy) : 0.0F;
   }
 
-  /// Distance at a world point (nearest cell, no interpolation).
+  /// Distance at a world point (nearest cell, no interpolation). Defined for
+  /// any input: far-away / non-finite points read as 0 ("border blocks"),
+  /// via the same UB-safe cast as `OccupancyGrid::world_to_grid`.
   float at_world(const Vec2& w) const {
-    const int ix = static_cast<int>(std::floor((w.x - origin_.x) / resolution_));
-    const int iy = static_cast<int>(std::floor((w.y - origin_.y) / resolution_));
+    const int ix = floor_to_cell((w.x - origin_.x) / resolution_);
+    const int iy = floor_to_cell((w.y - origin_.y) / resolution_);
     return at_or_zero(ix, iy);
   }
 

@@ -8,9 +8,12 @@
 /// the lower-left corner of cell (0, 0). Cell (ix, iy) covers the world box
 /// [origin + ix*res, origin + (ix+1)*res) x [... iy ...).
 
+#include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "common/contracts.hpp"
 #include "common/types.hpp"
 
 namespace srl {
@@ -21,6 +24,21 @@ struct GridIndex {
   int iy{0};
   bool operator==(const GridIndex&) const = default;
 };
+
+/// Floor a world-to-grid coordinate to an int cell index without undefined
+/// behavior: converting a double outside int's range (or NaN) to int is UB,
+/// and localization queries legitimately arrive with arbitrary poses (a
+/// diverged filter, a fuzzer, a caller bug). Values beyond +-1e9 cells — far
+/// larger than any representable map — clamp to a +-1e9 sentinel, and NaN
+/// maps to the negative sentinel, so every downstream bounds check simply
+/// reports out-of-bounds.
+inline int floor_to_cell(double v) {
+  constexpr double kLimit = 1e9;  // well inside int range
+  const double c = std::floor(v);
+  if (!(c >= -kLimit)) return -1000000000;  // also catches NaN
+  if (c > kLimit) return 1000000000;
+  return static_cast<int>(c);
+}
 
 class OccupancyGrid {
  public:
@@ -48,10 +66,14 @@ class OccupancyGrid {
   bool in_bounds(const GridIndex& g) const { return in_bounds(g.ix, g.iy); }
 
   std::int8_t at(int ix, int iy) const {
-    return data_[static_cast<std::size_t>(iy) * width_ + ix];
+    SYNPF_EXPECTS_MSG(in_bounds(ix, iy), "occupancy grid read out of bounds");
+    return data_[static_cast<std::size_t>(iy) * static_cast<std::size_t>(width_) +
+                 static_cast<std::size_t>(ix)];
   }
   std::int8_t& at(int ix, int iy) {
-    return data_[static_cast<std::size_t>(iy) * width_ + ix];
+    SYNPF_EXPECTS_MSG(in_bounds(ix, iy), "occupancy grid write out of bounds");
+    return data_[static_cast<std::size_t>(iy) * static_cast<std::size_t>(width_) +
+                 static_cast<std::size_t>(ix)];
   }
 
   /// Value at cell, or kOccupied when out of bounds (conservative for
@@ -60,10 +82,12 @@ class OccupancyGrid {
     return in_bounds(ix, iy) ? at(ix, iy) : kOccupied;
   }
 
-  /// Cell containing the world point (floor).
+  /// Cell containing the world point (floor). Defined for *any* input —
+  /// far-away, infinite or NaN points land on an out-of-bounds sentinel cell
+  /// rather than invoking a UB double->int cast (see `floor_to_cell`).
   GridIndex world_to_grid(const Vec2& w) const {
-    return {static_cast<int>(std::floor((w.x - origin_.x) / resolution_)),
-            static_cast<int>(std::floor((w.y - origin_.y) / resolution_))};
+    return {floor_to_cell((w.x - origin_.x) / resolution_),
+            floor_to_cell((w.y - origin_.y) / resolution_)};
   }
 
   /// World position of the center of a cell.

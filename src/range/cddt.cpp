@@ -93,16 +93,16 @@ Cddt::Cddt(std::shared_ptr<const OccupancyGrid> map, double max_range,
 }
 
 float Cddt::range(const Pose2& ray) const {
+  SYNPF_EXPECTS_MSG(valid_ray_pose(ray), "cddt query pose not finite");
   note_query();
   const OccupancyGrid& grid = *map_;
   const GridIndex start = grid.world_to_grid({ray.x, ray.y});
   if (grid.blocks_ray(start.ix, start.iy)) return 0.0F;
 
-  // Snap the ray's line direction to the nearest theta bin in [0, pi).
+  // Snap the ray's line direction to the nearest theta bin in [0, pi);
+  // wrap_into stays bounded for any heading magnitude.
   const int m = static_cast<int>(bins_.size());
-  double line_angle = ray.theta;
-  while (line_angle < 0.0) line_angle += kPi;
-  while (line_angle >= kPi) line_angle -= kPi;
+  const double line_angle = wrap_into(ray.theta, kPi);
   int b = static_cast<int>(line_angle * m / kPi + 0.5);
   if (b >= m) b -= m;
   const ThetaBin& bin = bins_[static_cast<std::size_t>(b)];

@@ -58,6 +58,7 @@ RangeLut::RangeLut(std::shared_ptr<const OccupancyGrid> map, double max_range,
 }
 
 float RangeLut::range(const Pose2& ray) const {
+  SYNPF_EXPECTS_MSG(valid_ray_pose(ray), "lut query pose not finite");
   note_query();
   const OccupancyGrid& grid = *map_;
   const GridIndex g = grid.world_to_grid({ray.x, ray.y});
@@ -65,11 +66,9 @@ float RangeLut::range(const Pose2& ray) const {
 
   const int cx = std::clamp(g.ix / stride_, 0, cells_x_ - 1);
   const int cy = std::clamp(g.iy / stride_, 0, cells_y_ - 1);
-  // Angles arriving here are pose headings plus beam offsets — a handful of
-  // turns at most, so additive wrapping beats fmod in this hot path.
-  double phi = ray.theta;
-  while (phi < 0.0) phi += kTwoPi;
-  while (phi >= kTwoPi) phi -= kTwoPi;
+  // Angles arriving here are pose headings plus beam offsets — wrap_into is
+  // a single add/subtract for those, and stays bounded for any input.
+  const double phi = wrap_into(ray.theta, kTwoPi);
   int bt = static_cast<int>(phi * theta_bins_ / kTwoPi + 0.5);
   if (bt >= theta_bins_) bt -= theta_bins_;
   return static_cast<float>(table_[index(cx, cy, bt)] * quantum_);

@@ -13,11 +13,18 @@
 #include <span>
 #include <string>
 
+#include "common/contracts.hpp"
 #include "common/types.hpp"
 #include "gridmap/occupancy_grid.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace srl {
+
+/// Shared precondition of every range backend: query poses must be finite.
+/// Out-of-map poses are legal (they read the border as occupied and return
+/// 0), but NaN/inf coordinates indicate a diverged caller — checked builds
+/// flag them at the query site via `SYNPF_EXPECTS(valid_ray_pose(ray))`.
+inline bool valid_ray_pose(const Pose2& ray) { return finite(ray); }
 
 /// Abstract range-query backend. Implementations are immutable after
 /// construction and safe for concurrent queries.

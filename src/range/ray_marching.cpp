@@ -5,6 +5,7 @@
 namespace srl {
 
 float RayMarching::range(const Pose2& ray) const {
+  SYNPF_EXPECTS_MSG(valid_ray_pose(ray), "ray-marching query pose not finite");
   note_query();
   const double dx = std::cos(ray.theta);
   const double dy = std::sin(ray.theta);

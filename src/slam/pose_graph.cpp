@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/angles.hpp"
+#include "common/contracts.hpp"
 #include "slam/linalg.hpp"
 
 namespace srl {
@@ -30,11 +31,26 @@ int PoseGraph2D::add_node(const Pose2& initial) {
 
 void PoseGraph2D::add_relative(int i, int j, const Pose2& rel, double wt,
                                double wr) {
-  relatives_.push_back(Relative{i, j, rel.normalized(), wt, wr});
+  SYNPF_EXPECTS_MSG(i >= 0 && i < num_nodes() && j >= 0 && j < num_nodes(),
+                    "relative constraint references unknown nodes");
+  // The per-constraint information matrix is diag(wt, wt, wr); it is SPD
+  // exactly when both weights are finite and strictly positive. Zero or
+  // negative weights silently de-rank the normal equations.
+  SYNPF_EXPECTS_MSG(std::isfinite(wt) && wt > 0.0 && std::isfinite(wr) &&
+                        wr > 0.0,
+                    "information matrix must be SPD (wt > 0, wr > 0)");
+  SYNPF_EXPECTS_MSG(finite(rel), "relative measurement must be finite");
+  relatives_.emplace_back(i, j, rel.normalized(), wt, wr);
 }
 
 void PoseGraph2D::add_prior(int j, const Pose2& abs, double wt, double wr) {
-  priors_.push_back(Prior{j, abs.normalized(), wt, wr});
+  SYNPF_EXPECTS_MSG(j >= 0 && j < num_nodes(),
+                    "prior constraint references an unknown node");
+  SYNPF_EXPECTS_MSG(std::isfinite(wt) && wt > 0.0 && std::isfinite(wr) &&
+                        wr > 0.0,
+                    "information matrix must be SPD (wt > 0, wr > 0)");
+  SYNPF_EXPECTS_MSG(finite(abs), "prior measurement must be finite");
+  priors_.emplace_back(j, abs.normalized(), wt, wr);
 }
 
 double PoseGraph2D::cost() const {
@@ -179,6 +195,8 @@ PoseGraphStats PoseGraph2D::optimize(int max_iterations) {
     }
   }
   stats.final_cost = cost();
+  SYNPF_ENSURES_MSG(std::isfinite(stats.final_cost) && stats.final_cost >= 0.0,
+                    "optimization left a non-finite cost");
   return stats;
 }
 

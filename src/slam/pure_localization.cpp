@@ -136,8 +136,7 @@ Pose2 CartoLocalizer::on_scan(const LaserScan& scan) {
     published_accum_ = Pose2{};
     pending_.clear();
   } else {
-    pending_.push_back(PendingOutput{clock_ + options_.output_latency, pose_,
-                                     Pose2{}});
+    pending_.emplace_back(clock_ + options_.output_latency, pose_, Pose2{});
   }
 
   const double busy_s = watch.elapsed_s();

@@ -10,6 +10,7 @@
 /// buffer makes every `ScopedSpan` a no-op. The default-constructed Sink is
 /// the zero-cost configuration (one predictable branch per record site).
 
+#include "telemetry/contract_monitor.hpp"
 #include "telemetry/filter_health.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace_buffer.hpp"

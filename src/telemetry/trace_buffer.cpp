@@ -32,7 +32,7 @@ void TraceBuffer::add(const char* name, double ts_us, double dur_us,
     ++dropped_;
     return;
   }
-  events_.push_back(TraceEvent{name, ts_us, dur_us, tid, depth});
+  events_.emplace_back(name, ts_us, dur_us, tid, depth);
 }
 
 std::vector<TraceEvent> TraceBuffer::events() const {

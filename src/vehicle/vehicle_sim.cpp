@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/angles.hpp"
+#include "common/contracts.hpp"
 
 namespace srl {
 
@@ -17,6 +18,10 @@ void VehicleSim::reset(const Pose2& pose) {
 }
 
 void VehicleSim::step(const DriveCommand& cmd, double dt) {
+  SYNPF_EXPECTS_MSG(std::isfinite(dt) && dt > 0.0,
+                    "simulation step needs a positive finite dt");
+  SYNPF_EXPECTS_MSG(std::isfinite(cmd.target_speed) && std::isfinite(cmd.steer),
+                    "drive command must be finite");
   const VehicleParams& p = params_;
   VehicleState& s = state_;
 
@@ -73,6 +78,11 @@ void VehicleSim::step(const DriveCommand& cmd, double dt) {
   // Pose integration on the achieved (grip-limited) arc, including slide.
   s.pose = integrate_twist(s.pose, Twist2{s.v, s.vy, s.yaw_rate}, dt)
                .normalized();
+
+  SYNPF_ENSURES_MSG(finite(s.pose) && std::isfinite(s.v) &&
+                        std::isfinite(s.vy) && std::isfinite(s.wheel_speed) &&
+                        std::isfinite(s.yaw_rate),
+                    "vehicle state went non-finite during step");
 }
 
 }  // namespace srl

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 namespace srl {
 namespace {
@@ -58,6 +59,59 @@ TEST(Angles, LerpShortestPath) {
   EXPECT_NEAR(angle_lerp(a, b, 0.5), kPi, 1e-9);
   EXPECT_NEAR(angle_lerp(a, b, 0.0), a, 1e-12);
   EXPECT_NEAR(angle_lerp(a, b, 1.0), normalize_angle(b), 1e-9);
+}
+
+TEST(WrapInto, IdentityInRange) {
+  EXPECT_DOUBLE_EQ(wrap_into(0.0, kTwoPi), 0.0);
+  EXPECT_DOUBLE_EQ(wrap_into(1.5, kTwoPi), 1.5);
+  EXPECT_DOUBLE_EQ(wrap_into(kTwoPi - 1e-9, kTwoPi), kTwoPi - 1e-9);
+}
+
+TEST(WrapInto, FastPathsMatchFmod) {
+  // One turn below / above the range (the hot-path branches).
+  EXPECT_NEAR(wrap_into(-0.3, kTwoPi), kTwoPi - 0.3, 1e-12);
+  EXPECT_NEAR(wrap_into(kTwoPi + 0.3, kTwoPi), 0.3, 1e-12);
+  EXPECT_NEAR(wrap_into(-kPi, kTwoPi), kPi, 1e-12);
+}
+
+TEST(WrapInto, ArbitraryMagnitudeStaysInRange) {
+  // Regression: the old per-backend `while (phi < 0) phi += 2pi;` loops ran
+  // O(|phi|) iterations and never terminated for non-finite input.
+  for (double a : {1e9, -1e9, 7.25e15, -7.25e15, 123456.789, -123456.789}) {
+    const double w = wrap_into(a, kTwoPi);
+    EXPECT_GE(w, 0.0) << a;
+    EXPECT_LT(w, kTwoPi) << a;
+    // The mod-consistency check needs `a - w` to be representable; above
+    // ~2^52 the ulp of `a` exceeds the period and the check is meaningless.
+    if (std::abs(a) < 1e12) {
+      EXPECT_NEAR(std::remainder(a - w, kTwoPi), 0.0, 1e-6) << a;
+    }
+  }
+}
+
+TEST(WrapInto, HalfTurnPeriod) {
+  // CDDT folds headings into [0, pi).
+  EXPECT_NEAR(wrap_into(kPi + 0.2, kPi), 0.2, 1e-12);
+  EXPECT_NEAR(wrap_into(-0.2, kPi), kPi - 0.2, 1e-12);
+  const double w = wrap_into(-1e7, kPi);
+  EXPECT_GE(w, 0.0);
+  EXPECT_LT(w, kPi);
+}
+
+TEST(WrapInto, NonFiniteWrapsToZero) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(wrap_into(std::numeric_limits<double>::quiet_NaN(), kTwoPi),
+                   0.0);
+  EXPECT_DOUBLE_EQ(wrap_into(kInf, kTwoPi), 0.0);
+  EXPECT_DOUBLE_EQ(wrap_into(-kInf, kTwoPi), 0.0);
+}
+
+TEST(WrapInto, NeverReturnsPeriodExactly) {
+  // -eps + period rounds to exactly `period` in double; the contract is the
+  // half-open interval [0, period), which downstream bin indexing relies on.
+  const double w = wrap_into(-1e-18, kTwoPi);
+  EXPECT_GE(w, 0.0);
+  EXPECT_LT(w, kTwoPi);
 }
 
 /// Property: normalize_angle is idempotent and preserves the angle mod 2pi.

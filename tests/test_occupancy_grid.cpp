@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace srl {
 namespace {
 
@@ -84,6 +86,43 @@ TEST(OccupancyGrid, CountByValue) {
 TEST(OccupancyGrid, DiagonalBound) {
   OccupancyGrid g{30, 40, 0.1, Vec2{}};
   EXPECT_NEAR(g.diagonal(), 5.0, 1e-12);
+}
+
+TEST(FloorToCell, MatchesFloorInRange) {
+  EXPECT_EQ(floor_to_cell(0.0), 0);
+  EXPECT_EQ(floor_to_cell(0.999), 0);
+  EXPECT_EQ(floor_to_cell(-0.001), -1);
+  EXPECT_EQ(floor_to_cell(123.7), 123);
+  EXPECT_EQ(floor_to_cell(-123.7), -124);
+}
+
+TEST(FloorToCell, ClampsExtremesWithoutUb) {
+  // Regression: a plain static_cast<int>(huge double) is UB (UBSan
+  // float-cast-overflow). Extremes now clamp to +-1e9 sentinels, which every
+  // map bounds check rejects.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(floor_to_cell(1e18), 1000000000);
+  EXPECT_EQ(floor_to_cell(-1e18), -1000000000);
+  EXPECT_EQ(floor_to_cell(kInf), 1000000000);
+  EXPECT_EQ(floor_to_cell(-kInf), -1000000000);
+  EXPECT_EQ(floor_to_cell(std::numeric_limits<double>::quiet_NaN()),
+            -1000000000);
+  EXPECT_EQ(floor_to_cell(std::numeric_limits<double>::max()), 1000000000);
+}
+
+TEST(OccupancyGrid, WorldToGridDefinedForAnyInput) {
+  // Far-away, infinite and NaN world points must land on out-of-bounds
+  // sentinel cells, never in-bounds and never via a UB cast.
+  OccupancyGrid g{10, 10, 0.1, Vec2{0.0, 0.0}, OccupancyGrid::kFree};
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  for (const Vec2& w : {Vec2{1e300, 0.0}, Vec2{0.0, -1e300}, Vec2{kInf, kInf},
+                        Vec2{-kInf, 0.5}, Vec2{kNan, 0.5}, Vec2{0.5, kNan}}) {
+    const GridIndex idx = g.world_to_grid(w);
+    EXPECT_FALSE(g.in_bounds(idx)) << w.x << ", " << w.y;
+    EXPECT_EQ(g.at_or_occupied(idx.ix, idx.iy), OccupancyGrid::kOccupied);
+    EXPECT_FALSE(g.is_free_at(w));
+  }
 }
 
 TEST(OccupancyGrid, EmptyGridIsSafe) {

@@ -176,6 +176,62 @@ INSTANTIATE_TEST_SUITE_P(
       return to_string(info.param.kind);
     });
 
+TEST(RangeMethods, BackendsAgreeOnOutOfMapAndBoundaryPoses) {
+  // A query pose outside the map (or on a blocking boundary cell) is not an
+  // error — a diverged particle can propose one — and every backend must
+  // answer the same way: range 0. This includes far-away poses whose naive
+  // world->cell cast would be UB and poses with arbitrary-magnitude headings.
+  auto room = make_room();  // 10 m x 10 m, origin (0, 0)
+  RangeMethodOptions opt;
+  opt.max_range = 12.0;
+  std::vector<std::unique_ptr<RangeMethod>> methods;
+  for (const auto kind :
+       {RangeMethodKind::kBresenham, RangeMethodKind::kRayMarching,
+        RangeMethodKind::kCddt, RangeMethodKind::kLut}) {
+    methods.push_back(make_range_method(kind, room, opt));
+  }
+
+  const Pose2 cases[] = {
+      {-0.01, 5.0, 0.0},          // just past the left border
+      {10.01, 5.0, kPi},          // just past the right border
+      {5.0, -0.01, kPi / 2.0},    // just below
+      {5.0, 10.01, -kPi / 2.0},   // just above
+      {0.01, 0.01, 0.3},          // inside the map, on the boundary wall cell
+      {9.99, 9.99, -2.0},         // opposite wall corner cell
+      {-5.0, -5.0, 0.7},          // clearly outside
+      {1e6, 1e6, 0.0},            // far outside, would overflow int cells
+      {-1e9, 3.0, 1.0},           // negative-far
+      {1e300, -1e300, 2.0},       // astronomically far
+      {-3.0, -3.0, 1e8},          // outside with a huge heading
+  };
+  for (const Pose2& pose : cases) {
+    for (const auto& method : methods) {
+      EXPECT_EQ(method->range(pose), 0.0F)
+          << method->name() << " at (" << pose.x << ", " << pose.y << ", "
+          << pose.theta << ")";
+    }
+  }
+}
+
+TEST(RangeMethods, HugeHeadingsInMapAreDefined) {
+  // In-map poses with arbitrary-magnitude headings must yield a valid range
+  // from every backend (the old per-backend wrap loops were O(|theta|)).
+  auto room = make_room();
+  RangeMethodOptions opt;
+  opt.max_range = 12.0;
+  for (const auto kind :
+       {RangeMethodKind::kBresenham, RangeMethodKind::kRayMarching,
+        RangeMethodKind::kCddt, RangeMethodKind::kLut}) {
+    const auto method = make_range_method(kind, room, opt);
+    for (double theta : {1e7, -1e7, 4.0e15, -4.0e15}) {
+      const float r = method->range({5.0, 5.0, theta});
+      EXPECT_TRUE(std::isfinite(r)) << method->name() << " theta=" << theta;
+      EXPECT_GE(r, 0.0F) << method->name() << " theta=" << theta;
+      EXPECT_LE(r, 12.0F + 1e-4F) << method->name() << " theta=" << theta;
+    }
+  }
+}
+
 TEST(RangeMethods, ExactAngleAgreement) {
   // When the query angle is exactly on a discretization bin, CDDT and LUT
   // errors collapse to the band/cell level.

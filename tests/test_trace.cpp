@@ -35,8 +35,8 @@ class DeadReckoning final : public Localizer {
 class TraceTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    track_ = new Track{TrackGenerator::oval(8.0, 2.5)};
-    trace_ = new SensorTrace{};
+    track_ = std::make_unique<Track>(TrackGenerator::oval(8.0, 2.5));
+    trace_ = std::make_unique<SensorTrace>();
     ExperimentConfig cfg;
     cfg.laps = 1;
     cfg.max_sim_time = 25.0;
@@ -45,21 +45,19 @@ class TraceTest : public ::testing::Test {
     cfg.odom_noise.steer_noise = 0.0;
     ExperimentRunner runner{*track_, cfg};
     DeadReckoning driver;
-    runner.run(driver, trace_);
+    runner.run(driver, trace_.get());
   }
   static void TearDownTestSuite() {
-    delete trace_;
-    delete track_;
-    trace_ = nullptr;
-    track_ = nullptr;
+    trace_.reset();
+    track_.reset();
   }
 
-  static Track* track_;
-  static SensorTrace* trace_;
+  static std::unique_ptr<Track> track_;
+  static std::unique_ptr<SensorTrace> trace_;
 };
 
-Track* TraceTest::track_ = nullptr;
-SensorTrace* TraceTest::trace_ = nullptr;
+std::unique_ptr<Track> TraceTest::track_;
+std::unique_ptr<SensorTrace> TraceTest::trace_;
 
 TEST_F(TraceTest, RecordingCapturesStreams) {
   ASSERT_FALSE(trace_->empty());

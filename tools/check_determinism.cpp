@@ -1,0 +1,170 @@
+/// \file check_determinism.cpp
+/// \brief Bitwise-determinism checker — the CI replay smoke.
+///
+/// Records a short closed-loop lap on a generated oval, then replays the
+/// captured `SensorTrace` into SynPF under several regimes and demands
+/// *bitwise* identical pose estimates and accuracy metrics:
+///
+///   1. twice from the same seed (run-to-run determinism),
+///   2. across a textual save/restore of the full RNG state (the state is
+///      the complete description of the stochastic process),
+///   3. with and without a telemetry sink attached (instrumentation must
+///      not perturb estimates — the PR-1 guarantee),
+///
+/// and, in a SYNPF_CHECKED build, requires the whole lap to complete with
+/// zero contract violations (reported through `telemetry::ContractMonitor`).
+///
+/// Exit code 0 on success; prints the first divergence otherwise. Usage:
+///
+///     check_determinism [max_sim_time_s]   (default 25)
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "core/synpf.hpp"
+#include "eval/experiment.hpp"
+#include "eval/trace.hpp"
+#include "gridmap/track_generator.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace {
+
+using namespace srl;
+
+/// Odometry-only localizer used to record the trace cheaply.
+class DeadReckoning final : public Localizer {
+ public:
+  void initialize(const Pose2& pose) override { pose_ = pose; }
+  void on_odometry(const OdometryDelta& odom) override {
+    pose_ = (pose_ * odom.delta).normalized();
+  }
+  Pose2 on_scan(const LaserScan&) override { return pose_; }
+  Pose2 pose() const override { return pose_; }
+  std::string name() const override { return "DeadReckoning"; }
+  double mean_scan_update_ms() const override { return 0.0; }
+  double total_busy_s() const override { return 0.0; }
+
+ private:
+  Pose2 pose_{};
+};
+
+bool bitwise_equal(const Pose2& a, const Pose2& b) {
+  return std::memcmp(&a.x, &b.x, sizeof(double)) == 0 &&
+         std::memcmp(&a.y, &b.y, sizeof(double)) == 0 &&
+         std::memcmp(&a.theta, &b.theta, sizeof(double)) == 0;
+}
+
+/// Compare two replays bitwise: every pose estimate and the accuracy
+/// metrics (latency fields are wall-clock and excluded by design).
+bool compare(const SensorTrace::ReplayResult& a,
+             const SensorTrace::ReplayResult& b, const char* label) {
+  if (a.estimates.size() != b.estimates.size()) {
+    std::fprintf(stderr, "[%s] estimate count differs: %zu vs %zu\n", label,
+                 a.estimates.size(), b.estimates.size());
+    return false;
+  }
+  for (std::size_t i = 0; i < a.estimates.size(); ++i) {
+    if (!bitwise_equal(a.estimates[i], b.estimates[i])) {
+      std::fprintf(stderr,
+                   "[%s] estimate %zu diverges: (%.17g, %.17g, %.17g) vs "
+                   "(%.17g, %.17g, %.17g)\n",
+                   label, i, a.estimates[i].x, a.estimates[i].y,
+                   a.estimates[i].theta, b.estimates[i].x, b.estimates[i].y,
+                   b.estimates[i].theta);
+      return false;
+    }
+  }
+  if (std::memcmp(&a.pose_rmse_m, &b.pose_rmse_m, sizeof(double)) != 0 ||
+      std::memcmp(&a.heading_rmse_rad, &b.heading_rmse_rad, sizeof(double)) !=
+          0) {
+    std::fprintf(stderr, "[%s] accuracy metrics diverge: %.17g/%.17g vs "
+                 "%.17g/%.17g\n",
+                 label, a.pose_rmse_m, a.heading_rmse_rad, b.pose_rmse_m,
+                 b.heading_rmse_rad);
+    return false;
+  }
+  std::printf("[%s] OK — %zu estimates bitwise-identical\n", label,
+              a.estimates.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double max_sim_time = 25.0;
+  if (argc > 1) max_sim_time = std::stod(argv[1]);
+
+  // Contract accounting: in a SYNPF_CHECKED build every violation across the
+  // recording lap and all replays is counted here and fails the run.
+  telemetry::MetricsRegistry contract_registry;
+  telemetry::ContractMonitor monitor{contract_registry};
+
+  const Track track = TrackGenerator::oval(8.0, 2.5);
+  SensorTrace trace;
+  {
+    ExperimentConfig cfg;
+    cfg.laps = 1;
+    cfg.max_sim_time = max_sim_time;
+    cfg.profile.scale = 0.5;
+    ExperimentRunner runner{track, cfg};
+    DeadReckoning driver;
+    runner.run(driver, &trace);
+  }
+  if (trace.scans().empty()) {
+    std::fprintf(stderr, "recorded trace is empty\n");
+    return 1;
+  }
+  std::printf("recorded %zu scans / %zu odometry increments (contracts %s)\n",
+              trace.scans().size(), trace.odometry().size(),
+              contracts::enabled() ? "ON" : "off");
+
+  auto map = std::make_shared<const OccupancyGrid>(track.grid);
+  SynPfConfig cfg;
+  cfg.filter.n_particles = 600;
+
+  bool ok = true;
+
+  // 1. Same seed, two fresh filters.
+  SynPf a{cfg, map, LidarConfig{}};
+  const auto ra = trace.replay(a);
+  {
+    SynPf b{cfg, map, LidarConfig{}};
+    const auto rb = trace.replay(b);
+    ok = compare(ra, rb, "rerun") && ok;
+  }
+
+  // 2. Save the RNG state, scramble the generator, restore, replay: the
+  // serialized state must capture the stochastic process completely.
+  {
+    SynPf c{cfg, map, LidarConfig{}};
+    std::stringstream saved;
+    saved << c.filter().rng();
+    for (int i = 0; i < 1000; ++i) c.filter().rng().uniform();
+    saved >> c.filter().rng();
+    const auto rc = trace.replay(c);
+    ok = compare(ra, rc, "rng-save-restore") && ok;
+  }
+
+  // 3. Telemetry attached: instrumentation must not perturb estimates.
+  {
+    telemetry::Telemetry telemetry;
+    SynPf d{cfg, map, LidarConfig{}};
+    const auto rd = trace.replay(d, telemetry.sink());
+    ok = compare(ra, rd, "telemetry-attached") && ok;
+  }
+
+  const std::uint64_t violations = monitor.violations();
+  if (violations != 0) {
+    std::fprintf(stderr, "%llu contract violations during the run\n",
+                 static_cast<unsigned long long>(violations));
+    ok = false;
+  } else if (contracts::enabled()) {
+    std::printf("[contracts] OK — full lap + 4 replays, zero violations\n");
+  }
+
+  if (!ok) return 1;
+  std::printf("determinism check passed (rmse %.3f m)\n", ra.pose_rmse_m);
+  return 0;
+}
