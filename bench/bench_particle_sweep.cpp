@@ -4,14 +4,24 @@
 /// the accuracy/latency trade-off behind the paper's 1.25 ms operating
 /// point. Runs under low-quality odometry (mu = 0.55), where the filter
 /// must actually spend its particles on absorbing slip.
+///
+/// A second table sweeps the worker-lane count (DESIGN.md §9): one trace is
+/// recorded once and replayed open-loop per (particles x threads) cell, so
+/// every cell scores byte-identical sensor data and the speedup column
+/// isolates the pool. Estimates are bitwise thread-count-invariant, so the
+/// table only moves in the latency columns.
 
+#include <cstring>
 #include <iostream>
 #include <memory>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "common/csv.hpp"
+#include "eval/dead_reckoning.hpp"
 #include "eval/table.hpp"
+#include "eval/trace.hpp"
+#include "telemetry/telemetry.hpp"
 
 int main() {
   using namespace srl;
@@ -54,5 +64,73 @@ int main() {
   std::cout << "\nexpected shape: accuracy saturates while latency grows "
                "linearly — the paper operates at the knee (~1-2 ms)\n"
                "wrote particle_sweep.csv\n";
+
+  // ---- Thread-scaling sweep (open-loop replay of one recorded trace) ----
+  std::vector<int> scale_counts = {500, 1500, 4000};
+  std::vector<int> thread_counts = {1, 2, 4, 8};
+  if (fast_mode()) {
+    scale_counts = {1500};
+    thread_counts = {1, 4};
+  }
+
+  SensorTrace scaling_trace;
+  {
+    ExperimentConfig tcfg;
+    tcfg.mu = 0.55;
+    tcfg.laps = 1;
+    tcfg.max_sim_time = fast_mode() ? 10.0 : 20.0;
+    ExperimentRunner runner{track, tcfg};
+    DeadReckoning driver;
+    runner.run(driver, &scaling_trace);
+  }
+  std::cout << "\nbench thread scaling (" << scaling_trace.scans().size()
+            << "-scan replay per cell; estimates are bitwise identical "
+               "across the threads column by construction)\n";
+
+  TextTable scale_table{{"particles", "threads", "update p50 [ms]",
+                         "predict [ms]", "raycast [ms]", "weight [ms]",
+                         "speedup"}};
+  CsvWriter scale_csv{"particle_thread_scaling.csv"};
+  scale_csv.write_header({"particles", "threads", "update_p50_ms",
+                          "predict_ms", "raycast_ms", "weight_ms", "speedup"});
+
+  const auto hist_mean = [](const telemetry::MetricsRegistry& reg,
+                            const char* name) {
+    const telemetry::Histogram* h = reg.find_histogram(name);
+    return h != nullptr ? h->mean() : 0.0;
+  };
+
+  for (const int n : scale_counts) {
+    double p50_serial = 0.0;
+    for (const int threads : thread_counts) {
+      SynPfConfig cfg;
+      cfg.filter.n_particles = n;
+      cfg.filter.n_threads = threads;
+      auto pf = make_synpf(map, lidar, cfg);
+      telemetry::Telemetry telemetry;
+      const SensorTrace::ReplayResult r =
+          scaling_trace.replay(*pf, telemetry.sink());
+      if (threads == thread_counts.front()) p50_serial = r.p50_update_ms;
+      const double speedup =
+          r.p50_update_ms > 0.0 ? p50_serial / r.p50_update_ms : 0.0;
+      scale_table.add_row(
+          {std::to_string(n), std::to_string(threads),
+           TextTable::num(r.p50_update_ms, 3),
+           TextTable::num(hist_mean(telemetry.metrics, "pf.predict_ms"), 3),
+           TextTable::num(hist_mean(telemetry.metrics, "pf.raycast_ms"), 3),
+           TextTable::num(hist_mean(telemetry.metrics, "pf.weight_ms"), 3),
+           TextTable::num(speedup, 2)});
+      scale_csv.write_row(std::vector<double>{
+          static_cast<double>(n), static_cast<double>(threads),
+          r.p50_update_ms, hist_mean(telemetry.metrics, "pf.predict_ms"),
+          hist_mean(telemetry.metrics, "pf.raycast_ms"),
+          hist_mean(telemetry.metrics, "pf.weight_ms"), speedup});
+    }
+  }
+  std::cout << "\n" << scale_table.render();
+  std::cout << "\nexpected shape: raycast/weight shrink ~linearly with "
+               "threads until chunks get cache-small; predict follows; "
+               "resample (serial by design) bounds the asymptote\n"
+               "wrote particle_thread_scaling.csv\n";
   return 0;
 }

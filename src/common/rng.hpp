@@ -4,6 +4,15 @@
 /// \brief Deterministic random number generation for simulation and
 /// particle filtering. All stochastic components of the library draw from an
 /// explicitly passed `Rng` so experiments are reproducible from a seed.
+///
+/// Beyond the single sequential stream, an `Rng` can derive *substreams*:
+/// independent child generators keyed by a (stream tag, index) pair and the
+/// master seed only — never by the parent's draw history. Substreams are the
+/// foundation of the bitwise-deterministic parallel particle filter
+/// (DESIGN.md §9): particle *i* draws its prediction noise from
+/// `substream(kTag, i)`, so the noise it sees is a pure function of the seed
+/// and its slot index, regardless of which thread advances it or how many
+/// draws other components have made.
 
 #include <cstdint>
 #include <istream>
@@ -12,12 +21,24 @@
 
 namespace srl {
 
+/// SplitMix64 finalizer (Steele, Lea & Flood 2014): bijective 64-bit mixing
+/// used to derive substream seeds. This derivation is *pinned*: changing it
+/// silently re-keys every substream and breaks replay compatibility
+/// (test_determinism hardcodes known outputs to catch exactly that).
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
 /// A seeded pseudo-random generator with the distributions the library needs.
 /// Thin wrapper over std::mt19937_64; copyable, so particle clouds can fork
 /// deterministic sub-streams if needed.
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed = 0x5eed5eedULL) : engine_{seed} {}
+  explicit Rng(std::uint64_t seed = 0x5eed5eedULL)
+      : seed_{seed}, engine_{seed} {}
 
   /// Uniform double in [lo, hi).
   double uniform(double lo = 0.0, double hi = 1.0) {
@@ -49,20 +70,38 @@ class Rng {
   /// Fresh 64-bit value (e.g. to seed a child Rng).
   std::uint64_t next_seed() { return engine_(); }
 
+  /// The seed this generator (and all its substreams) derive from.
+  std::uint64_t master_seed() const { return seed_; }
+
+  /// Deterministic child stream keyed by (stream, index): a fresh Rng whose
+  /// seed is a SplitMix64 chain over the *master seed* and the key. Pure —
+  /// does not advance this engine and does not depend on how many draws the
+  /// parent has made. Distinct keys yield independent streams; the same key
+  /// always yields the same stream, so callers that need per-call freshness
+  /// must fold an epoch counter into `index` (the particle filter documents
+  /// its key schedule in core/particle_filter.hpp).
+  Rng substream(std::uint64_t stream, std::uint64_t index = 0) const {
+    std::uint64_t s = splitmix64(seed_ ^ (0x9E3779B97F4A7C15ULL * (stream + 1)));
+    s = splitmix64(s ^ (0xBF58476D1CE4E5B9ULL * (index + 1)));
+    return Rng{s};
+  }
+
   std::mt19937_64& engine() { return engine_; }
 
-  /// Serialize the *complete* generator state — the engine and the cached
-  /// Box-Muller pair of the persistent normal distribution — so a restored
-  /// Rng reproduces the exact remaining stream bit for bit (the determinism
-  /// checker round-trips this across a save/restore).
+  /// Serialize the *complete* generator state — the master seed (which keys
+  /// every substream derivation), the engine, and the cached Box-Muller pair
+  /// of the persistent normal distribution — so a restored Rng reproduces
+  /// the exact remaining stream, and every substream, bit for bit (the
+  /// determinism checker round-trips this across a save/restore).
   friend std::ostream& operator<<(std::ostream& os, const Rng& rng) {
-    return os << rng.engine_ << ' ' << rng.standard_normal_;
+    return os << rng.seed_ << ' ' << rng.engine_ << ' ' << rng.standard_normal_;
   }
   friend std::istream& operator>>(std::istream& is, Rng& rng) {
-    return is >> rng.engine_ >> rng.standard_normal_;
+    return is >> rng.seed_ >> rng.engine_ >> rng.standard_normal_;
   }
 
  private:
+  std::uint64_t seed_;
   std::mt19937_64 engine_;
   std::normal_distribution<double> standard_normal_{0.0, 1.0};
 };

@@ -26,12 +26,26 @@ ParticleFilter::ParticleFilter(ParticleFilterConfig config,
       lidar_{std::move(lidar)},
       beam_indices_{std::move(beam_indices)},
       beam_angles_{layout_angles(lidar_, beam_indices_)},
-      rng_{seed} {
+      rng_{seed},
+      pool_{config_.n_threads} {
   particles_.resize(static_cast<std::size_t>(std::max(config_.n_particles, 1)));
   log_weights_.resize(particles_.size());
+  ray_scratch_.resize(static_cast<std::size_t>(pool_.threads()));
+}
+
+void ParticleFilter::ensure_slot_rngs(std::size_t n) {
+  while (slot_rngs_.size() < n) {
+    // Key schedule pinned at PfStream: (epoch << 32) | slot, so re-inits
+    // re-key every stream and mid-run KLD growth extends deterministically.
+    const auto key = (static_cast<std::uint64_t>(init_epoch_) << 32) |
+                     static_cast<std::uint64_t>(slot_rngs_.size());
+    slot_rngs_.push_back(rng_.substream(kPfStreamPredictNoise, key));
+  }
 }
 
 void ParticleFilter::init_pose(const Pose2& pose) {
+  ++init_epoch_;
+  slot_rngs_.clear();
   const double w = 1.0 / static_cast<double>(particles_.size());
   for (Particle& p : particles_) {
     p.pose = Pose2{pose.x + rng_.gaussian(config_.init_sigma_xy),
@@ -43,6 +57,8 @@ void ParticleFilter::init_pose(const Pose2& pose) {
 }
 
 void ParticleFilter::init_global(const OccupancyGrid& map) {
+  ++init_epoch_;
+  slot_rngs_.clear();
   // Rejection-sample uniformly over free cells with random headings.
   const double w = 1.0 / static_cast<double>(particles_.size());
   for (Particle& p : particles_) {
@@ -72,6 +88,8 @@ void ParticleFilter::set_telemetry(const telemetry::Sink& sink) {
     g_max_share_ = &m.gauge("pf.max_weight_share");
     g_particles_ = &m.gauge("pf.particles");
     g_pose_jump_ = &m.gauge("pf.pose_jump_m");
+    g_threads_ = &m.gauge("pf.threads");
+    g_threads_->set(static_cast<double>(pool_.threads()));
     c_updates_ = &m.counter("pf.updates");
     c_resamples_ = &m.counter("pf.resamples");
     c_jump_alarms_ = &m.counter("pf.pose_jump_alarms");
@@ -79,7 +97,7 @@ void ParticleFilter::set_telemetry(const telemetry::Sink& sink) {
   } else {
     h_predict_ = h_raycast_ = h_weight_ = h_resample_ = nullptr;
     g_ess_ = g_ess_fraction_ = g_entropy_ = g_max_share_ = nullptr;
-    g_particles_ = g_pose_jump_ = nullptr;
+    g_particles_ = g_pose_jump_ = g_threads_ = nullptr;
     c_updates_ = c_resamples_ = c_jump_alarms_ = nullptr;
   }
 }
@@ -90,9 +108,17 @@ void ParticleFilter::predict(const OdometryDelta& odom) {
                     "odometry increment must be finite");
   telemetry::ScopedSpan span{sink_.trace, "pf.predict"};
   telemetry::StageTimer timer{h_predict_};
-  for (Particle& p : particles_) {
-    p.pose = motion_->sample(p.pose, odom, rng_);
-  }
+  ensure_slot_rngs(particles_.size());
+  pool_.parallel_for(particles_.size(), [&](int /*lane*/, std::size_t begin,
+                                            std::size_t end) {
+    telemetry::ScopedSpan chunk{sink_.trace, "pf.predict.chunk"};
+    for (std::size_t i = begin; i < end; ++i) {
+      // Slot i's noise comes from its own substream, so the sample is the
+      // same whichever lane runs it.
+      particles_[i].pose =
+          motion_->sample(particles_[i].pose, odom, slot_rngs_[i]);
+    }
+  });
   timer.stop();
 }
 
@@ -105,47 +131,60 @@ void ParticleFilter::correct(const LaserScan& scan) {
   const Pose2 predicted = health_on ? estimate() : Pose2{};
 
   // Stage 1 — raycast: expected range for every (particle, beam) pair
-  // through the backend's batch interface, into a reusable scratch buffer.
+  // through the backend's batch interface. Chunks write disjoint contiguous
+  // row slabs of `expected_`; each lane rebuilds rays in its own scratch.
   {
     telemetry::ScopedSpan span{sink_.trace, "pf.raycast"};
     telemetry::StageTimer timer{h_raycast_};
     expected_.resize(n * k);
-    ray_scratch_.resize(k);
-    for (std::size_t i = 0; i < n; ++i) {
-      const Pose2 sensor = particles_[i].pose * lidar_.mount;
-      for (std::size_t j = 0; j < k; ++j) {
-        ray_scratch_[j] =
-            Pose2{sensor.x, sensor.y, sensor.theta + beam_angles_[j]};
+    ray_scratch_.resize(static_cast<std::size_t>(pool_.threads()));
+    pool_.parallel_for(n, [&](int lane, std::size_t begin, std::size_t end) {
+      telemetry::ScopedSpan chunk{sink_.trace, "pf.raycast.chunk"};
+      std::vector<Pose2>& rays = ray_scratch_[static_cast<std::size_t>(lane)];
+      rays.resize(k);
+      for (std::size_t i = begin; i < end; ++i) {
+        const Pose2 sensor = particles_[i].pose * lidar_.mount;
+        for (std::size_t j = 0; j < k; ++j) {
+          rays[j] = Pose2{sensor.x, sensor.y, sensor.theta + beam_angles_[j]};
+        }
+        caster_->ranges(rays, std::span<float>{expected_}.subspan(i * k, k));
       }
-      caster_->ranges(ray_scratch_,
-                      std::span<float>{expected_}.subspan(i * k, k));
-    }
+    });
     timer.stop();
   }
 
   // Stage 2 — weight: score each particle's expected ranges against the
-  // measured scan with the beam model, then squash and normalize.
+  // measured scan with the beam model, then squash and normalize. The
+  // per-particle scoring fans out (each chunk writes only its own
+  // log_weights_ rows); the max scan and the recovery/normalization sums
+  // run in fixed order so the result is thread-count independent.
   {
     telemetry::ScopedSpan weight_span{sink_.trace, "pf.weight"};
     telemetry::StageTimer weight_timer{h_weight_};
+    log_weights_.resize(n);
+    pool_.parallel_for(n, [&](int /*lane*/, std::size_t begin,
+                              std::size_t end) {
+      telemetry::ScopedSpan chunk{sink_.trace, "pf.weight.chunk"};
+      for (std::size_t i = begin; i < end; ++i) {
+        double log_w = 0.0;
+        const float* expected_row = expected_.data() + i * k;
+        for (std::size_t j = 0; j < k; ++j) {
+          const auto idx = static_cast<std::size_t>(beam_indices_[j]);
+          if (idx >= scan.ranges.size()) continue;
+          log_w += beam_model_.log_prob(scan.ranges[idx], expected_row[j]);
+        }
+        log_weights_[i] = log_w;
+      }
+    });
     double max_log = -std::numeric_limits<double>::infinity();
     for (std::size_t i = 0; i < n; ++i) {
-      double log_w = 0.0;
-      const float* expected_row = expected_.data() + i * k;
-      for (std::size_t j = 0; j < k; ++j) {
-        const auto idx = static_cast<std::size_t>(beam_indices_[j]);
-        if (idx >= scan.ranges.size()) continue;
-        log_w += beam_model_.log_prob(scan.ranges[idx], expected_row[j]);
-      }
-      log_weights_[i] = log_w;
-      max_log = std::max(max_log, log_w);
+      max_log = std::max(max_log, log_weights_[i]);
     }
 
     // Recovery bookkeeping (AMCL w_slow / w_fast): the per-beam geometric
     // mean likelihood of the cloud is the health signal.
     if (config_.recovery && k > 0) {
-      double sum_log = 0.0;
-      for (std::size_t i = 0; i < n; ++i) sum_log += log_weights_[i];
+      const double sum_log = pairwise_sum(log_weights_);
       const double w_avg = std::exp(
           sum_log / (static_cast<double>(n) * static_cast<double>(k)));
       if (w_slow_ == 0.0) w_slow_ = w_avg;
@@ -159,10 +198,13 @@ void ParticleFilter::correct(const LaserScan& scan) {
     // Squash and exponentiate relative to the max for numerical stability;
     // fold in the prior weights (uniform after a resample, usually a no-op).
     const double inv_squash = 1.0 / std::max(config_.squash_factor, 1e-6);
-    for (std::size_t i = 0; i < n; ++i) {
-      particles_[i].weight *=
-          std::exp((log_weights_[i] - max_log) * inv_squash);
-    }
+    pool_.parallel_for(n, [&](int /*lane*/, std::size_t begin,
+                              std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        particles_[i].weight *=
+            std::exp((log_weights_[i] - max_log) * inv_squash);
+      }
+    });
     normalize_weights();
     weight_timer.stop();
   }
@@ -220,8 +262,10 @@ void ParticleFilter::sample_health() {
 }
 
 void ParticleFilter::normalize_weights() {
-  double sum = 0.0;
-  for (const Particle& p : particles_) sum += p.weight;
+  // Fixed pairwise order: the sum (and so every normalized weight) is
+  // bitwise identical at any thread count.
+  const double sum = pairwise_reduce(
+      particles_.size(), [this](std::size_t i) { return particles_[i].weight; });
   if (sum <= 0.0 || !std::isfinite(sum)) {
     // Total weight collapse (all particles in impossible states): reset to
     // uniform rather than propagating NaNs; the next updates re-shape it.
@@ -244,10 +288,24 @@ bool ParticleFilter::weights_normalized() const {
 }
 
 double ParticleFilter::effective_sample_size() const {
-  double sum_sq = 0.0;
-  for (const Particle& p : particles_) sum_sq += p.weight * p.weight;
+  const double sum_sq =
+      pairwise_reduce(particles_.size(), [this](std::size_t i) {
+        const double w = particles_[i].weight;
+        return w * w;
+      });
   return sum_sq > 0.0 ? 1.0 / sum_sq : 0.0;
 }
+
+void ParticleFilter::set_weights(std::span<const double> weights) {
+  SYNPF_EXPECTS_MSG(weights.size() == particles_.size(),
+                    "one weight per current particle");
+  for (std::size_t i = 0; i < particles_.size(); ++i) {
+    particles_[i].weight = weights[i];
+  }
+  normalize_weights();
+}
+
+void ParticleFilter::force_resample() { resample(); }
 
 std::size_t ParticleFilter::kld_bound(std::size_t k) const {
   if (k <= 1) return static_cast<std::size_t>(config_.kld_min_particles);
@@ -259,14 +317,14 @@ std::size_t ParticleFilter::kld_bound(std::size_t k) const {
   return static_cast<std::size_t>(std::ceil(n));
 }
 
-Pose2 ParticleFilter::sample_free_pose() {
+Pose2 ParticleFilter::sample_free_pose(Rng& rng) {
   const OccupancyGrid& map = *recovery_map_;
   for (int tries = 0; tries < 10000; ++tries) {
-    const int ix = rng_.uniform_int(0, map.width() - 1);
-    const int iy = rng_.uniform_int(0, map.height() - 1);
+    const int ix = rng.uniform_int(0, map.width() - 1);
+    const int iy = rng.uniform_int(0, map.height() - 1);
     if (!map.is_free(ix, iy)) continue;
     const Vec2 c = map.grid_to_world(ix, iy);
-    return Pose2{c.x, c.y, rng_.uniform(-kPi, kPi)};
+    return Pose2{c.x, c.y, rng.uniform(-kPi, kPi)};
   }
   return particles_.empty() ? Pose2{} : particles_.front().pose;
 }
@@ -288,6 +346,7 @@ void ParticleFilter::resample() {
   std::vector<Particle> drawn;
   drawn.reserve(max_n);
   const double step = 1.0 / static_cast<double>(max_n);
+  // The one master-stream draw per resample event (see PfStream schedule).
   double target = rng_.uniform(0.0, step);
   double cumulative = particles_[0].weight;
   std::size_t i = 0;
@@ -302,10 +361,16 @@ void ParticleFilter::resample() {
 
   // Kidnapped-robot recovery: replace a fraction of the resampled cloud
   // with uniform random poses when the measurement likelihood collapsed.
+  // All draws come from this event's kPfStreamRecovery substream (keyed by
+  // the resample ordinal), so injection never perturbs the master stream.
   const auto inject_recovery = [this](std::vector<Particle>& cloud) {
     if (!config_.recovery || !recovery_map_ || injection_prob_ <= 0.0) return;
+    Rng recovery_rng = rng_.substream(
+        kPfStreamRecovery, static_cast<std::uint64_t>(resamples_));
     for (Particle& p : cloud) {
-      if (rng_.uniform() < injection_prob_) p.pose = sample_free_pose();
+      if (recovery_rng.uniform() < injection_prob_) {
+        p.pose = sample_free_pose(recovery_rng);
+      }
     }
   };
 

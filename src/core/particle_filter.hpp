@@ -6,12 +6,19 @@
 /// and weighted/circular pose extraction. The filter is assembled from
 /// injectable pieces (motion model, range backend, beam layout) so SynPF and
 /// its ablations are configurations of this one class.
+///
+/// The per-particle stages (predict / raycast / weight) fan out over a
+/// static-chunked thread pool (`ParticleFilterConfig::n_threads`) and are
+/// bitwise-deterministic at any lane count: slot-indexed RNG substreams,
+/// per-lane scratch slabs, and fixed-order pairwise reductions remove every
+/// scheduling dependence. See DESIGN.md §9 and the PfStream key schedule.
 
 #include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "gridmap/occupancy_grid.hpp"
@@ -26,6 +33,30 @@ namespace srl {
 struct Particle {
   Pose2 pose;
   double weight{1.0};
+};
+
+/// Substream key schedule of the particle filter (see Rng::substream). The
+/// filter's randomness is split into named streams so that parallelizing one
+/// stage can never silently reorder the draws of another:
+///
+///  - **Master stream** (`rng()`, the seed itself): consumed *only* by
+///    init_pose / init_global (serially, in particle order) and by the one
+///    systematic-resampling jitter draw per resample event. Nothing else
+///    touches it, so its draw schedule is independent of thread count.
+///  - **kPredictNoise**: slot `i` of the cloud draws its motion noise from
+///    `substream(kPredictNoise, (init_epoch << 32) | i)`, where init_epoch
+///    counts init_pose/init_global calls. Streams persist across updates
+///    (each predict advances them) and are re-derived on every init, so the
+///    noise particle `i` sees is a pure function of (seed, epoch, i) and the
+///    number of predicts so far — never of the thread that ran it.
+///  - **kRecovery**: resample event `r` draws its per-slot injection trials
+///    and replacement poses serially from `substream(kRecovery, r)`.
+///
+/// These tag values are pinned — append new streams, never renumber — and
+/// test_determinism hardcodes first draws per tag to catch reordering.
+enum PfStream : std::uint64_t {
+  kPfStreamPredictNoise = 1,
+  kPfStreamRecovery = 2,
 };
 
 /// Weighted pose second moments (theta treated via circular statistics).
@@ -69,6 +100,17 @@ struct ParticleFilterConfig {
   bool recovery = false;
   double recovery_alpha_slow = 0.05;
   double recovery_alpha_fast = 0.5;
+
+  /// Worker lanes for the per-particle hot stages (predict / raycast /
+  /// weight). 0 = hardware default (overridable via the SRL_THREADS env
+  /// knob), 1 = the exact serial path (no pool wakeups), >1 = a fixed pool
+  /// of that many lanes. Estimates, covariances, resample decisions and
+  /// metrics are **bitwise identical at every setting** — per-slot RNG
+  /// substreams, static chunking and fixed-order pairwise reductions remove
+  /// every scheduling dependence (DESIGN.md §9). Resampling itself stays
+  /// serial: it is O(N), memory-bound, and its systematic CDF walk (plus the
+  /// KLD early exit) is inherently order-sensitive.
+  int n_threads = 0;
 };
 
 class ParticleFilter {
@@ -104,6 +146,17 @@ class ParticleFilter {
   std::span<const Particle> particles() const { return particles_; }
   const ParticleFilterConfig& config() const { return config_; }
   Rng& rng() { return rng_; }
+  /// Resolved worker-lane count of the execution pool (>= 1).
+  int threads() const { return pool_.threads(); }
+
+  /// Test/diagnostic seam: overwrite the weight vector (one entry per
+  /// current particle; finite and non-negative) and renormalize. A
+  /// non-positive or non-finite total resets to uniform, mirroring
+  /// normalize_weights()'s collapse handling.
+  void set_weights(std::span<const double> weights);
+  /// Test/diagnostic seam: run one systematic resampling pass regardless of
+  /// the ESS trigger (counts toward resample_count()).
+  void force_resample();
 
   /// Number of resampling events so far (diagnostic).
   long resample_count() const { return resamples_; }
@@ -142,8 +195,12 @@ class ParticleFilter {
   void sample_health();
   /// KLD bound: particles required for k occupied histogram bins.
   std::size_t kld_bound(std::size_t k) const;
-  /// Uniform random pose over the recovery map's free cells.
-  Pose2 sample_free_pose();
+  /// Uniform random pose over the recovery map's free cells, drawn from
+  /// `rng` (a kPfStreamRecovery substream during injection).
+  Pose2 sample_free_pose(Rng& rng);
+  /// Grow the per-slot prediction-noise streams to cover `n` slots
+  /// (substream key schedule documented at PfStream).
+  void ensure_slot_rngs(std::size_t n);
 
   ParticleFilterConfig config_;
   std::shared_ptr<const RangeMethod> caster_;
@@ -155,10 +212,20 @@ class ParticleFilter {
 
   std::vector<Particle> particles_;
   std::vector<double> log_weights_;  ///< scratch for correct()
-  std::vector<float> expected_;      ///< scratch: n x k expected ranges
-  std::vector<Pose2> ray_scratch_;   ///< scratch: k ray poses per particle
+  /// Scratch: n x k expected ranges. Chunks own contiguous row ranges, so
+  /// concurrent writes land in disjoint slabs (no sharing beyond the one
+  /// cache line straddling each chunk boundary).
+  std::vector<float> expected_;
+  /// Per-lane scratch: k ray poses, rebuilt per particle. One slab per lane
+  /// kills false sharing between workers.
+  std::vector<std::vector<Pose2>> ray_scratch_;
   std::vector<double> weight_scratch_;  ///< scratch for health sampling
   Rng rng_;
+  /// Per-slot prediction-noise substreams (grow-only within an init epoch;
+  /// re-derived on every init_pose/init_global).
+  std::vector<Rng> slot_rngs_;
+  std::uint32_t init_epoch_{0};
+  ThreadPool pool_;
   long resamples_{0};
 
   // Telemetry (all pointers null while detached).
@@ -173,6 +240,7 @@ class ParticleFilter {
   telemetry::Gauge* g_max_share_{nullptr};
   telemetry::Gauge* g_particles_{nullptr};
   telemetry::Gauge* g_pose_jump_{nullptr};
+  telemetry::Gauge* g_threads_{nullptr};
   telemetry::Counter* c_updates_{nullptr};
   telemetry::Counter* c_resamples_{nullptr};
   telemetry::Counter* c_jump_alarms_{nullptr};

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file dead_reckoning.hpp
+/// \brief Odometry-only localizer: integrates every increment, ignores
+/// scans. The weakest baseline, and the cheapest driver for *recording* a
+/// `SensorTrace` (the determinism checker, the golden-trace fixture and the
+/// thread-scaling bench all record through it so the captured sensor stream
+/// is independent of any filter's estimate).
+
+#include <string>
+
+#include "core/localizer.hpp"
+
+namespace srl {
+
+class DeadReckoning final : public Localizer {
+ public:
+  void initialize(const Pose2& pose) override { pose_ = pose; }
+  void on_odometry(const OdometryDelta& odom) override {
+    pose_ = (pose_ * odom.delta).normalized();
+  }
+  Pose2 on_scan(const LaserScan&) override { return pose_; }
+  Pose2 pose() const override { return pose_; }
+  std::string name() const override { return "DeadReckoning"; }
+  double mean_scan_update_ms() const override { return 0.0; }
+  double total_busy_s() const override { return 0.0; }
+
+ private:
+  Pose2 pose_{};
+};
+
+}  // namespace srl

@@ -1,0 +1,195 @@
+/// Golden-trace regression wall for the single-threaded SynPF path.
+///
+/// A short oval lap was recorded once (DeadReckoning driver, so the sensor
+/// stream is independent of any filter) and committed under tests/data/
+/// together with the hexfloat-exact pose estimates SynPF produced on it.
+/// This test replays the committed trace and demands *bitwise* identical
+/// estimates and accuracy metrics: any numeric drift in the motion model,
+/// beam model, raycaster, resampler, RNG stream schedule, or reduction
+/// order fails loudly here instead of silently shifting benchmark tables.
+///
+/// Regenerating (only after an *intentional* numeric change):
+///
+///     SRL_REGEN_GOLDEN=1 ./build/tests/test_golden_trace
+///
+/// then commit the rewritten files with a note on what moved and why.
+///
+/// Portability: the golden bits pin one platform family. mt19937_64 output
+/// is standard-specified, but libstdc++'s distributions and libm's
+/// transcendentals are implementation-defined, so a different stdlib may
+/// legitimately produce different bits — regenerate there rather than
+/// loosening the comparison.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <string>
+#include <vector>
+
+#include "core/synpf.hpp"
+#include "eval/dead_reckoning.hpp"
+#include "eval/experiment.hpp"
+#include "eval/trace.hpp"
+#include "gridmap/track_generator.hpp"
+
+#ifndef SRL_TEST_DATA_DIR
+#define SRL_TEST_DATA_DIR "tests/data"
+#endif
+
+namespace srl {
+namespace {
+
+const char* kTracePath = SRL_TEST_DATA_DIR "/golden_oval.srlt";
+const char* kEstimatesPath = SRL_TEST_DATA_DIR "/golden_oval_estimates.txt";
+
+/// The pinned scenario. Every knob that feeds the numeric path is spelled
+/// out here; changing any of them is a golden regeneration event.
+Track golden_track() { return TrackGenerator::oval(8.0, 2.5); }
+
+SynPfConfig golden_config() {
+  SynPfConfig cfg;
+  cfg.filter.n_particles = 400;
+  cfg.filter.n_threads = 1;  // the golden path is the exact serial path
+  return cfg;
+}
+
+SensorTrace record_golden_trace() {
+  ExperimentConfig cfg;
+  cfg.laps = 1;
+  cfg.max_sim_time = 6.0;  // ~240 scans: enough updates to cover several
+                           // resample events, small enough to commit
+  cfg.profile.scale = 0.5;
+  const Track track = golden_track();
+  ExperimentRunner runner{track, cfg};
+  DeadReckoning driver;
+  SensorTrace trace;
+  runner.run(driver, &trace);
+  return trace;
+}
+
+bool regen_requested() {
+  const char* env = std::getenv("SRL_REGEN_GOLDEN");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+/// Hexfloat serialization round-trips doubles exactly (%a / strtod are
+/// bit-faithful), which keeps the golden file human-diffable yet bitwise.
+void write_estimates(const SensorTrace::ReplayResult& r) {
+  std::ofstream os{kEstimatesPath};
+  ASSERT_TRUE(os.good()) << "cannot write " << kEstimatesPath;
+  os << "golden-trace v1 " << r.estimates.size() << "\n" << std::hexfloat;
+  for (const Pose2& p : r.estimates) {
+    os << p.x << ' ' << p.y << ' ' << p.theta << "\n";
+  }
+  os << "rmse " << r.pose_rmse_m << ' ' << r.heading_rmse_rad << "\n";
+  ASSERT_TRUE(os.good());
+}
+
+double parse_hex_double(std::istream& is) {
+  std::string token;
+  is >> token;
+  EXPECT_FALSE(token.empty()) << "truncated golden estimates file";
+  return std::strtod(token.c_str(), nullptr);
+}
+
+struct GoldenEstimates {
+  std::vector<Pose2> estimates;
+  double pose_rmse_m{0.0};
+  double heading_rmse_rad{0.0};
+};
+
+GoldenEstimates read_estimates() {
+  GoldenEstimates g;
+  std::ifstream is{kEstimatesPath};
+  EXPECT_TRUE(is.good()) << "missing " << kEstimatesPath
+                         << " — regenerate with SRL_REGEN_GOLDEN=1";
+  std::string word;
+  std::size_t count = 0;
+  is >> word;  // "golden-trace"
+  is >> word;  // "v1"
+  EXPECT_EQ(word, "v1");
+  is >> count;
+  g.estimates.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Pose2 p;
+    p.x = parse_hex_double(is);
+    p.y = parse_hex_double(is);
+    p.theta = parse_hex_double(is);
+    g.estimates.push_back(p);
+  }
+  is >> word;  // "rmse"
+  EXPECT_EQ(word, "rmse");
+  g.pose_rmse_m = parse_hex_double(is);
+  g.heading_rmse_rad = parse_hex_double(is);
+  return g;
+}
+
+bool bits_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+TEST(GoldenTrace, SingleThreadedReplayMatchesCommittedBits) {
+  if (regen_requested()) {
+    const SensorTrace trace = record_golden_trace();
+    ASSERT_FALSE(trace.scans().empty());
+    ASSERT_TRUE(trace.save(kTracePath)) << "cannot write " << kTracePath;
+    const Track track = golden_track();
+    auto map = std::make_shared<const OccupancyGrid>(track.grid);
+    SynPf pf{golden_config(), map, LidarConfig{}};
+    const auto result = trace.replay(pf);
+    write_estimates(result);
+    std::printf("regenerated %s and %s (%zu estimates, rmse %.4f m)\n",
+                kTracePath, kEstimatesPath, result.estimates.size(),
+                result.pose_rmse_m);
+    return;
+  }
+
+  const auto trace = SensorTrace::load(kTracePath);
+  ASSERT_TRUE(trace.has_value())
+      << "missing/corrupt " << kTracePath
+      << " — regenerate with SRL_REGEN_GOLDEN=1";
+  ASSERT_FALSE(trace->scans().empty());
+  const GoldenEstimates golden = read_estimates();
+  ASSERT_EQ(golden.estimates.size(), trace->scans().size());
+
+  const Track track = golden_track();
+  auto map = std::make_shared<const OccupancyGrid>(track.grid);
+  SynPf pf{golden_config(), map, LidarConfig{}};
+  const auto result = trace->replay(pf);
+
+  ASSERT_EQ(result.estimates.size(), golden.estimates.size());
+  for (std::size_t i = 0; i < golden.estimates.size(); ++i) {
+    const Pose2& got = result.estimates[i];
+    const Pose2& want = golden.estimates[i];
+    ASSERT_TRUE(bits_equal(got.x, want.x) && bits_equal(got.y, want.y) &&
+                bits_equal(got.theta, want.theta))
+        << "estimate " << i << " drifted: got (" << std::hexfloat << got.x
+        << ", " << got.y << ", " << got.theta << ") want (" << want.x << ", "
+        << want.y << ", " << want.theta << ")";
+  }
+  EXPECT_TRUE(bits_equal(result.pose_rmse_m, golden.pose_rmse_m))
+      << std::hexfloat << result.pose_rmse_m << " vs " << golden.pose_rmse_m;
+  EXPECT_TRUE(bits_equal(result.heading_rmse_rad, golden.heading_rmse_rad))
+      << std::hexfloat << result.heading_rmse_rad << " vs "
+      << golden.heading_rmse_rad;
+}
+
+/// The committed trace itself must stay parseable and internally coherent —
+/// catches container-format regressions independently of the filter.
+TEST(GoldenTrace, CommittedTraceIsWellFormed) {
+  if (regen_requested()) GTEST_SKIP() << "regeneration run";
+  const auto trace = SensorTrace::load(kTracePath);
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_GT(trace->scans().size(), 10U);
+  EXPECT_GT(trace->odometry().size(), trace->scans().size());
+  EXPECT_GT(trace->duration(), 1.0);
+  for (const auto& rec : trace->scans()) {
+    EXPECT_FALSE(rec.scan.ranges.empty());
+  }
+}
+
+}  // namespace
+}  // namespace srl

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <map>
 #include <memory>
+#include <tuple>
 
 #include "common/angles.hpp"
 #include "motion/tum_model.hpp"
@@ -200,6 +203,173 @@ TEST(ParticleFilter, DeterministicWithSameSeed) {
   const Pose2 eb = b.estimate();
   EXPECT_DOUBLE_EQ(ea.x, eb.x);
   EXPECT_DOUBLE_EQ(ea.theta, eb.theta);
+}
+
+// ---------------------------------------------------------------------------
+// Property-based resampling suite: generator-driven weight vectors (random,
+// spike, equal, degenerate) pushed through set_weights + force_resample,
+// asserting the low-variance-resampling invariants across many seeds:
+//   * multiplicity: each source particle is drawn within +-1 of n * w_i
+//     (the defining guarantee of systematic resampling),
+//   * ESS monotonicity: resampling restores ESS to exactly n, never below
+//     the pre-resample value,
+//   * normalization post-conditions: uniform 1/n weights summing to 1.
+// ---------------------------------------------------------------------------
+
+enum class WeightMode { kRandom, kSpike, kEqual, kZeroSum, kTiny };
+
+const char* mode_name(WeightMode m) {
+  switch (m) {
+    case WeightMode::kRandom: return "random";
+    case WeightMode::kSpike: return "spike";
+    case WeightMode::kEqual: return "equal";
+    case WeightMode::kZeroSum: return "zero-sum";
+    case WeightMode::kTiny: return "tiny";
+  }
+  return "?";
+}
+
+std::vector<double> make_weights(WeightMode mode, std::size_t n, Rng& gen) {
+  std::vector<double> w(n);
+  switch (mode) {
+    case WeightMode::kRandom:
+      for (double& x : w) x = gen.uniform(0.0, 1.0);
+      break;
+    case WeightMode::kSpike: {
+      // One dominant particle, the rest negligible.
+      for (double& x : w) x = gen.uniform(0.0, 1e-9);
+      w[static_cast<std::size_t>(gen.uniform_int(
+          0, static_cast<int>(n) - 1))] = 1.0;
+      break;
+    }
+    case WeightMode::kEqual:
+      for (double& x : w) x = 0.5;
+      break;
+    case WeightMode::kZeroSum:
+      // Degenerate: total mass zero. normalize_weights() must collapse the
+      // cloud back to uniform rather than divide by zero.
+      for (double& x : w) x = 0.0;
+      break;
+    case WeightMode::kTiny:
+      // Positive but denormal-adjacent mass; normalization has to survive
+      // the tiny divisor without producing inf/nan.
+      for (double& x : w) x = gen.uniform(0.1, 1.0) * 1e-300;
+      break;
+  }
+  return w;
+}
+
+/// Bit-exact pose key: resampling copies poses verbatim, so the source of
+/// every post-resample particle is recoverable from its bit pattern.
+using PoseKey = std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>;
+
+PoseKey pose_key(const Pose2& p) {
+  std::uint64_t x = 0;
+  std::uint64_t y = 0;
+  std::uint64_t t = 0;
+  std::memcpy(&x, &p.x, sizeof(double));
+  std::memcpy(&y, &p.y, sizeof(double));
+  std::memcpy(&t, &p.theta, sizeof(double));
+  return {x, y, t};
+}
+
+TEST(ResamplingProperties, SystematicInvariantsAcrossSeedsAndModes) {
+  auto map = make_room();
+  const LidarConfig lidar;
+  for (const int n : {64, 300, 1000}) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      for (const WeightMode mode :
+           {WeightMode::kRandom, WeightMode::kSpike, WeightMode::kEqual,
+            WeightMode::kZeroSum, WeightMode::kTiny}) {
+        SCOPED_TRACE(::testing::Message() << "n=" << n << " seed=" << seed
+                                          << " mode=" << mode_name(mode));
+        ParticleFilterConfig cfg;
+        cfg.n_particles = n;
+        // Keep the resampled cloud at exactly n (the non-adaptive path
+        // resamples to max(n_particles, kld_min_particles)).
+        cfg.kld_min_particles = n;
+        ParticleFilter pf{cfg,
+                          std::make_shared<BresenhamCaster>(map,
+                                                            lidar.max_range),
+                          std::make_shared<TumMotionModel>(),
+                          BeamModel{},
+                          lidar,
+                          uniform_layout(lidar, 40),
+                          seed};
+        pf.init_pose({5.0, 3.0, 0.5});
+
+        Rng gen{seed * 7919 + static_cast<std::uint64_t>(mode) * 104729 +
+                static_cast<std::uint64_t>(n)};
+        pf.set_weights(make_weights(mode, static_cast<std::size_t>(n), gen));
+
+        // Snapshot the normalized weights and source identities.
+        std::map<PoseKey, std::size_t> source;
+        std::vector<double> w_norm(static_cast<std::size_t>(n));
+        double sum = 0.0;
+        const auto cloud = pf.particles();
+        for (std::size_t i = 0; i < cloud.size(); ++i) {
+          ASSERT_TRUE(std::isfinite(cloud[i].weight));
+          ASSERT_GE(cloud[i].weight, 0.0);
+          w_norm[i] = cloud[i].weight;
+          sum += cloud[i].weight;
+          ASSERT_TRUE(source.emplace(pose_key(cloud[i].pose), i).second)
+              << "duplicate pose bit pattern at slot " << i;
+        }
+        ASSERT_NEAR(sum, 1.0, 1e-9);  // set_weights post-condition
+        const double ess_pre = pf.effective_sample_size();
+        ASSERT_GT(ess_pre, 0.0);
+        ASSERT_LE(ess_pre, static_cast<double>(n) * (1.0 + 1e-12));
+        const long resamples_before = pf.resample_count();
+
+        pf.force_resample();
+
+        // --- Normalization post-conditions: uniform 1/n, summing to 1.
+        ASSERT_EQ(pf.current_particles(), n);
+        const double uniform = 1.0 / static_cast<double>(n);
+        double post_sum = 0.0;
+        std::vector<std::size_t> multiplicity(static_cast<std::size_t>(n), 0);
+        for (const Particle& p : pf.particles()) {
+          ASSERT_EQ(p.weight, uniform);
+          post_sum += p.weight;
+          const auto it = source.find(pose_key(p.pose));
+          ASSERT_NE(it, source.end())
+              << "resampled particle is not a copy of a source particle";
+          ++multiplicity[it->second];
+        }
+        EXPECT_NEAR(post_sum, 1.0, 1e-9);
+        EXPECT_EQ(pf.resample_count(), resamples_before + 1);
+
+        // --- ESS monotonicity: uniform weights restore ESS to exactly n.
+        const double ess_post = pf.effective_sample_size();
+        EXPECT_NEAR(ess_post, static_cast<double>(n), 1e-6);
+        EXPECT_GE(ess_post + 1e-9, ess_pre);
+
+        // --- Systematic multiplicity bound: |count_i - n * w_i| <= 1.
+        for (std::size_t i = 0; i < w_norm.size(); ++i) {
+          const double expected = static_cast<double>(n) * w_norm[i];
+          const double count = static_cast<double>(multiplicity[i]);
+          EXPECT_LE(std::abs(count - expected), 1.0 + 1e-9)
+              << "slot " << i << ": count " << count << " vs n*w " << expected;
+        }
+      }
+    }
+  }
+}
+
+TEST(ResamplingProperties, SpikeCollapsesToSingleAncestor) {
+  auto map = make_room();
+  ParticleFilter pf = make_filter(map, 500, 5);
+  pf.init_pose({5.0, 3.0, 0.0});
+  std::vector<double> w(500, 0.0);
+  w[123] = 1.0;
+  const Pose2 spike_pose = pf.particles()[123].pose;
+  pf.set_weights(w);
+  pf.force_resample();
+  for (const Particle& p : pf.particles()) {
+    ASSERT_EQ(pose_key(p.pose), pose_key(spike_pose));
+  }
+  EXPECT_NEAR(pf.effective_sample_size(),
+              static_cast<double>(pf.current_particles()), 1e-6);
 }
 
 TEST(ParticleFilter, CircularMeanAcrossWrap) {

@@ -10,6 +10,8 @@
 ///      the complete description of the stochastic process),
 ///   3. with and without a telemetry sink attached (instrumentation must
 ///      not perturb estimates — the PR-1 guarantee),
+///   4. across worker-lane counts (n_threads 2 and 8 vs the serial path —
+///      the PR-3 guarantee: parallel execution is bitwise invisible),
 ///
 /// and, in a SYNPF_CHECKED build, requires the whole lap to complete with
 /// zero contract violations (reported through `telemetry::ContractMonitor`).
@@ -24,6 +26,7 @@
 #include <string>
 
 #include "core/synpf.hpp"
+#include "eval/dead_reckoning.hpp"
 #include "eval/experiment.hpp"
 #include "eval/trace.hpp"
 #include "gridmap/track_generator.hpp"
@@ -32,23 +35,6 @@
 namespace {
 
 using namespace srl;
-
-/// Odometry-only localizer used to record the trace cheaply.
-class DeadReckoning final : public Localizer {
- public:
-  void initialize(const Pose2& pose) override { pose_ = pose; }
-  void on_odometry(const OdometryDelta& odom) override {
-    pose_ = (pose_ * odom.delta).normalized();
-  }
-  Pose2 on_scan(const LaserScan&) override { return pose_; }
-  Pose2 pose() const override { return pose_; }
-  std::string name() const override { return "DeadReckoning"; }
-  double mean_scan_update_ms() const override { return 0.0; }
-  double total_busy_s() const override { return 0.0; }
-
- private:
-  Pose2 pose_{};
-};
 
 bool bitwise_equal(const Pose2& a, const Pose2& b) {
   return std::memcmp(&a.x, &b.x, sizeof(double)) == 0 &&
@@ -123,6 +109,9 @@ int main(int argc, char** argv) {
   auto map = std::make_shared<const OccupancyGrid>(track.grid);
   SynPfConfig cfg;
   cfg.filter.n_particles = 600;
+  // The reference regime is the exact serial path; regimes 4+ replay the
+  // same trace over real worker pools and must land on the same bits.
+  cfg.filter.n_threads = 1;
 
   bool ok = true;
 
@@ -155,13 +144,27 @@ int main(int argc, char** argv) {
     ok = compare(ra, rd, "telemetry-attached") && ok;
   }
 
+  // 4. Thread-count invariance: the per-particle stages fan out over 2 and
+  // 8 worker lanes; estimates and metrics must still match the serial
+  // reference bit for bit (slot substreams + static chunks + fixed-order
+  // reductions — DESIGN.md §9).
+  for (const int threads : {2, 8}) {
+    SynPfConfig tcfg = cfg;
+    tcfg.filter.n_threads = threads;
+    SynPf t{tcfg, map, LidarConfig{}};
+    const auto rt = trace.replay(t);
+    char label[32];
+    std::snprintf(label, sizeof(label), "threads=%d", threads);
+    ok = compare(ra, rt, label) && ok;
+  }
+
   const std::uint64_t violations = monitor.violations();
   if (violations != 0) {
     std::fprintf(stderr, "%llu contract violations during the run\n",
                  static_cast<unsigned long long>(violations));
     ok = false;
   } else if (contracts::enabled()) {
-    std::printf("[contracts] OK — full lap + 4 replays, zero violations\n");
+    std::printf("[contracts] OK — full lap + 6 replays, zero violations\n");
   }
 
   if (!ok) return 1;
