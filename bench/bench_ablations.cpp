@@ -38,7 +38,7 @@ int main() {
     const auto& cl = track.centerline;
     TextTable table{{"layout", "beams", "mean range [m]",
                      "beams >= 6 m [%]", "fwd cone +/-30deg [%]"}};
-    CsvWriter csv{"ablation_layout_info.csv"};
+    CsvWriter csv{out_path("ablation_layout_info.csv")};
     csv.write_header({"layout", "beams", "mean_range", "far_frac",
                       "fwd_frac"});
     for (const bool boxed : {false, true}) {
@@ -84,7 +84,7 @@ int main() {
   // ---- 1b + 2. Closed-loop ablation grid. ----
   TextTable table{{"variant", "odom", "Err mu [cm]", "PoseRMSE [cm]",
                    "Hdg RMSE [mrad]", "ScanAlign [%]", "crashed"}};
-  CsvWriter csv{"ablation_closed_loop.csv"};
+  CsvWriter csv{out_path("ablation_closed_loop.csv")};
   csv.write_header({"variant", "mu", "lateral_cm", "pose_rmse_cm",
                     "heading_mrad", "scan_align", "crashed"});
 
@@ -126,6 +126,6 @@ int main() {
     }
   }
   std::cout << "\n" << table.render();
-  std::cout << "\nwrote ablation_layout_info.csv, ablation_closed_loop.csv\n";
+  std::cout << "\nwrote out/ablation_layout_info.csv, out/ablation_closed_loop.csv\n";
   return 0;
 }

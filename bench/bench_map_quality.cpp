@@ -42,7 +42,7 @@ int main() {
   TextTable table{{"map", "Carto err [cm]", "SynPF err [cm]",
                    "Carto RMSE [cm]", "SynPF RMSE [cm]", "Carto align",
                    "SynPF align"}};
-  CsvWriter csv{"map_quality.csv"};
+  CsvWriter csv{out_path("map_quality.csv")};
   csv.write_header({"level", "erode_dilate", "warp", "carto_err_cm",
                     "synpf_err_cm", "carto_rmse_cm", "synpf_rmse_cm"});
 
@@ -78,6 +78,6 @@ int main() {
         TextTable::num(rs.pose_rmse_m * 100.0, 3)});
   }
   std::cout << "\n" << table.render();
-  std::cout << "\nwrote map_quality.csv\n";
+  std::cout << "\nwrote out/map_quality.csv\n";
   return 0;
 }

@@ -40,7 +40,7 @@ int main() {
 
   TextTable table{{"particles", "Err mu [cm]", "PoseRMSE [cm]",
                    "update [ms]", "load [%]", "crashed"}};
-  CsvWriter csv{"particle_sweep.csv"};
+  CsvWriter csv{out_path("particle_sweep.csv")};
   csv.write_header({"particles", "lateral_cm", "pose_rmse_cm", "update_ms",
                     "load_percent", "crashed"});
 
@@ -63,7 +63,7 @@ int main() {
   std::cout << "\n" << table.render();
   std::cout << "\nexpected shape: accuracy saturates while latency grows "
                "linearly — the paper operates at the knee (~1-2 ms)\n"
-               "wrote particle_sweep.csv\n";
+               "wrote out/particle_sweep.csv\n";
 
   // ---- Thread-scaling sweep (open-loop replay of one recorded trace) ----
   std::vector<int> scale_counts = {500, 1500, 4000};
@@ -90,7 +90,7 @@ int main() {
   TextTable scale_table{{"particles", "threads", "update p50 [ms]",
                          "predict [ms]", "raycast [ms]", "weight [ms]",
                          "speedup"}};
-  CsvWriter scale_csv{"particle_thread_scaling.csv"};
+  CsvWriter scale_csv{out_path("particle_thread_scaling.csv")};
   scale_csv.write_header({"particles", "threads", "update_p50_ms",
                           "predict_ms", "raycast_ms", "weight_ms", "speedup"});
 
@@ -131,6 +131,6 @@ int main() {
   std::cout << "\nexpected shape: raycast/weight shrink ~linearly with "
                "threads until chunks get cache-small; predict follows; "
                "resample (serial by design) bounds the asymptote\n"
-               "wrote particle_thread_scaling.csv\n";
+               "wrote out/particle_thread_scaling.csv\n";
   return 0;
 }

@@ -34,7 +34,7 @@ int main() {
   TextTable table{{"mu", "Carto err [cm]", "SynPF err [cm]",
                    "Carto align [%]", "SynPF align [%]", "Carto drift",
                    "winner"}};
-  CsvWriter csv{"slip_sweep.csv"};
+  CsvWriter csv{out_path("slip_sweep.csv")};
   csv.write_header({"mu", "carto_err_cm", "synpf_err_cm", "carto_align",
                     "synpf_align", "drift_m_per_lap", "carto_crashed",
                     "synpf_crashed"});
@@ -73,6 +73,6 @@ int main() {
               << TextTable::num(crossover_mu, 2) << "\n";
   }
   std::cout << "paper: Cartographer better at nominal grip, SynPF at "
-               "reduced grip (taped tires)\nwrote slip_sweep.csv\n";
+               "reduced grip (taped tires)\nwrote out/slip_sweep.csv\n";
   return 0;
 }

@@ -15,6 +15,7 @@
 #include <memory>
 #include <string>
 
+#include "bench_util.hpp"
 #include "common/csv.hpp"
 #include "core/synpf.hpp"
 #include "eval/experiment.hpp"
@@ -34,6 +35,7 @@ int env_int(const char* name, int fallback) {
 
 int main() {
   using namespace srl;
+  using benchutil::out_path;
 
   const bool fast = env_int("SRL_FAST", 0) != 0;
   const int laps = fast ? 2 : env_int("SRL_LAPS", 10);
@@ -167,7 +169,7 @@ int main() {
                                   syn_lq.scan_alignment), 1)
             << "% (paper -0.8%)\n";
 
-  CsvWriter csv{"table1.csv"};
+  CsvWriter csv{out_path("table1.csv")};
   csv.write_header({"method", "odom", "mu", "lap_time_mean", "lap_time_std",
                     "lateral_mean_cm", "lateral_std_cm", "scan_align",
                     "load_percent", "update_ms", "update_p50_ms",
@@ -189,13 +191,13 @@ int main() {
         TextTable::num(c.r.odom_drift_m_per_lap, 3),
         c.r.crashed ? "1" : "0"});
   }
-  std::cout << "\nwrote table1.csv\n";
+  std::cout << "\nwrote out/table1.csv\n";
 
   // Full metric dump (stage histograms, health gauges, backend counters)
   // for each cell, for offline analysis.
   for (const Cell& c : cells) {
-    const std::string path = "table1_metrics_" + c.method + "_" + c.odom +
-                             ".csv";
+    const std::string path =
+        out_path("table1_metrics_" + c.method + "_" + c.odom + ".csv");
     if (c.metrics->write_csv(path)) std::cout << "wrote " << path << "\n";
   }
   return 0;

@@ -5,6 +5,7 @@
 /// localizers over a track, run Table-I style cells, read env knobs.
 
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <string>
 
@@ -26,6 +27,15 @@ inline bool fast_mode() { return env_int("SRL_FAST", 0) != 0; }
 inline int bench_laps(int fallback) {
   if (fast_mode()) return 1;
   return env_int("SRL_LAPS", fallback);
+}
+
+/// Benchmark outputs (CSV series, BENCH_*.json) land in a gitignored
+/// `out/` directory instead of littering the repo root; created on first
+/// use, relative to the working directory.
+inline std::string out_path(const std::string& name) {
+  std::error_code ec;
+  std::filesystem::create_directories("out", ec);
+  return (std::filesystem::path("out") / name).string();
 }
 
 /// SynPF with the CDDT backend (fast construction for sweeps).

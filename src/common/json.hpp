@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file json.hpp
+/// \brief Minimal dependency-free JSON: an ordered document model, a stable
+/// pretty-printer, and a strict recursive-descent parser.
+///
+/// Built for the machine-readable benchmark pipeline (BENCH_*.json and the
+/// `bench_compare` CI gate), where two properties matter more than feature
+/// count:
+///
+///  - **Stable output.** Object members serialize in insertion order and
+///    numbers print with up-to-17-significant-digit round-trip formatting,
+///    so identical documents produce identical bytes and diffs stay
+///    readable across commits.
+///  - **Strict round-trip.** `parse(dump(v))` reconstructs `v` exactly
+///    (numbers bit-for-bit); malformed input yields nullopt, never a
+///    partially-filled document.
+///
+/// Not a general-purpose JSON library: no comments, no NaN/Inf (rejected on
+/// both ends — encode them out-of-band), numbers are doubles.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace srl::json {
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() : kind_{Kind::kNull} {}
+  static Value null() { return Value{}; }
+  static Value boolean(bool b);
+  static Value number(double d);
+  static Value string(std::string s);
+  static Value array();
+  static Value object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed readers; the fallback is returned on kind mismatch.
+  bool as_bool(bool fallback = false) const;
+  double as_double(double fallback = 0.0) const;
+  const std::string& as_string() const;  ///< empty string on mismatch
+
+  // -- array --
+  /// Append to an array (no-op on other kinds).
+  void push_back(Value v);
+  std::size_t size() const;  ///< array/object element count, else 0
+  /// Array element i; nullptr out of range or not an array.
+  const Value* at(std::size_t i) const;
+
+  // -- object --
+  /// Insert or overwrite member `key` (keeps first-insertion order).
+  void set(const std::string& key, Value v);
+  /// Member lookup; nullptr when absent or not an object.
+  const Value* find(const std::string& key) const;
+  /// Members in insertion order (empty for non-objects).
+  const std::vector<std::pair<std::string, Value>>& members() const;
+
+  /// Serialize. `indent` spaces per level; 0 = compact single line.
+  std::string dump(int indent = 2) const;
+
+  /// Strict parse of a complete JSON document (trailing garbage rejected).
+  static std::optional<Value> parse(const std::string& text);
+
+  /// File convenience wrappers.
+  bool save(const std::string& path, int indent = 2) const;
+  static std::optional<Value> load(const std::string& path);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_{false};
+  double number_{0.0};
+  std::string string_{};
+  std::vector<Value> array_{};
+  std::vector<std::pair<std::string, Value>> object_{};
+};
+
+/// Round-trip double formatting ("%.17g"-class, shortest faithful): the one
+/// number format used across every benchmark JSON.
+std::string format_number(double d);
+
+}  // namespace srl::json

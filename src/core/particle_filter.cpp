@@ -82,6 +82,9 @@ void ParticleFilter::set_telemetry(const telemetry::Sink& sink) {
     h_raycast_ = &m.histogram("pf.raycast_ms");
     h_weight_ = &m.histogram("pf.weight_ms");
     h_resample_ = &m.histogram("pf.resample_ms");
+    // ESS *distribution* (the gauges below keep only the last value): the
+    // scenario matrix reads its percentiles as the filter-health score.
+    h_ess_fraction_ = &m.histogram("pf.ess_fraction_dist");
     g_ess_ = &m.gauge("pf.ess");
     g_ess_fraction_ = &m.gauge("pf.ess_fraction");
     g_entropy_ = &m.gauge("pf.weight_entropy");
@@ -96,6 +99,7 @@ void ParticleFilter::set_telemetry(const telemetry::Sink& sink) {
     caster_->attach_telemetry(m);
   } else {
     h_predict_ = h_raycast_ = h_weight_ = h_resample_ = nullptr;
+    h_ess_fraction_ = nullptr;
     g_ess_ = g_ess_fraction_ = g_entropy_ = g_max_share_ = nullptr;
     g_particles_ = g_pose_jump_ = g_threads_ = nullptr;
     c_updates_ = c_resamples_ = c_jump_alarms_ = nullptr;
@@ -257,6 +261,7 @@ void ParticleFilter::sample_health() {
   health_.max_weight_share = telemetry::max_weight_share(weight_scratch_);
   g_ess_->set(health_.ess);
   g_ess_fraction_->set(health_.ess_fraction);
+  if (h_ess_fraction_ != nullptr) h_ess_fraction_->record(health_.ess_fraction);
   g_entropy_->set(health_.weight_entropy);
   g_max_share_->set(health_.max_weight_share);
 }

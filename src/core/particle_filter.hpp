@@ -234,6 +234,7 @@ class ParticleFilter {
   telemetry::Histogram* h_raycast_{nullptr};
   telemetry::Histogram* h_weight_{nullptr};
   telemetry::Histogram* h_resample_{nullptr};
+  telemetry::Histogram* h_ess_fraction_{nullptr};
   telemetry::Gauge* g_ess_{nullptr};
   telemetry::Gauge* g_ess_fraction_{nullptr};
   telemetry::Gauge* g_entropy_{nullptr};

@@ -1,0 +1,107 @@
+#include "eval/bench_compare.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/json.hpp"
+
+namespace srl {
+
+std::string CompareFailure::describe() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%s: %s regressed (baseline %.6g, candidate %.6g, limit %.6g)",
+                cell.c_str(), metric.c_str(), baseline, candidate, limit);
+  return buf;
+}
+
+namespace {
+
+std::string cell_key(const ScenarioCell& cell) {
+  return cell.localizer + "/" + cell.scenario.label();
+}
+
+const ScenarioCell* find_cell(const BenchDocument& doc,
+                              const ScenarioCell& like) {
+  for (const ScenarioCell& cell : doc.cells) {
+    if (cell.localizer == like.localizer &&
+        cell.scenario.fault == like.scenario.fault &&
+        cell.scenario.severity == like.scenario.severity) {
+      return &cell;
+    }
+  }
+  return nullptr;
+}
+
+const FaultTraceFingerprint* find_fingerprint(
+    const BenchDocument& doc, const FaultTraceFingerprint& like) {
+  for (const FaultTraceFingerprint& fp : doc.fault_traces) {
+    if (fp.fault == like.fault && fp.severity == like.severity) return &fp;
+  }
+  return nullptr;
+}
+
+void check_upper(const std::string& cell, const char* metric, double base,
+                 double cand, double tol_frac, double slack,
+                 CompareReport& report) {
+  const double limit = base * (1.0 + tol_frac) + slack;
+  if (cand > limit) {
+    report.failures.push_back({cell, metric, base, cand, limit});
+  }
+}
+
+}  // namespace
+
+CompareReport compare_bench(const BenchDocument& baseline,
+                            const BenchDocument& candidate,
+                            const CompareThresholds& thresholds) {
+  CompareReport report;
+
+  for (const ScenarioCell& base : baseline.cells) {
+    const std::string key = cell_key(base);
+    const ScenarioCell* cand = find_cell(candidate, base);
+    if (cand == nullptr) {
+      report.failures.push_back({key, "missing_cell", 1.0, 0.0, 1.0});
+      continue;
+    }
+    ++report.cells_compared;
+
+    if (!thresholds.allow_new_crashes && cand->result.crashed &&
+        !base.result.crashed) {
+      report.failures.push_back({key, "crashed", 0.0, 1.0, 0.0});
+      continue;  // a crashed run's accuracy numbers are meaningless
+    }
+    // Accuracy and latency gates only bind where both runs raced the full
+    // scenario; a baseline crash leaves nothing meaningful to regress from.
+    if (base.result.crashed || cand->result.crashed) continue;
+
+    check_upper(key, "lateral_mean_cm", base.result.lateral_mean_cm,
+                cand->result.lateral_mean_cm, thresholds.lateral_tol_frac,
+                thresholds.lateral_slack_cm, report);
+    check_upper(key, "update_p99_ms", base.result.update_p99_ms,
+                cand->result.update_p99_ms, thresholds.p99_tol_frac,
+                thresholds.p99_slack_ms, report);
+  }
+
+  if (thresholds.require_hash_match) {
+    for (const FaultTraceFingerprint& base : baseline.fault_traces) {
+      const std::string key =
+          "fault_traces/" + base.fault + "@" + json::format_number(base.severity);
+      const FaultTraceFingerprint* cand = find_fingerprint(candidate, base);
+      if (cand == nullptr) {
+        report.failures.push_back({key, "missing_trace_hash", 1.0, 0.0, 1.0});
+        continue;
+      }
+      ++report.hashes_compared;
+      if (cand->trace_hash != base.trace_hash) {
+        report.failures.push_back({key, "trace_hash",
+                                   static_cast<double>(base.trace_hash),
+                                   static_cast<double>(cand->trace_hash),
+                                   static_cast<double>(base.trace_hash)});
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace srl

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file bench_compare.hpp
+/// \brief The regression gate: diff two `srl.bench_robustness/1` documents
+/// against configurable thresholds.
+///
+/// Comparison semantics (baseline vs candidate):
+///  - every baseline cell must exist in the candidate (coverage may grow,
+///    never silently shrink);
+///  - lateral-error mu and update-latency p99 may exceed the baseline by a
+///    relative fraction plus an absolute slack (latency is wall-clock, so
+///    its defaults are generous; accuracy is deterministic per machine, so
+///    its defaults are tight);
+///  - a cell that crashes where the baseline did not is a robustness
+///    regression (switchable for cross-machine smoke runs);
+///  - with `require_hash_match`, every fault-trace fingerprint must match
+///    bitwise — the determinism gate: same seed, same faults, same bytes.
+///
+/// The library returns a structured report (each failure names the cell,
+/// the metric, both values, and the allowed limit); `tools/bench_compare`
+/// maps it onto exit codes for CI.
+
+#include <string>
+#include <vector>
+
+#include "eval/benchmark_json.hpp"
+
+namespace srl {
+
+struct CompareThresholds {
+  /// lateral_mean_cm gate: candidate <= baseline * (1 + frac) + slack.
+  double lateral_tol_frac = 0.10;
+  double lateral_slack_cm = 1.0;
+  /// update_p99_ms gate: candidate <= baseline * (1 + frac) + slack.
+  double p99_tol_frac = 1.0;
+  double p99_slack_ms = 2.0;
+  /// Demand bitwise-equal fault-trace fingerprints (same-machine runs).
+  bool require_hash_match = false;
+  /// Tolerate candidate crashes in cells the baseline survived
+  /// (cross-machine smoke comparisons where FP environments differ).
+  bool allow_new_crashes = false;
+};
+
+struct CompareFailure {
+  std::string cell;    ///< "SynPF/odom_slip_ramp@1" or "fault_traces/..."
+  std::string metric;  ///< offending metric name, e.g. "lateral_mean_cm"
+  double baseline{0.0};
+  double candidate{0.0};
+  double limit{0.0};  ///< the value the candidate had to stay under
+
+  std::string describe() const;
+};
+
+struct CompareReport {
+  std::vector<CompareFailure> failures;
+  int cells_compared{0};
+  int hashes_compared{0};
+  bool ok() const { return failures.empty(); }
+};
+
+CompareReport compare_bench(const BenchDocument& baseline,
+                            const BenchDocument& candidate,
+                            const CompareThresholds& thresholds);
+
+}  // namespace srl

@@ -1,0 +1,236 @@
+#include "eval/benchmark_json.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+namespace srl {
+
+namespace {
+
+/// 64-bit hashes do not fit a double exactly, so they travel as fixed-width
+/// hex strings.
+std::string hash_to_hex(std::uint64_t h) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%016" PRIx64, h);
+  return buf;
+}
+
+std::uint64_t hex_to_hash(const std::string& s) {
+  return std::strtoull(s.c_str(), nullptr, 16);
+}
+
+double num(const json::Value& obj, const char* key) {
+  const json::Value* v = obj.find(key);
+  return v != nullptr ? v->as_double() : 0.0;
+}
+
+bool flag(const json::Value& obj, const char* key) {
+  const json::Value* v = obj.find(key);
+  return v != nullptr && v->as_bool();
+}
+
+std::string str(const json::Value& obj, const char* key) {
+  const json::Value* v = obj.find(key);
+  return v != nullptr ? v->as_string() : std::string{};
+}
+
+}  // namespace
+
+std::string compiler_id() {
+#if defined(__clang__)
+  return "clang " + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__) + "." +
+         std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  return "gcc " + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__) + "." +
+         std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+json::Value bench_to_json(const BenchDocument& doc) {
+  json::Value root = json::Value::object();
+  root.set("schema", json::Value::string(kBenchRobustnessSchema));
+
+  json::Value provenance = json::Value::object();
+  provenance.set("compiler", json::Value::string(doc.provenance.compiler));
+  provenance.set("build", json::Value::string(doc.provenance.build));
+  provenance.set("git_sha", json::Value::string(doc.provenance.git_sha));
+  provenance.set("seed",
+                 json::Value::number(static_cast<double>(doc.provenance.seed)));
+  provenance.set("fault_seed", json::Value::number(static_cast<double>(
+                                   doc.provenance.fault_seed)));
+  provenance.set("laps", json::Value::number(doc.provenance.laps));
+  provenance.set("n_particles",
+                 json::Value::number(doc.provenance.n_particles));
+  provenance.set("matrix_threads",
+                 json::Value::number(doc.provenance.matrix_threads));
+  provenance.set("fast_mode", json::Value::boolean(doc.provenance.fast_mode));
+  root.set("provenance", std::move(provenance));
+
+  json::Value traces = json::Value::array();
+  for (const FaultTraceFingerprint& fp : doc.fault_traces) {
+    json::Value t = json::Value::object();
+    t.set("fault", json::Value::string(fp.fault));
+    t.set("severity", json::Value::number(fp.severity));
+    t.set("trace_hash", json::Value::string(hash_to_hex(fp.trace_hash)));
+    t.set("n_scans",
+          json::Value::number(static_cast<double>(fp.n_scans)));
+    t.set("n_odometry",
+          json::Value::number(static_cast<double>(fp.n_odometry)));
+    traces.push_back(std::move(t));
+  }
+  root.set("fault_traces", std::move(traces));
+
+  json::Value cells = json::Value::array();
+  for (const ScenarioCell& cell : doc.cells) {
+    json::Value c = json::Value::object();
+    c.set("localizer", json::Value::string(cell.localizer));
+    c.set("fault", json::Value::string(cell.scenario.fault));
+    c.set("severity", json::Value::number(cell.scenario.severity));
+    c.set("lateral_mean_cm", json::Value::number(cell.result.lateral_mean_cm));
+    c.set("lateral_std_cm", json::Value::number(cell.result.lateral_std_cm));
+    c.set("scan_alignment", json::Value::number(cell.result.scan_alignment));
+    c.set("pose_rmse_m", json::Value::number(cell.result.pose_rmse_m));
+    c.set("heading_rmse_rad",
+          json::Value::number(cell.result.heading_rmse_rad));
+    c.set("lap_time_mean_s", json::Value::number(cell.result.lap_time_mean));
+    c.set("update_p50_ms", json::Value::number(cell.result.update_p50_ms));
+    c.set("update_p99_ms", json::Value::number(cell.result.update_p99_ms));
+    c.set("update_max_ms", json::Value::number(cell.result.update_max_ms));
+    c.set("load_percent", json::Value::number(cell.result.load_percent));
+    c.set("ess_fraction_p50", json::Value::number(cell.ess_fraction_p50));
+    c.set("ess_fraction_min", json::Value::number(cell.ess_fraction_min));
+    c.set("resamples",
+          json::Value::number(static_cast<double>(cell.resamples)));
+    c.set("pose_jump_alarms",
+          json::Value::number(static_cast<double>(cell.pose_jump_alarms)));
+    c.set("stage_p50_ms", json::Value::number(cell.stage_p50_ms));
+    c.set("stage_p99_ms", json::Value::number(cell.stage_p99_ms));
+    c.set("crashed", json::Value::boolean(cell.result.crashed));
+    c.set("completed", json::Value::boolean(cell.result.completed));
+    cells.push_back(std::move(c));
+  }
+  root.set("cells", std::move(cells));
+
+  if (doc.has_headline) {
+    json::Value h = json::Value::object();
+    h.set("fault", json::Value::string(doc.headline.fault));
+    h.set("severity", json::Value::number(doc.headline.severity));
+    h.set("synpf_baseline_cm",
+          json::Value::number(doc.headline.synpf_baseline_cm));
+    h.set("synpf_faulted_cm",
+          json::Value::number(doc.headline.synpf_faulted_cm));
+    h.set("synpf_degradation",
+          json::Value::number(doc.headline.synpf_degradation));
+    h.set("synpf_crashed", json::Value::boolean(doc.headline.synpf_crashed));
+    h.set("carto_baseline_cm",
+          json::Value::number(doc.headline.carto_baseline_cm));
+    h.set("carto_faulted_cm",
+          json::Value::number(doc.headline.carto_faulted_cm));
+    h.set("carto_degradation",
+          json::Value::number(doc.headline.carto_degradation));
+    h.set("carto_crashed", json::Value::boolean(doc.headline.carto_crashed));
+    h.set("synpf_flat", json::Value::boolean(doc.headline.synpf_flat()));
+    root.set("headline", std::move(h));
+  }
+  return root;
+}
+
+bool write_bench_json(const std::string& path, const BenchDocument& doc) {
+  return bench_to_json(doc).save(path);
+}
+
+std::optional<BenchDocument> bench_from_json(const json::Value& root) {
+  if (!root.is_object()) return std::nullopt;
+  if (str(root, "schema") != kBenchRobustnessSchema) return std::nullopt;
+
+  BenchDocument doc;
+  if (const json::Value* p = root.find("provenance");
+      p != nullptr && p->is_object()) {
+    doc.provenance.compiler = str(*p, "compiler");
+    doc.provenance.build = str(*p, "build");
+    doc.provenance.git_sha = str(*p, "git_sha");
+    doc.provenance.seed = static_cast<std::uint64_t>(num(*p, "seed"));
+    doc.provenance.fault_seed =
+        static_cast<std::uint64_t>(num(*p, "fault_seed"));
+    doc.provenance.laps = static_cast<int>(num(*p, "laps"));
+    doc.provenance.n_particles = static_cast<int>(num(*p, "n_particles"));
+    doc.provenance.matrix_threads =
+        static_cast<int>(num(*p, "matrix_threads"));
+    doc.provenance.fast_mode = flag(*p, "fast_mode");
+  }
+
+  if (const json::Value* traces = root.find("fault_traces");
+      traces != nullptr && traces->is_array()) {
+    for (std::size_t i = 0; i < traces->size(); ++i) {
+      const json::Value& t = *traces->at(i);
+      if (!t.is_object()) return std::nullopt;
+      FaultTraceFingerprint fp;
+      fp.fault = str(t, "fault");
+      fp.severity = num(t, "severity");
+      fp.trace_hash = hex_to_hash(str(t, "trace_hash"));
+      fp.n_scans = static_cast<std::uint64_t>(num(t, "n_scans"));
+      fp.n_odometry = static_cast<std::uint64_t>(num(t, "n_odometry"));
+      doc.fault_traces.push_back(std::move(fp));
+    }
+  }
+
+  const json::Value* cells = root.find("cells");
+  if (cells == nullptr || !cells->is_array()) return std::nullopt;
+  for (std::size_t i = 0; i < cells->size(); ++i) {
+    const json::Value& c = *cells->at(i);
+    if (!c.is_object()) return std::nullopt;
+    ScenarioCell cell;
+    cell.localizer = str(c, "localizer");
+    cell.scenario.fault = str(c, "fault");
+    cell.scenario.severity = num(c, "severity");
+    cell.result.lateral_mean_cm = num(c, "lateral_mean_cm");
+    cell.result.lateral_std_cm = num(c, "lateral_std_cm");
+    cell.result.scan_alignment = num(c, "scan_alignment");
+    cell.result.pose_rmse_m = num(c, "pose_rmse_m");
+    cell.result.heading_rmse_rad = num(c, "heading_rmse_rad");
+    cell.result.lap_time_mean = num(c, "lap_time_mean_s");
+    cell.result.update_p50_ms = num(c, "update_p50_ms");
+    cell.result.update_p99_ms = num(c, "update_p99_ms");
+    cell.result.update_max_ms = num(c, "update_max_ms");
+    cell.result.load_percent = num(c, "load_percent");
+    cell.ess_fraction_p50 = num(c, "ess_fraction_p50");
+    cell.ess_fraction_min = num(c, "ess_fraction_min");
+    cell.resamples = static_cast<std::uint64_t>(num(c, "resamples"));
+    cell.pose_jump_alarms =
+        static_cast<std::uint64_t>(num(c, "pose_jump_alarms"));
+    cell.stage_p50_ms = num(c, "stage_p50_ms");
+    cell.stage_p99_ms = num(c, "stage_p99_ms");
+    cell.result.crashed = flag(c, "crashed");
+    cell.result.completed = flag(c, "completed");
+    doc.cells.push_back(std::move(cell));
+  }
+
+  if (const json::Value* h = root.find("headline");
+      h != nullptr && h->is_object()) {
+    doc.has_headline = true;
+    doc.headline.fault = str(*h, "fault");
+    doc.headline.severity = num(*h, "severity");
+    doc.headline.synpf_baseline_cm = num(*h, "synpf_baseline_cm");
+    doc.headline.synpf_faulted_cm = num(*h, "synpf_faulted_cm");
+    doc.headline.synpf_degradation = num(*h, "synpf_degradation");
+    doc.headline.synpf_crashed = flag(*h, "synpf_crashed");
+    doc.headline.carto_baseline_cm = num(*h, "carto_baseline_cm");
+    doc.headline.carto_faulted_cm = num(*h, "carto_faulted_cm");
+    doc.headline.carto_degradation = num(*h, "carto_degradation");
+    doc.headline.carto_crashed = flag(*h, "carto_crashed");
+  }
+  return doc;
+}
+
+std::optional<BenchDocument> read_bench_json(const std::string& path) {
+  std::optional<json::Value> root = json::Value::load(path);
+  if (!root.has_value()) return std::nullopt;
+  return bench_from_json(*root);
+}
+
+}  // namespace srl

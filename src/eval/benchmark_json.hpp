@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file benchmark_json.hpp
+/// \brief The stable machine-readable benchmark schema
+/// (`srl.bench_robustness/1`) and its (de)serialization.
+///
+/// Every robustness-matrix run serializes to one JSON document:
+///
+///     {
+///       "schema": "srl.bench_robustness/1",
+///       "provenance": { compiler, build, seeds, grid shape, ... },
+///       "fault_traces": [ {fault, severity, trace_hash, n_scans, ...} ],
+///       "cells":        [ {localizer, fault, severity, metrics...} ],
+///       "headline":     { slip-ramp degradation factors }
+///     }
+///
+/// `fault_traces` fingerprints the *input* each fault regime produces
+/// (bitwise hash of the corrupted sensor trace — seed-deterministic and
+/// thread-count invariant), `cells` the *outcome* per scenario. The schema
+/// is the contract of the CI gate: `tools/bench_compare` diffs two
+/// documents cell-by-cell, so fields may be added in later versions but
+/// never renamed or repurposed without bumping the version suffix.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "eval/scenario_matrix.hpp"
+
+namespace srl {
+
+inline constexpr const char* kBenchRobustnessSchema = "srl.bench_robustness/1";
+
+/// Where the numbers came from — enough to explain a regression without
+/// reproducing it. Everything here is informational except `seed` and
+/// `fault_seed`, which the determinism hash depends on.
+struct BenchProvenance {
+  std::string compiler;      ///< e.g. "gcc 13.2.0" (compiler_id())
+  std::string build;         ///< "release" / "checked" / ...
+  std::string git_sha;       ///< from SRL_GIT_SHA env when set
+  std::uint64_t seed{0};
+  std::uint64_t fault_seed{0};
+  int laps{0};
+  int n_particles{0};
+  int matrix_threads{0};
+  bool fast_mode{false};
+};
+
+/// Bitwise fingerprint of one fault regime applied to the canonical
+/// recorded trace.
+struct FaultTraceFingerprint {
+  std::string fault;
+  double severity{0.0};
+  std::uint64_t trace_hash{0};
+  std::uint64_t n_scans{0};
+  std::uint64_t n_odometry{0};
+};
+
+struct BenchDocument {
+  BenchProvenance provenance{};
+  std::vector<FaultTraceFingerprint> fault_traces{};
+  std::vector<ScenarioCell> cells{};
+  bool has_headline{false};
+  HeadlineComparison headline{};
+};
+
+/// Compile-time compiler identification for provenance.
+std::string compiler_id();
+
+/// Serialize to the schema above (insertion-ordered, round-trip numbers).
+json::Value bench_to_json(const BenchDocument& doc);
+bool write_bench_json(const std::string& path, const BenchDocument& doc);
+
+/// Parse a document; nullopt on I/O error, malformed JSON, or a schema
+/// string this reader does not understand.
+std::optional<BenchDocument> read_bench_json(const std::string& path);
+std::optional<BenchDocument> bench_from_json(const json::Value& root);
+
+}  // namespace srl

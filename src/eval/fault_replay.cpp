@@ -1,0 +1,87 @@
+#include "eval/fault_replay.hpp"
+
+#include <algorithm>
+
+namespace srl {
+
+SensorTrace corrupt_trace(const fault::FaultPipeline& pipeline,
+                          const SensorTrace& trace) {
+  pipeline.reset();
+  SensorTrace corrupted;
+
+  // Stream time starts at the earliest event of either stream, so envelopes
+  // (ramps, blackout windows) line up with "seconds into the run".
+  double t0 = 0.0;
+  if (!trace.odometry().empty() && !trace.scans().empty()) {
+    t0 = std::min(trace.odometry().front().t, trace.scans().front().scan.t);
+  } else if (!trace.odometry().empty()) {
+    t0 = trace.odometry().front().t;
+  } else if (!trace.scans().empty()) {
+    t0 = trace.scans().front().scan.t;
+  }
+
+  std::uint64_t odom_index = 0;
+  for (const SensorTrace::OdomRecord& rec : trace.odometry()) {
+    OdometryDelta odom = rec.odom;
+    pipeline.corrupt_odometry({odom_index, rec.t - t0}, odom);
+    ++odom_index;
+    corrupted.add_odometry(rec.t, odom);
+  }
+
+  std::uint64_t scan_index = 0;
+  for (const SensorTrace::ScanRecord& rec : trace.scans()) {
+    LaserScan scan = rec.scan;
+    pipeline.corrupt_scan({scan_index, rec.scan.t - t0}, scan);
+    ++scan_index;
+    corrupted.add_scan(scan, rec.truth);
+  }
+  return corrupted;
+}
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void hash_bytes(std::uint64_t& h, const void* data, std::size_t n) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+}
+
+template <typename T>
+void hash_pod(std::uint64_t& h, const T& value) {
+  hash_bytes(h, &value, sizeof(T));
+}
+
+}  // namespace
+
+std::uint64_t trace_hash(const SensorTrace& trace) {
+  std::uint64_t h = kFnvOffset;
+  hash_pod(h, static_cast<std::uint64_t>(trace.odometry().size()));
+  hash_pod(h, static_cast<std::uint64_t>(trace.scans().size()));
+  for (const SensorTrace::OdomRecord& rec : trace.odometry()) {
+    hash_pod(h, rec.t);
+    hash_pod(h, rec.odom.delta.x);
+    hash_pod(h, rec.odom.delta.y);
+    hash_pod(h, rec.odom.delta.theta);
+    hash_pod(h, rec.odom.v);
+    hash_pod(h, rec.odom.dt);
+  }
+  for (const SensorTrace::ScanRecord& rec : trace.scans()) {
+    hash_pod(h, rec.scan.t);
+    hash_pod(h, rec.truth.x);
+    hash_pod(h, rec.truth.y);
+    hash_pod(h, rec.truth.theta);
+    hash_pod(h, static_cast<std::uint64_t>(rec.scan.ranges.size()));
+    if (!rec.scan.ranges.empty()) {
+      hash_bytes(h, rec.scan.ranges.data(),
+                 rec.scan.ranges.size() * sizeof(float));
+    }
+  }
+  return h;
+}
+
+}  // namespace srl

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file fault_replay.hpp
+/// \brief Glue between the fault subsystem and the rosbag workflow: corrupt
+/// a recorded `SensorTrace` offline, and fingerprint traces bitwise.
+///
+/// Open-loop fault studies work on copies: record one clean trace, derive a
+/// corrupted variant per (fault, severity) cell, replay each into any
+/// number of localizers. Because a `FaultPipeline` is a pure function of
+/// (seed, stack, clean trace), the corrupted trace — and therefore
+/// `trace_hash` of it — is a stable fingerprint: the determinism checker
+/// demands it is identical across reruns and thread counts, and
+/// `bench_compare` can diff it across commits to catch silent re-keying of
+/// the fault RNG schedule.
+
+#include <cstdint>
+
+#include "eval/trace.hpp"
+#include "fault/pipeline.hpp"
+
+namespace srl {
+
+/// Apply `pipeline` to every event of `trace` (in stream order, indices and
+/// times measured from the first event) and return the corrupted copy. The
+/// input trace is untouched; ground-truth poses are copied verbatim — faults
+/// corrupt what the localizer *senses*, never what actually happened.
+SensorTrace corrupt_trace(const fault::FaultPipeline& pipeline,
+                          const SensorTrace& trace);
+
+/// FNV-1a 64-bit hash over every byte of the trace's sensor content
+/// (timestamps, odometry increments, truth poses, ranges) — bitwise: two
+/// traces hash equal iff every double/float matches bit for bit.
+std::uint64_t trace_hash(const SensorTrace& trace);
+
+}  // namespace srl

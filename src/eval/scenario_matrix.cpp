@@ -1,0 +1,181 @@
+#include "eval/scenario_matrix.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/json.hpp"
+#include "common/parallel.hpp"
+#include "core/synpf.hpp"
+#include "fault/faulted_localizer.hpp"
+#include "slam/pure_localization.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace srl {
+
+std::string ScenarioSpec::label() const {
+  return fault + "@" + json::format_number(severity);
+}
+
+ScenarioMatrix::ScenarioMatrix(ScenarioMatrixConfig config)
+    : config_{std::move(config)} {}
+
+namespace {
+
+std::unique_ptr<Localizer> make_localizer(
+    const std::string& kind, const std::shared_ptr<const OccupancyGrid>& map,
+    const LidarConfig& lidar, const ScenarioMatrixConfig& config) {
+  if (kind == "SynPF") {
+    SynPfConfig cfg;
+    cfg.range = RangeMethodKind::kCddt;  // fast construction for grids
+    cfg.filter.n_particles = config.n_particles;
+    cfg.filter.n_threads = config.cell_threads;
+    return std::make_unique<SynPf>(cfg, map, lidar);
+  }
+  if (kind == "CartoLite") {
+    return std::make_unique<CartoLocalizer>(PureLocalizationOptions{}, map,
+                                            lidar);
+  }
+  return nullptr;
+}
+
+double hist_quantile(const telemetry::MetricsRegistry& metrics,
+                     const char* name, double q) {
+  const telemetry::Histogram* h = metrics.find_histogram(name);
+  return h != nullptr ? h->percentile(q) : 0.0;
+}
+
+std::uint64_t counter_value(const telemetry::MetricsRegistry& metrics,
+                            const char* name) {
+  const telemetry::Counter* c = metrics.find_counter(name);
+  return c != nullptr ? c->value() : 0;
+}
+
+}  // namespace
+
+std::vector<ScenarioCell> ScenarioMatrix::run(const Track& track) const {
+  auto map = std::make_shared<const OccupancyGrid>(track.grid);
+
+  // Materialize the grid localizer-major so cell index -> (localizer,
+  // scenario) is a pure function of the config.
+  std::vector<ScenarioCell> cells;
+  for (const std::string& localizer : config_.localizers) {
+    for (const ScenarioSpec& spec : config_.scenarios) {
+      ScenarioCell cell;
+      cell.localizer = localizer;
+      cell.scenario = spec;
+      cells.push_back(std::move(cell));
+    }
+  }
+
+  // Every cell is an independent deterministic simulation (own localizer,
+  // own pipeline, own runner, seeded from the config), so fanning out over
+  // the pool cannot change any cell's bits — only wall-clock.
+  ThreadPool pool{config_.matrix_threads};
+  pool.parallel_for(cells.size(), [&](int /*lane*/, std::size_t begin,
+                                      std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      ScenarioCell& cell = cells[i];
+      ExperimentConfig experiment = config_.experiment;
+      experiment.seed = config_.seed;
+
+      fault::FaultPipeline pipeline{config_.fault_seed, experiment.lidar};
+      if (cell.scenario.fault != "none" || cell.scenario.severity != 0.0) {
+        pipeline.add(cell.scenario.fault, cell.scenario.severity);
+      }
+
+      std::unique_ptr<Localizer> localizer =
+          make_localizer(cell.localizer, map, experiment.lidar, config_);
+      if (localizer == nullptr) continue;  // unknown kind: zeroed cell
+      fault::FaultedLocalizer faulted{*localizer, pipeline};
+
+      telemetry::Telemetry telemetry;
+      ExperimentRunner runner{track, experiment};
+      cell.result = runner.run(faulted, nullptr, telemetry.sink());
+
+      const telemetry::MetricsRegistry& m = telemetry.metrics;
+      cell.ess_fraction_p50 = hist_quantile(m, "pf.ess_fraction_dist", 0.50);
+      const telemetry::Histogram* ess = m.find_histogram("pf.ess_fraction_dist");
+      cell.ess_fraction_min = ess != nullptr ? ess->min() : 0.0;
+      cell.resamples = counter_value(m, "pf.resamples");
+      cell.pose_jump_alarms = counter_value(m, "pf.pose_jump_alarms");
+      const char* stage = cell.localizer == "CartoLite"
+                              ? "carto.local_match_ms"
+                              : "pf.raycast_ms";
+      cell.stage_p50_ms = hist_quantile(m, stage, 0.50);
+      cell.stage_p99_ms = hist_quantile(m, stage, 0.99);
+    }
+  });
+  return cells;
+}
+
+ScenarioMatrixConfig ScenarioMatrix::smoke_config() {
+  ScenarioMatrixConfig config;
+  config.scenarios = {
+      {"none", 0.0},          {"odom_slip_ramp", 0.5}, {"odom_slip_ramp", 1.0},
+      {"lidar_dropout", 0.5}, {"lidar_dropout", 1.0},
+  };
+  config.experiment.laps = 1;
+  config.experiment.max_sim_time = 60.0;
+  config.n_particles = 800;
+  return config;
+}
+
+ScenarioMatrixConfig ScenarioMatrix::full_config() {
+  ScenarioMatrixConfig config;
+  config.scenarios.push_back({"none", 0.0});
+  for (const char* fault :
+       {"odom_slip_ramp", "odom_yaw_bias", "lidar_dropout", "lidar_noise",
+        "scan_decimation", "blackout"}) {
+    for (const double severity : {0.25, 0.5, 1.0}) {
+      config.scenarios.push_back({fault, severity});
+    }
+  }
+  config.experiment.laps = 2;
+  return config;
+}
+
+bool compute_headline(const std::vector<ScenarioCell>& cells,
+                      const std::string& fault, HeadlineComparison& out) {
+  out = HeadlineComparison{};
+  out.fault = fault;
+  // Highest severity present for the fault.
+  for (const ScenarioCell& cell : cells) {
+    if (cell.scenario.fault == fault) {
+      out.severity = std::max(out.severity, cell.scenario.severity);
+    }
+  }
+  if (out.severity <= 0.0) return false;
+
+  bool have_synpf = false;
+  bool have_carto = false;
+  for (const ScenarioCell& cell : cells) {
+    const bool baseline = cell.scenario.fault == "none";
+    const bool faulted = cell.scenario.fault == fault &&
+                         cell.scenario.severity == out.severity;
+    if (!baseline && !faulted) continue;
+    if (cell.localizer == "SynPF") {
+      (baseline ? out.synpf_baseline_cm : out.synpf_faulted_cm) =
+          cell.result.lateral_mean_cm;
+      if (faulted) out.synpf_crashed = cell.result.crashed;
+      have_synpf = true;
+    } else if (cell.localizer == "CartoLite") {
+      (baseline ? out.carto_baseline_cm : out.carto_faulted_cm) =
+          cell.result.lateral_mean_cm;
+      if (faulted) out.carto_crashed = cell.result.crashed;
+      have_carto = true;
+    }
+  }
+  if (!have_synpf || !have_carto) return false;
+  if (out.synpf_baseline_cm <= 0.0 || out.carto_baseline_cm <= 0.0) {
+    return false;
+  }
+  out.synpf_degradation = out.synpf_crashed
+                              ? HeadlineComparison::kCrashDegradation
+                              : out.synpf_faulted_cm / out.synpf_baseline_cm;
+  out.carto_degradation = out.carto_crashed
+                              ? HeadlineComparison::kCrashDegradation
+                              : out.carto_faulted_cm / out.carto_baseline_cm;
+  return true;
+}
+
+}  // namespace srl

@@ -1,0 +1,126 @@
+#pragma once
+
+/// \file scenario_matrix.hpp
+/// \brief Declarative {localizer x fault x severity} robustness grid — the
+/// engine behind `bench_robustness_matrix` and the CI robustness gate.
+///
+/// Each cell races one localizer closed-loop (eval/experiment.hpp) with a
+/// `FaultPipeline` spliced between the simulated sensors and the filter
+/// (fault/faulted_localizer.hpp), then scores it with the paper's metrics:
+/// lateral-error mu/sigma, scan alignment, update-latency percentiles, plus
+/// the PR-1 telemetry health signals (ESS distribution, resamples, pose-jump
+/// alarms) for particle-filter cells.
+///
+/// Cells are independent deterministic simulations (every cell re-seeds from
+/// the config), so the grid fans out over the PR-3 `ThreadPool`: results are
+/// written per-index and are bitwise identical at any `matrix_threads` —
+/// parallelism across cells composes with the filters' own determinism
+/// guarantee because each cell pins its filter to one lane
+/// (`cell_threads = 1` by default).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.hpp"
+#include "fault/pipeline.hpp"
+#include "gridmap/track_generator.hpp"
+
+namespace srl {
+
+/// One fault condition of the grid. `fault` is a canonical factory name
+/// (fault/injector.hpp); severity 0 with fault "none" is the clean baseline
+/// every degradation is measured against.
+struct ScenarioSpec {
+  std::string fault{"none"};
+  double severity{0.0};
+
+  std::string label() const;  ///< "fault@severity" (e.g. "lidar_dropout@0.5")
+};
+
+struct ScenarioMatrixConfig {
+  /// Localizer kinds the grid compares; understood: "SynPF", "CartoLite".
+  std::vector<std::string> localizers{"SynPF", "CartoLite"};
+  std::vector<ScenarioSpec> scenarios{};
+  /// Closed-loop experiment template; mu/laps stay as configured here, the
+  /// seed below overrides its seed so the whole matrix shares one.
+  ExperimentConfig experiment{};
+  std::uint64_t seed = 1234;
+  /// Seed of every cell's FaultPipeline (decoupled from the sim seed so the
+  /// fault draw schedule survives experiment re-tuning).
+  std::uint64_t fault_seed = 0x7a017ULL;
+  /// Worker lanes across cells (0 = hardware/SRL_THREADS default).
+  int matrix_threads = 0;
+  /// Worker lanes inside each particle filter. Keep 1: the matrix already
+  /// saturates cores cell-wise, and nested pools oversubscribe.
+  int cell_threads = 1;
+  int n_particles = 1200;
+};
+
+/// One scored cell. `result` carries the paper metrics; the health block is
+/// zero for localizers that expose no particle cloud.
+struct ScenarioCell {
+  std::string localizer;
+  ScenarioSpec scenario;
+  ExperimentResult result{};
+  // -- filter health (PR-1 telemetry), PF cells only --
+  double ess_fraction_p50{0.0};
+  double ess_fraction_min{0.0};
+  std::uint64_t resamples{0};
+  std::uint64_t pose_jump_alarms{0};
+  // -- per-stage latency (PF cells; CartoLite reports its own stages) --
+  double stage_p50_ms{0.0};  ///< dominant stage (raycast / local match) p50
+  double stage_p99_ms{0.0};
+};
+
+class ScenarioMatrix {
+ public:
+  explicit ScenarioMatrix(ScenarioMatrixConfig config);
+
+  /// Run every {localizer x scenario} cell on `track` and return them in
+  /// grid order (localizer-major). Deterministic at any matrix_threads.
+  std::vector<ScenarioCell> run(const Track& track) const;
+
+  const ScenarioMatrixConfig& config() const { return config_; }
+
+  /// The canonical reduced grid for CI smoke runs: 2 faults x 2 severities
+  /// (clean baseline + slip ramp / dropout), short trace.
+  static ScenarioMatrixConfig smoke_config();
+  /// The full grid of the robustness bench.
+  static ScenarioMatrixConfig full_config();
+
+ private:
+  ScenarioMatrixConfig config_;
+};
+
+/// The paper's headline, extracted from a finished grid: degradation factor
+/// (lateral-error mu at the highest severity of `fault` over the clean
+/// baseline) per localizer. A crash under fault is the limit case of
+/// degradation — the `*_crashed` flags record it, and the degradation factor
+/// is pinned to `kCrashDegradation` (lateral mu of a crashed run is
+/// meaningless). Returns false when the grid lacks the cells.
+struct HeadlineComparison {
+  /// Sentinel degradation factor for a faulted run that crashed: larger
+  /// than any factor a completed lap can produce, finite so it serializes.
+  static constexpr double kCrashDegradation = 1000.0;
+
+  std::string fault;
+  double severity{0.0};
+  double synpf_baseline_cm{0.0};
+  double synpf_faulted_cm{0.0};
+  double synpf_degradation{0.0};  ///< faulted / baseline
+  bool synpf_crashed{false};      ///< faulted SynPF run crashed
+  double carto_baseline_cm{0.0};
+  double carto_faulted_cm{0.0};
+  double carto_degradation{0.0};
+  bool carto_crashed{false};  ///< faulted CartoLite run crashed
+  /// The paper shape: SynPF survives and degrades strictly less than the
+  /// Cartographer-style baseline (which may degrade to the point of crash).
+  bool synpf_flat() const {
+    return !synpf_crashed && synpf_degradation < carto_degradation;
+  }
+};
+bool compute_headline(const std::vector<ScenarioCell>& cells,
+                      const std::string& fault, HeadlineComparison& out);
+
+}  // namespace srl

@@ -1,0 +1,36 @@
+#include "fault/faulted_localizer.hpp"
+
+namespace srl::fault {
+
+void FaultedLocalizer::initialize(const Pose2& pose) {
+  odom_index_ = 0;
+  scan_index_ = 0;
+  odom_clock_ = 0.0;
+  first_scan_t_ = 0.0;
+  seen_scan_ = false;
+  pipeline_.reset();
+  inner_.initialize(pose);
+}
+
+void FaultedLocalizer::on_odometry(const OdometryDelta& odom) {
+  OdometryDelta corrupted = odom;
+  const FaultEvent event{odom_index_, odom_clock_};
+  pipeline_.corrupt_odometry(event, corrupted);
+  ++odom_index_;
+  odom_clock_ += odom.dt;
+  inner_.on_odometry(corrupted);
+}
+
+Pose2 FaultedLocalizer::on_scan(const LaserScan& scan) {
+  if (!seen_scan_) {
+    first_scan_t_ = scan.t;
+    seen_scan_ = true;
+  }
+  LaserScan corrupted = scan;
+  const FaultEvent event{scan_index_, scan.t - first_scan_t_};
+  pipeline_.corrupt_scan(event, corrupted);
+  ++scan_index_;
+  return inner_.on_scan(corrupted);
+}
+
+}  // namespace srl::fault

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file faulted_localizer.hpp
+/// \brief Decorator that corrupts a localizer's sensor diet in flight —
+/// fault injection for *closed-loop* experiments.
+///
+/// `ExperimentRunner::run` races whatever `Localizer` it is handed; wrapping
+/// the candidate in a `FaultedLocalizer` slots a `FaultPipeline` between the
+/// simulated sensors and the filter without the runner or the filter
+/// noticing. The controller then steers from the estimate produced under
+/// degraded data, so lateral error measures the *system-level* consequence
+/// of the fault — the paper's robustness experiment, generalized from grip
+/// alone to the whole fault taxonomy.
+///
+/// Event bookkeeping: odometry and scan indices count from `initialize`,
+/// and event time is seconds since the first event (odometry time is the
+/// accumulated sum of increment dts; scans use their own timestamps). An
+/// empty pipeline makes the wrapper a bitwise pass-through.
+
+#include <string>
+
+#include "core/localizer.hpp"
+#include "fault/pipeline.hpp"
+
+namespace srl::fault {
+
+class FaultedLocalizer final : public Localizer {
+ public:
+  /// Neither pointer-like argument is owned; both must outlive the wrapper.
+  FaultedLocalizer(Localizer& inner, const FaultPipeline& pipeline)
+      : inner_{inner}, pipeline_{pipeline} {}
+
+  void initialize(const Pose2& pose) override;
+  void on_odometry(const OdometryDelta& odom) override;
+  Pose2 on_scan(const LaserScan& scan) override;
+  Pose2 pose() const override { return inner_.pose(); }
+  std::string name() const override {
+    return inner_.name() + "+" + pipeline_.describe();
+  }
+  double mean_scan_update_ms() const override {
+    return inner_.mean_scan_update_ms();
+  }
+  double total_busy_s() const override { return inner_.total_busy_s(); }
+  void set_telemetry(const telemetry::Sink& sink) override {
+    inner_.set_telemetry(sink);
+  }
+
+ private:
+  Localizer& inner_;
+  const FaultPipeline& pipeline_;
+  std::uint64_t odom_index_{0};
+  std::uint64_t scan_index_{0};
+  double odom_clock_{0.0};  ///< accumulated odometry time since initialize
+  double first_scan_t_{0.0};
+  bool seen_scan_{false};
+};
+
+}  // namespace srl::fault

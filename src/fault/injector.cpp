@@ -1,0 +1,180 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace srl::fault {
+
+double FaultProfile::envelope(double t) const {
+  if (severity <= 0.0) return 0.0;
+  if (t < t_start) return 0.0;
+  if (duration >= 0.0 && t > t_start + duration) return 0.0;
+  if (ramp_s > 0.0) {
+    const double ramp = std::min(1.0, (t - t_start) / ramp_s);
+    return severity * ramp;
+  }
+  return severity;
+}
+
+void OdometrySlipInjector::corrupt_odometry(const FaultEvent& event,
+                                            OdometryDelta& odom,
+                                            Rng& rng) const {
+  const double s = strength_at(event.t);
+  if (s <= 0.0) return;
+  // Slip over-reports forward motion; the jitter models slip-stick chatter
+  // (always >= 0 so the fault never under-reports on average).
+  const double chatter = std::abs(rng.gaussian(jitter_ * s));
+  const double scale = 1.0 + max_slip_ * s + chatter;
+  odom.delta.x *= scale;
+  odom.v *= scale;
+}
+
+void OdometryScaleInjector::corrupt_odometry(const FaultEvent& event,
+                                             OdometryDelta& odom,
+                                             Rng& rng) const {
+  (void)rng;
+  const double s = strength_at(event.t);
+  if (s <= 0.0) return;
+  const double scale = 1.0 + max_scale_ * s;
+  odom.delta.x *= scale;
+  odom.delta.y *= scale;
+  odom.v *= scale;
+}
+
+void OdometryYawBiasInjector::corrupt_odometry(const FaultEvent& event,
+                                               OdometryDelta& odom,
+                                               Rng& rng) const {
+  (void)rng;
+  const double s = strength_at(event.t);
+  if (s <= 0.0) return;
+  odom.delta.theta += max_bias_rad_s_ * s * odom.dt;
+}
+
+void LidarDropoutInjector::corrupt_scan(const FaultEvent& event,
+                                        const LidarConfig& lidar,
+                                        LaserScan& scan, Rng& rng) const {
+  const double s = strength_at(event.t);
+  if (s <= 0.0) return;
+  const double p = std::min(1.0, max_dropout_ * s);
+  const auto no_hit = static_cast<float>(lidar.max_range);
+  for (float& r : scan.ranges) {
+    // Draw for every beam (valid or not) so the draw sequence — and hence
+    // every downstream beam's fate — depends only on the beam index.
+    const bool drop = rng.chance(p);
+    if (drop && r < no_hit) r = no_hit;
+  }
+}
+
+void LidarNoiseInjector::corrupt_scan(const FaultEvent& event,
+                                      const LidarConfig& lidar,
+                                      LaserScan& scan, Rng& rng) const {
+  const double s = strength_at(event.t);
+  if (s <= 0.0) return;
+  const double sigma = max_sigma_m_ * s;
+  const auto lo = static_cast<float>(lidar.min_range);
+  const auto hi = static_cast<float>(lidar.max_range);
+  for (float& r : scan.ranges) {
+    const double noise = rng.gaussian(sigma);
+    if (r <= lo || r >= hi) continue;  // invalid / no-hit returns stay put
+    r = std::clamp(static_cast<float>(r + noise), lo, hi);
+  }
+}
+
+void ScanDecimationInjector::corrupt_scan(const FaultEvent& event,
+                                          const LidarConfig& lidar,
+                                          LaserScan& scan, Rng& rng) const {
+  (void)rng;
+  const double s = strength_at(event.t);
+  if (s <= 0.0) return;
+  const int keep_every =
+      1 + static_cast<int>(std::lround(s * (max_keep_every_ - 1)));
+  if (keep_every <= 1) return;
+  const auto no_hit = static_cast<float>(lidar.max_range);
+  for (std::size_t i = 0; i < scan.ranges.size(); ++i) {
+    if (i % static_cast<std::size_t>(keep_every) != 0) {
+      scan.ranges[i] = no_hit;
+    }
+  }
+}
+
+void LatencyJitterInjector::corrupt_scan(const FaultEvent& event,
+                                         const LidarConfig& lidar,
+                                         LaserScan& scan, Rng& rng) const {
+  (void)lidar;
+  const double s = strength_at(event.t);
+  if (s <= 0.0) return;
+  const double latency = max_latency_s_ * s;
+  const double jitter = latency * jitter_fraction_ * rng.uniform();
+  scan.t += latency + jitter;
+}
+
+void BlackoutInjector::corrupt_scan(const FaultEvent& event,
+                                    const LidarConfig& lidar, LaserScan& scan,
+                                    Rng& rng) const {
+  (void)rng;
+  const double s = strength_at(event.t);
+  if (s <= 0.0) return;
+  const auto no_hit = static_cast<float>(lidar.max_range);
+  std::fill(scan.ranges.begin(), scan.ranges.end(), no_hit);
+}
+
+namespace {
+
+/// "none": the identity fault — the baseline row of every scenario grid.
+class IdentityInjector final : public Injector {
+ public:
+  explicit IdentityInjector(FaultProfile profile) : Injector{profile} {}
+  std::string name() const override { return "none"; }
+};
+
+}  // namespace
+
+const std::vector<std::string>& known_faults() {
+  static const std::vector<std::string> kNames{
+      "none",          "odom_slip_ramp", "odom_scale",
+      "odom_yaw_bias", "lidar_dropout",  "lidar_noise",
+      "scan_decimation", "latency_jitter", "blackout",
+  };
+  return kNames;
+}
+
+std::unique_ptr<Injector> make_injector(const std::string& name,
+                                        double severity) {
+  FaultProfile step{severity};
+  if (name == "none") {
+    return std::make_unique<IdentityInjector>(FaultProfile{0.0});
+  }
+  if (name == "odom_slip_ramp") {
+    // The paper's condition: grip degrades over the run, not instantly.
+    FaultProfile ramp{severity, 0.0, 10.0};
+    return std::make_unique<OdometrySlipInjector>(ramp);
+  }
+  if (name == "odom_scale") {
+    return std::make_unique<OdometryScaleInjector>(step);
+  }
+  if (name == "odom_yaw_bias") {
+    return std::make_unique<OdometryYawBiasInjector>(step);
+  }
+  if (name == "lidar_dropout") {
+    return std::make_unique<LidarDropoutInjector>(step);
+  }
+  if (name == "lidar_noise") {
+    return std::make_unique<LidarNoiseInjector>(step);
+  }
+  if (name == "scan_decimation") {
+    return std::make_unique<ScanDecimationInjector>(step);
+  }
+  if (name == "latency_jitter") {
+    return std::make_unique<LatencyJitterInjector>(step);
+  }
+  if (name == "blackout") {
+    // A 2 s sensor loss a few seconds into the run; severity stretches the
+    // window up to its full length.
+    FaultProfile window{1.0, 5.0, 0.0, 2.0 * severity};
+    if (severity <= 0.0) window.severity = 0.0;
+    return std::make_unique<BlackoutInjector>(window);
+  }
+  return nullptr;
+}
+
+}  // namespace srl::fault

@@ -1,0 +1,252 @@
+#pragma once
+
+/// \file injector.hpp
+/// \brief Deterministic sensor-fault injectors — the degradation vocabulary
+/// behind the robustness scenario matrix (DESIGN.md §10).
+///
+/// The paper's headline claim is about *robustness*: SynPF stays flat under
+/// low-quality (slipping) odometry while Cartographer-style localization
+/// degrades sharply. The repo previously exercised degradation through one
+/// knob only (the grip coefficient mu). An `Injector` generalizes that into
+/// a composable fault taxonomy that corrupts the *sensor stream itself* —
+/// odometry slip/scale/bias, LiDAR beam dropout and range noise, scan
+/// decimation, latency, transient blackout — so any localizer can be graded
+/// against any degradation without touching the filters.
+///
+/// Determinism contract (the repo-wide guarantee extends to faults):
+///  - every stochastic draw comes from an `Rng::substream` keyed by
+///    (pipeline seed, injector slot, event kind, event index) — a pure
+///    function of the seed and the event, never of thread count, wall
+///    clock, or how many draws other injectors made;
+///  - severity 0 (or an event outside the fault's time window) is a
+///    *bitwise* no-op: the injector returns before touching a byte;
+///  - stacking is well-defined: a `FaultPipeline` applies injectors in the
+///    order they were added, each seeing the previous one's output, and
+///    each drawing from its own slot-keyed substream (fault/pipeline.hpp).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "motion/motion_model.hpp"
+#include "sensor/lidar.hpp"
+
+namespace srl::fault {
+
+/// When (and how strongly) a fault is active. The envelope shapes the
+/// configured severity over stream time:
+///
+///     envelope(t) = 0                                   t < t_start
+///                 = severity * min(1, (t-t_start)/ramp) t in window, ramp>0
+///                 = severity                            t in window, ramp=0
+///                 = 0                                   t > t_start+duration
+///
+/// so `ramp_s > 0` gives the paper-style degradation *ramp* (the fault grows
+/// as the tires heat / tape wears), and a finite `duration` gives transient
+/// faults (blackouts).
+struct FaultProfile {
+  double severity = 1.0;  ///< peak intensity in [0, 1]
+  double t_start = 0.0;   ///< s from stream start before the fault begins
+  double ramp_s = 0.0;    ///< s to ramp 0 -> severity (0 = step)
+  double duration = -1.0; ///< active window length, s (< 0 = forever)
+
+  double envelope(double t) const;
+};
+
+/// One corrupted event: `index` counts events of this kind (odometry and
+/// scans independently) from stream start, `t` is seconds since the first
+/// event of the stream. Both are pure stream properties, so the same trace
+/// always presents the same events.
+struct FaultEvent {
+  std::uint64_t index{0};
+  double t{0.0};
+};
+
+/// Interface: stateless corruptors, safe to share across threads. `rng` is
+/// a fresh per-(injector, event) substream handed in by the pipeline; an
+/// injector must draw only from it. Implementations override the hooks for
+/// the stream(s) they corrupt and leave the other untouched.
+class Injector {
+ public:
+  explicit Injector(FaultProfile profile) : profile_{profile} {}
+  virtual ~Injector() = default;
+
+  Injector(const Injector&) = delete;
+  Injector& operator=(const Injector&) = delete;
+
+  virtual std::string name() const = 0;
+
+  /// Corrupt one odometry increment in place.
+  virtual void corrupt_odometry(const FaultEvent& event, OdometryDelta& odom,
+                                Rng& rng) const {
+    (void)event;
+    (void)odom;
+    (void)rng;
+  }
+
+  /// Corrupt one LiDAR revolution in place. `lidar` supplies the sensor
+  /// geometry (max_range is the "no hit" encoding dropped beams map to).
+  virtual void corrupt_scan(const FaultEvent& event, const LidarConfig& lidar,
+                            LaserScan& scan, Rng& rng) const {
+    (void)event;
+    (void)lidar;
+    (void)scan;
+    (void)rng;
+  }
+
+  const FaultProfile& profile() const { return profile_; }
+  /// Effective intensity at stream time `t` (0 = leave the event alone).
+  double strength_at(double t) const { return profile_.envelope(t); }
+
+ private:
+  FaultProfile profile_;
+};
+
+/// Wheel slip: odometry over-reports longitudinal motion (the driven wheels
+/// spin faster than the car moves — exactly what low grip does to the
+/// wheel-odometry pipeline). At full strength the reported forward delta and
+/// speed are scaled by (1 + max_slip), plus a per-increment multiplicative
+/// jitter that models slip-stick chatter.
+class OdometrySlipInjector final : public Injector {
+ public:
+  OdometrySlipInjector(FaultProfile profile, double max_slip = 0.35,
+                       double jitter = 0.10)
+      : Injector{profile}, max_slip_{max_slip}, jitter_{jitter} {}
+
+  std::string name() const override { return "odom_slip"; }
+  void corrupt_odometry(const FaultEvent& event, OdometryDelta& odom,
+                        Rng& rng) const override;
+
+ private:
+  double max_slip_;
+  double jitter_;
+};
+
+/// Systematic odometry scale error (wrong wheel radius / tire wear): all
+/// translation components and the reported speed are scaled by
+/// (1 + max_scale * strength). Deterministic — no rng draws.
+class OdometryScaleInjector final : public Injector {
+ public:
+  OdometryScaleInjector(FaultProfile profile, double max_scale = 0.20)
+      : Injector{profile}, max_scale_{max_scale} {}
+
+  std::string name() const override { return "odom_scale"; }
+  void corrupt_odometry(const FaultEvent& event, OdometryDelta& odom,
+                        Rng& rng) const override;
+
+ private:
+  double max_scale_;
+};
+
+/// Yaw-rate bias (miscalibrated IMU / unequal tire pressures): the heading
+/// increment drifts by `max_bias_rad_s * strength * dt` every increment.
+/// Deterministic — no rng draws.
+class OdometryYawBiasInjector final : public Injector {
+ public:
+  OdometryYawBiasInjector(FaultProfile profile, double max_bias_rad_s = 0.15)
+      : Injector{profile}, max_bias_rad_s_{max_bias_rad_s} {}
+
+  std::string name() const override { return "odom_yaw_bias"; }
+  void corrupt_odometry(const FaultEvent& event, OdometryDelta& odom,
+                        Rng& rng) const override;
+
+ private:
+  double max_bias_rad_s_;
+};
+
+/// Random beam dropout (dust, rain, absorptive surfaces): each valid return
+/// is independently replaced by "no hit" (max_range) with probability
+/// `max_dropout * strength`.
+class LidarDropoutInjector final : public Injector {
+ public:
+  LidarDropoutInjector(FaultProfile profile, double max_dropout = 0.6)
+      : Injector{profile}, max_dropout_{max_dropout} {}
+
+  std::string name() const override { return "lidar_dropout"; }
+  void corrupt_scan(const FaultEvent& event, const LidarConfig& lidar,
+                    LaserScan& scan, Rng& rng) const override;
+
+ private:
+  double max_dropout_;
+};
+
+/// Additive Gaussian range noise (sensor aging, interference): every valid
+/// return is perturbed with stddev `max_sigma_m * strength`, clamped into
+/// [min_range, max_range].
+class LidarNoiseInjector final : public Injector {
+ public:
+  LidarNoiseInjector(FaultProfile profile, double max_sigma_m = 0.20)
+      : Injector{profile}, max_sigma_m_{max_sigma_m} {}
+
+  std::string name() const override { return "lidar_noise"; }
+  void corrupt_scan(const FaultEvent& event, const LidarConfig& lidar,
+                    LaserScan& scan, Rng& rng) const override;
+
+ private:
+  double max_sigma_m_;
+};
+
+/// Angular decimation (a cheaper scanner, or a driver dropping packets):
+/// only every k-th beam survives, the rest become "no hit". k grows with
+/// strength from 1 (no-op) to `max_keep_every`.
+class ScanDecimationInjector final : public Injector {
+ public:
+  ScanDecimationInjector(FaultProfile profile, int max_keep_every = 8)
+      : Injector{profile}, max_keep_every_{max_keep_every} {}
+
+  std::string name() const override { return "scan_decimation"; }
+  void corrupt_scan(const FaultEvent& event, const LidarConfig& lidar,
+                    LaserScan& scan, Rng& rng) const override;
+
+ private:
+  int max_keep_every_;
+};
+
+/// Measurement latency + jitter: each scan's timestamp is pushed later by
+/// `max_latency_s * strength` plus a uniform jitter fraction, so replay
+/// delivers the (stale) scan after the odometry that actually followed it —
+/// the classic stale-scan failure of a loaded compute box. Timestamps stay
+/// monotone within a pipeline pass.
+class LatencyJitterInjector final : public Injector {
+ public:
+  LatencyJitterInjector(FaultProfile profile, double max_latency_s = 0.08,
+                        double jitter_fraction = 0.5)
+      : Injector{profile},
+        max_latency_s_{max_latency_s},
+        jitter_fraction_{jitter_fraction} {}
+
+  std::string name() const override { return "latency_jitter"; }
+  void corrupt_scan(const FaultEvent& event, const LidarConfig& lidar,
+                    LaserScan& scan, Rng& rng) const override;
+
+ private:
+  double max_latency_s_;
+  double jitter_fraction_;
+};
+
+/// Transient total blackout (connector glitch, sun glare): inside the
+/// profile window every return is "no hit" — the localizer must coast on
+/// odometry and re-converge when the sensor returns.
+class BlackoutInjector final : public Injector {
+ public:
+  explicit BlackoutInjector(FaultProfile profile) : Injector{profile} {}
+
+  std::string name() const override { return "blackout"; }
+  void corrupt_scan(const FaultEvent& event, const LidarConfig& lidar,
+                    LaserScan& scan, Rng& rng) const override;
+};
+
+/// Canonical fault names the factory understands — the vocabulary of the
+/// scenario matrix, bench grids, and CI smoke job.
+const std::vector<std::string>& known_faults();
+
+/// Build a named fault at `severity` in [0, 1] with its canonical profile
+/// ("odom_slip_ramp" ramps over the first 10 s; "blackout" opens a 2 s
+/// window at t = 5 s; everything else is a step at t = 0). Returns nullptr
+/// for unknown names. "none" yields an identity injector.
+std::unique_ptr<Injector> make_injector(const std::string& name,
+                                        double severity);
+
+}  // namespace srl::fault

@@ -1,0 +1,75 @@
+#include "fault/pipeline.hpp"
+
+#include <algorithm>
+
+namespace srl::fault {
+
+namespace {
+// Event-kind tags folded into the substream key so an injector's odometry
+// and scan draws never share a stream.
+constexpr std::uint64_t kOdomKind = 1;
+constexpr std::uint64_t kScanKind = 2;
+}  // namespace
+
+FaultPipeline::FaultPipeline(std::uint64_t seed, LidarConfig lidar)
+    : seed_{seed}, lidar_{lidar} {}
+
+FaultPipeline& FaultPipeline::add(std::unique_ptr<Injector> injector) {
+  if (injector != nullptr) stack_.push_back(std::move(injector));
+  return *this;
+}
+
+bool FaultPipeline::add(const std::string& name, double severity) {
+  std::unique_ptr<Injector> injector = make_injector(name, severity);
+  if (injector == nullptr) return false;
+  stack_.push_back(std::move(injector));
+  return true;
+}
+
+std::string FaultPipeline::describe() const {
+  if (stack_.empty()) return "none";
+  std::string out;
+  for (const auto& injector : stack_) {
+    if (!out.empty()) out += '+';
+    out += injector->name();
+  }
+  return out;
+}
+
+Rng FaultPipeline::event_rng(std::size_t slot, std::uint64_t kind,
+                             std::uint64_t index) const {
+  // Stream key = (slot, kind); index keys the event. Rng::substream mixes
+  // each through SplitMix64 chains over the master seed, so distinct
+  // (slot, kind, index) triples yield independent streams regardless of
+  // how many events any injector has processed.
+  const std::uint64_t stream = (static_cast<std::uint64_t>(slot) << 8) | kind;
+  return Rng{seed_}.substream(stream, index);
+}
+
+void FaultPipeline::corrupt_odometry(const FaultEvent& event,
+                                     OdometryDelta& odom) const {
+  for (std::size_t slot = 0; slot < stack_.size(); ++slot) {
+    Rng rng = event_rng(slot, kOdomKind, event.index);
+    stack_[slot]->corrupt_odometry(event, odom, rng);
+  }
+}
+
+void FaultPipeline::corrupt_scan(const FaultEvent& event,
+                                 LaserScan& scan) const {
+  const double original_t = scan.t;
+  for (std::size_t slot = 0; slot < stack_.size(); ++slot) {
+    Rng rng = event_rng(slot, kScanKind, event.index);
+    stack_[slot]->corrupt_scan(event, lidar_, scan, rng);
+  }
+  // Latency faults may push timestamps later; never let them reorder the
+  // stream. The clamp only engages when something actually moved `t`, so a
+  // severity-0 pass stays a bitwise no-op.
+  if (scan.t != original_t) {
+    scan.t = std::max(scan.t, last_scan_t_);
+  }
+  last_scan_t_ = scan.t;
+}
+
+void FaultPipeline::reset() const { last_scan_t_ = -1e300; }
+
+}  // namespace srl::fault

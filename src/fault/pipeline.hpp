@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file pipeline.hpp
+/// \brief FaultPipeline — an ordered stack of injectors bound to one seed,
+/// applied to a sensor stream event by event.
+///
+/// The pipeline is the composition point of the fault subsystem: injectors
+/// are applied in the order they were added (each sees its predecessor's
+/// output), and each injector's stochastic draws come from a substream
+/// keyed by (pipeline seed, injector slot, event kind, event index). Two
+/// consequences, both load-bearing for the robustness benchmarks:
+///
+///  1. **Bitwise determinism.** A corrupted event is a pure function of the
+///     seed, the stack, and the clean event. No thread count, wall clock,
+///     or draw history enters the derivation, so the corrupted-trace hash
+///     is a stable fingerprint CI can diff across commits.
+///  2. **Well-defined stacking.** Reordering the stack changes the output
+///     (deterministically): slot keys move with the injector, and the data
+///     transformation composes in add-order. `[slip, dropout]` is one
+///     scenario, `[dropout, slip]` another.
+///
+/// The pipeline itself is stateless across events except for the scan
+/// timestamp monotonicity clamp (latency faults must not reorder a trace),
+/// which `reset()` rewinds between passes.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fault/injector.hpp"
+
+namespace srl::fault {
+
+class FaultPipeline {
+ public:
+  /// `seed` keys every substream; `lidar` supplies scan geometry to the
+  /// injectors (no-hit encoding, valid-range window).
+  explicit FaultPipeline(std::uint64_t seed = 0x7a017ULL,
+                         LidarConfig lidar = {});
+
+  /// Append `injector` to the stack (applied after everything added so
+  /// far). Returns *this for chaining.
+  FaultPipeline& add(std::unique_ptr<Injector> injector);
+
+  /// Convenience: append the canonical fault `name` at `severity`
+  /// (fault/injector.hpp factory). Unknown names are ignored and reported
+  /// by the return value.
+  bool add(const std::string& name, double severity);
+
+  std::size_t size() const { return stack_.size(); }
+  bool empty() const { return stack_.empty(); }
+  std::uint64_t seed() const { return seed_; }
+  const LidarConfig& lidar() const { return lidar_; }
+
+  /// "a+b+c" — the stack's names in application order ("none" when empty).
+  std::string describe() const;
+
+  /// Corrupt one odometry increment in place. `event.index` must count
+  /// odometry events from stream start and `event.t` must be seconds since
+  /// the stream began; the caller owns that bookkeeping (FaultedLocalizer
+  /// and eval/fault_replay.hpp both do).
+  void corrupt_odometry(const FaultEvent& event, OdometryDelta& odom) const;
+
+  /// Corrupt one scan in place; clamps the (possibly latency-shifted)
+  /// timestamp to stay monotone with the previous corrupted scan.
+  void corrupt_scan(const FaultEvent& event, LaserScan& scan) const;
+
+  /// Rewind the timestamp-monotonicity clamp before replaying a new stream
+  /// through the same pipeline.
+  void reset() const;
+
+ private:
+  Rng event_rng(std::size_t slot, std::uint64_t kind,
+                std::uint64_t index) const;
+
+  std::uint64_t seed_;
+  LidarConfig lidar_;
+  std::vector<std::unique_ptr<Injector>> stack_;
+  mutable double last_scan_t_{-1e300};
+};
+
+}  // namespace srl::fault

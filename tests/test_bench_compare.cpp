@@ -1,0 +1,165 @@
+#include "eval/bench_compare.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/json.hpp"
+#include "eval/benchmark_json.hpp"
+
+namespace srl {
+namespace {
+
+BenchDocument make_doc() {
+  BenchDocument doc;
+  doc.provenance.compiler = "testc 1.0";
+  doc.provenance.build = "release";
+  doc.provenance.git_sha = "deadbeef";
+  doc.provenance.seed = 1234;
+  doc.provenance.fault_seed = 0x7a017ULL;
+  doc.provenance.laps = 2;
+  doc.provenance.n_particles = 800;
+  doc.provenance.fast_mode = true;
+
+  FaultTraceFingerprint fp;
+  fp.fault = "odom_slip_ramp";
+  fp.severity = 1.0;
+  fp.trace_hash = 0xfeedfacecafebeefULL;  // exercises the full 64-bit width
+  fp.n_scans = 400;
+  fp.n_odometry = 1000;
+  doc.fault_traces.push_back(fp);
+
+  auto cell = [](const char* localizer, const char* fault, double severity,
+                 double lateral_cm, double p99_ms, bool crashed) {
+    ScenarioCell c;
+    c.localizer = localizer;
+    c.scenario.fault = fault;
+    c.scenario.severity = severity;
+    c.result.lateral_mean_cm = lateral_cm;
+    c.result.update_p99_ms = p99_ms;
+    c.result.crashed = crashed;
+    c.ess_fraction_p50 = 0.31;
+    return c;
+  };
+  doc.cells.push_back(cell("SynPF", "none", 0.0, 4.5, 6.0, false));
+  doc.cells.push_back(cell("SynPF", "odom_slip_ramp", 1.0, 5.0, 6.5, false));
+  doc.cells.push_back(cell("CartoLite", "none", 0.0, 8.0, 9.0, false));
+  doc.cells.push_back(cell("CartoLite", "odom_slip_ramp", 1.0, 0.0, 9.0, true));
+
+  doc.has_headline = true;
+  doc.headline.fault = "odom_slip_ramp";
+  doc.headline.severity = 1.0;
+  doc.headline.synpf_baseline_cm = 4.5;
+  doc.headline.synpf_faulted_cm = 5.0;
+  doc.headline.synpf_degradation = 5.0 / 4.5;
+  doc.headline.carto_baseline_cm = 8.0;
+  doc.headline.carto_crashed = true;
+  doc.headline.carto_degradation = HeadlineComparison::kCrashDegradation;
+  return doc;
+}
+
+TEST(BenchJson, RoundTripsThroughDisk) {
+  const BenchDocument doc = make_doc();
+  const std::string path = ::testing::TempDir() + "bench_roundtrip.json";
+  ASSERT_TRUE(write_bench_json(path, doc));
+
+  const std::optional<BenchDocument> back = read_bench_json(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->provenance.compiler, "testc 1.0");
+  EXPECT_EQ(back->provenance.seed, 1234u);
+  EXPECT_EQ(back->provenance.fault_seed, 0x7a017ULL);
+  EXPECT_TRUE(back->provenance.fast_mode);
+  ASSERT_EQ(back->fault_traces.size(), 1u);
+  EXPECT_EQ(back->fault_traces[0].trace_hash, 0xfeedfacecafebeefULL);
+  ASSERT_EQ(back->cells.size(), 4u);
+  EXPECT_DOUBLE_EQ(back->cells[1].result.lateral_mean_cm, 5.0);
+  EXPECT_TRUE(back->cells[3].result.crashed);
+  ASSERT_TRUE(back->has_headline);
+  EXPECT_TRUE(back->headline.carto_crashed);
+  EXPECT_TRUE(back->headline.synpf_flat());
+  std::remove(path.c_str());
+}
+
+TEST(BenchJson, RejectsForeignSchema) {
+  json::Value root = json::Value::object();
+  root.set("schema", json::Value::string("someone/elses/2"));
+  root.set("cells", json::Value::array());
+  EXPECT_FALSE(bench_from_json(root).has_value());
+}
+
+TEST(BenchCompare, SelfCompareIsCleanEvenAtZeroTolerance) {
+  const BenchDocument doc = make_doc();
+  CompareThresholds strict;
+  strict.lateral_tol_frac = 0.0;
+  strict.lateral_slack_cm = 0.0;
+  strict.p99_tol_frac = 0.0;
+  strict.p99_slack_ms = 0.0;
+  strict.require_hash_match = true;
+  const CompareReport report = compare_bench(doc, doc, strict);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.cells_compared, 4);
+  EXPECT_EQ(report.hashes_compared, 1);
+}
+
+TEST(BenchCompare, PerturbationBeyondThresholdNamesTheMetric) {
+  const BenchDocument baseline = make_doc();
+  BenchDocument candidate = make_doc();
+  // 4.5 -> 9.0 cm: past the default 10% + 1 cm allowance.
+  candidate.cells[0].result.lateral_mean_cm = 9.0;
+  const CompareReport report = compare_bench(baseline, candidate, {});
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].cell, "SynPF/none@0");
+  EXPECT_EQ(report.failures[0].metric, "lateral_mean_cm");
+  EXPECT_DOUBLE_EQ(report.failures[0].candidate, 9.0);
+  EXPECT_NE(report.failures[0].describe().find("lateral_mean_cm"),
+            std::string::npos);
+}
+
+TEST(BenchCompare, WithinThresholdPasses) {
+  const BenchDocument baseline = make_doc();
+  BenchDocument candidate = make_doc();
+  candidate.cells[0].result.lateral_mean_cm = 4.9;  // < 4.5 * 1.1 + 1.0
+  candidate.cells[0].result.update_p99_ms = 11.0;   // < 6.0 * 2.0 + 2.0
+  EXPECT_TRUE(compare_bench(baseline, candidate, {}).ok());
+}
+
+TEST(BenchCompare, MissingCellIsARegression) {
+  const BenchDocument baseline = make_doc();
+  BenchDocument candidate = make_doc();
+  candidate.cells.pop_back();
+  const CompareReport report = compare_bench(baseline, candidate, {});
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].metric, "missing_cell");
+}
+
+TEST(BenchCompare, NewCrashIsARegressionUnlessAllowed) {
+  const BenchDocument baseline = make_doc();
+  BenchDocument candidate = make_doc();
+  candidate.cells[1].result.crashed = true;
+  CompareThresholds thresholds;
+  const CompareReport report = compare_bench(baseline, candidate, thresholds);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].metric, "crashed");
+  EXPECT_EQ(report.failures[0].cell, "SynPF/odom_slip_ramp@1");
+
+  thresholds.allow_new_crashes = true;
+  EXPECT_TRUE(compare_bench(baseline, candidate, thresholds).ok());
+}
+
+TEST(BenchCompare, HashMismatchFailsOnlyWhenRequired) {
+  const BenchDocument baseline = make_doc();
+  BenchDocument candidate = make_doc();
+  candidate.fault_traces[0].trace_hash ^= 1;  // one bit: still a regression
+  EXPECT_TRUE(compare_bench(baseline, candidate, {}).ok());
+
+  CompareThresholds thresholds;
+  thresholds.require_hash_match = true;
+  const CompareReport report = compare_bench(baseline, candidate, thresholds);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].metric, "trace_hash");
+  EXPECT_EQ(report.failures[0].cell, "fault_traces/odom_slip_ramp@1");
+}
+
+}  // namespace
+}  // namespace srl

@@ -1,0 +1,189 @@
+#include "fault/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+
+#include "core/synpf.hpp"
+#include "eval/dead_reckoning.hpp"
+#include "eval/experiment.hpp"
+#include "eval/fault_replay.hpp"
+#include "fault/faulted_localizer.hpp"
+#include "fault/injector.hpp"
+#include "gridmap/track_generator.hpp"
+
+namespace srl {
+namespace {
+
+/// One short clean drive on the oval, recorded once for every test here.
+class FaultTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    track_ = std::make_unique<Track>(TrackGenerator::oval(8.0, 2.5));
+    trace_ = std::make_unique<SensorTrace>();
+    ExperimentConfig cfg;
+    cfg.laps = 1;
+    cfg.max_sim_time = 12.0;
+    cfg.profile.scale = 0.5;
+    ExperimentRunner runner{*track_, cfg};
+    DeadReckoning driver;
+    runner.run(driver, trace_.get());
+    ASSERT_FALSE(trace_->scans().empty());
+  }
+  static void TearDownTestSuite() {
+    trace_.reset();
+    track_.reset();
+  }
+
+  static std::unique_ptr<Track> track_;
+  static std::unique_ptr<SensorTrace> trace_;
+};
+
+std::unique_ptr<Track> FaultTest::track_;
+std::unique_ptr<SensorTrace> FaultTest::trace_;
+
+fault::FaultPipeline make_stack(std::uint64_t seed) {
+  fault::FaultPipeline pipeline{seed, LidarConfig{}};
+  EXPECT_TRUE(pipeline.add("odom_slip_ramp", 0.7));
+  EXPECT_TRUE(pipeline.add("lidar_dropout", 0.5));
+  return pipeline;
+}
+
+TEST(FaultProfile, EnvelopeShapesSeverity) {
+  fault::FaultProfile ramp{0.8, 2.0, 4.0, -1.0};
+  EXPECT_DOUBLE_EQ(ramp.envelope(0.0), 0.0);    // before t_start
+  EXPECT_DOUBLE_EQ(ramp.envelope(4.0), 0.4);    // mid-ramp
+  EXPECT_DOUBLE_EQ(ramp.envelope(6.0), 0.8);    // ramp finished
+  EXPECT_DOUBLE_EQ(ramp.envelope(100.0), 0.8);  // no duration: forever
+
+  fault::FaultProfile window{1.0, 5.0, 0.0, 2.0};
+  EXPECT_DOUBLE_EQ(window.envelope(4.999), 0.0);
+  EXPECT_DOUBLE_EQ(window.envelope(5.0), 1.0);  // step, no ramp
+  EXPECT_DOUBLE_EQ(window.envelope(7.0), 1.0);
+  EXPECT_DOUBLE_EQ(window.envelope(7.001), 0.0);  // window closed
+}
+
+TEST(FaultFactory, KnownNamesRoundTrip) {
+  for (const std::string& name : fault::known_faults()) {
+    const auto injector = fault::make_injector(name, 0.5);
+    ASSERT_NE(injector, nullptr) << name;
+  }
+  EXPECT_EQ(fault::make_injector("not_a_fault", 0.5), nullptr);
+
+  fault::FaultPipeline pipeline;
+  EXPECT_FALSE(pipeline.add("not_a_fault", 0.5));
+  EXPECT_TRUE(pipeline.empty());
+  EXPECT_EQ(pipeline.describe(), "none");
+  EXPECT_TRUE(pipeline.add("odom_slip_ramp", 0.5));
+  EXPECT_TRUE(pipeline.add("blackout", 1.0));
+  EXPECT_EQ(pipeline.describe(), "odom_slip+blackout");
+}
+
+TEST_F(FaultTest, CorruptionIsDeterministic) {
+  const SensorTrace a = corrupt_trace(make_stack(42), *trace_);
+  const SensorTrace b = corrupt_trace(make_stack(42), *trace_);
+  EXPECT_EQ(trace_hash(a), trace_hash(b));
+  // The corruption actually did something...
+  EXPECT_NE(trace_hash(a), trace_hash(*trace_));
+  // ...and is keyed by the seed.
+  EXPECT_NE(trace_hash(a), trace_hash(corrupt_trace(make_stack(43), *trace_)));
+}
+
+TEST_F(FaultTest, TruthIsNeverCorrupted) {
+  const SensorTrace corrupted = corrupt_trace(make_stack(42), *trace_);
+  ASSERT_EQ(corrupted.scans().size(), trace_->scans().size());
+  for (std::size_t i = 0; i < corrupted.scans().size(); ++i) {
+    const Pose2& truth = trace_->scans()[i].truth;
+    const Pose2& kept = corrupted.scans()[i].truth;
+    EXPECT_EQ(std::memcmp(&truth.x, &kept.x, sizeof(double)), 0);
+    EXPECT_EQ(std::memcmp(&truth.y, &kept.y, sizeof(double)), 0);
+    EXPECT_EQ(std::memcmp(&truth.theta, &kept.theta, sizeof(double)), 0);
+  }
+}
+
+TEST_F(FaultTest, SeverityZeroIsBitwiseNoOp) {
+  // Every known fault at severity 0, stacked: not a single byte may move.
+  fault::FaultPipeline pipeline{42, LidarConfig{}};
+  for (const std::string& name : fault::known_faults()) {
+    ASSERT_TRUE(pipeline.add(name, 0.0));
+  }
+  const SensorTrace corrupted = corrupt_trace(pipeline, *trace_);
+  EXPECT_EQ(trace_hash(corrupted), trace_hash(*trace_));
+}
+
+TEST_F(FaultTest, StackingOrderIsWellDefined) {
+  // noise-then-blackout wipes the noise inside the window; blackout-then-
+  // noise perturbs the "no hit" returns. Different scenarios, each
+  // individually reproducible.
+  auto build = [](const char* first, const char* second) {
+    fault::FaultPipeline pipeline{7, LidarConfig{}};
+    EXPECT_TRUE(pipeline.add(first, 1.0));
+    EXPECT_TRUE(pipeline.add(second, 1.0));
+    return pipeline;
+  };
+  const std::uint64_t noise_first =
+      trace_hash(corrupt_trace(build("lidar_noise", "blackout"), *trace_));
+  const std::uint64_t blackout_first =
+      trace_hash(corrupt_trace(build("blackout", "lidar_noise"), *trace_));
+  EXPECT_EQ(noise_first,
+            trace_hash(corrupt_trace(build("lidar_noise", "blackout"), *trace_)));
+  EXPECT_EQ(blackout_first,
+            trace_hash(corrupt_trace(build("blackout", "lidar_noise"), *trace_)));
+  EXPECT_NE(noise_first, blackout_first);
+}
+
+TEST_F(FaultTest, CorruptedReplayIsThreadCountInvariant) {
+  const SensorTrace corrupted = corrupt_trace(make_stack(42), *trace_);
+  auto map = std::make_shared<const OccupancyGrid>(track_->grid);
+
+  auto replay_with_threads = [&](int threads) {
+    SynPfConfig cfg;
+    cfg.filter.n_particles = 300;
+    cfg.filter.n_threads = threads;
+    SynPf filter{cfg, map, LidarConfig{}};
+    return corrupted.replay(filter);
+  };
+  const auto serial = replay_with_threads(1);
+  const auto pooled = replay_with_threads(8);
+  ASSERT_EQ(serial.estimates.size(), pooled.estimates.size());
+  for (std::size_t i = 0; i < serial.estimates.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&serial.estimates[i].x, &pooled.estimates[i].x,
+                          sizeof(double)), 0) << "estimate " << i;
+    EXPECT_EQ(std::memcmp(&serial.estimates[i].theta, &pooled.estimates[i].theta,
+                          sizeof(double)), 0) << "estimate " << i;
+  }
+  EXPECT_EQ(std::memcmp(&serial.pose_rmse_m, &pooled.pose_rmse_m,
+                        sizeof(double)), 0);
+}
+
+TEST_F(FaultTest, FaultedLocalizerClosedLoopIsDeterministic) {
+  auto run_once = [&] {
+    ExperimentConfig cfg;
+    cfg.laps = 1;
+    cfg.max_sim_time = 8.0;
+    cfg.profile.scale = 0.5;
+    auto map = std::make_shared<const OccupancyGrid>(track_->grid);
+    SynPfConfig pf_cfg;
+    pf_cfg.filter.n_particles = 300;
+    pf_cfg.filter.n_threads = 1;
+    SynPf inner{pf_cfg, map, cfg.lidar};
+    fault::FaultPipeline pipeline{42, cfg.lidar};
+    pipeline.add("odom_slip_ramp", 0.8);
+    fault::FaultedLocalizer faulted{inner, pipeline};
+    EXPECT_EQ(faulted.name(), inner.name() + "+odom_slip");
+    ExperimentRunner runner{*track_, cfg};
+    return runner.run(faulted);
+  };
+  const ExperimentResult a = run_once();
+  const ExperimentResult b = run_once();
+  EXPECT_EQ(std::memcmp(&a.lateral_mean_cm, &b.lateral_mean_cm,
+                        sizeof(double)), 0);
+  EXPECT_EQ(std::memcmp(&a.pose_rmse_m, &b.pose_rmse_m, sizeof(double)), 0);
+  EXPECT_EQ(std::memcmp(&a.scan_alignment, &b.scan_alignment,
+                        sizeof(double)), 0);
+  EXPECT_EQ(a.crashed, b.crashed);
+}
+
+}  // namespace
+}  // namespace srl

@@ -1,0 +1,126 @@
+/// \file bench_compare.cpp
+/// \brief CI regression gate over two `BENCH_robustness.json` documents.
+///
+/// Diffs a candidate benchmark run against a committed baseline with the
+/// threshold semantics of `eval/bench_compare.hpp` and maps the report onto
+/// exit codes:
+///
+///   0  every gate passed
+///   1  at least one regression (each printed as `cell: metric regressed
+///      (baseline ..., candidate ..., limit ...)`)
+///   2  usage error or unreadable/invalid JSON
+///
+/// Usage:
+///   bench_compare <baseline.json> <candidate.json>
+///       [--lat-tol <frac>]        lateral mu relative tolerance (0.10)
+///       [--lat-slack-cm <cm>]     lateral mu absolute slack     (1.0)
+///       [--p99-tol <frac>]        latency p99 relative tolerance (1.0)
+///       [--p99-slack-ms <ms>]     latency p99 absolute slack     (2.0)
+///       [--hash require|ignore]   fault-trace fingerprint gate (ignore)
+///       [--allow-new-crashes]     tolerate crashes the baseline survived
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "eval/bench_compare.hpp"
+#include "eval/benchmark_json.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <baseline.json> <candidate.json>\n"
+               "  [--lat-tol <frac>] [--lat-slack-cm <cm>]\n"
+               "  [--p99-tol <frac>] [--p99-slack-ms <ms>]\n"
+               "  [--hash require|ignore] [--allow-new-crashes]\n",
+               argv0);
+  return 2;
+}
+
+bool parse_double(const char* s, double& out) {
+  char* end = nullptr;
+  out = std::strtod(s, &end);
+  return end != s && *end == '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace srl;
+
+  std::string paths[2];
+  int n_paths = 0;
+  CompareThresholds thresholds;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(arg, "--lat-tol") == 0) {
+      const char* v = next();
+      if (v == nullptr || !parse_double(v, thresholds.lateral_tol_frac))
+        return usage(argv[0]);
+    } else if (std::strcmp(arg, "--lat-slack-cm") == 0) {
+      const char* v = next();
+      if (v == nullptr || !parse_double(v, thresholds.lateral_slack_cm))
+        return usage(argv[0]);
+    } else if (std::strcmp(arg, "--p99-tol") == 0) {
+      const char* v = next();
+      if (v == nullptr || !parse_double(v, thresholds.p99_tol_frac))
+        return usage(argv[0]);
+    } else if (std::strcmp(arg, "--p99-slack-ms") == 0) {
+      const char* v = next();
+      if (v == nullptr || !parse_double(v, thresholds.p99_slack_ms))
+        return usage(argv[0]);
+    } else if (std::strcmp(arg, "--hash") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      if (std::strcmp(v, "require") == 0) {
+        thresholds.require_hash_match = true;
+      } else if (std::strcmp(v, "ignore") == 0) {
+        thresholds.require_hash_match = false;
+      } else {
+        return usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--allow-new-crashes") == 0) {
+      thresholds.allow_new_crashes = true;
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      return usage(argv[0]);
+    } else if (n_paths < 2) {
+      paths[n_paths++] = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (n_paths != 2) return usage(argv[0]);
+
+  const std::optional<BenchDocument> baseline = read_bench_json(paths[0]);
+  if (!baseline) {
+    std::fprintf(stderr, "baseline %s: unreadable or not a %s document\n",
+                 paths[0].c_str(), kBenchRobustnessSchema);
+    return 2;
+  }
+  const std::optional<BenchDocument> candidate = read_bench_json(paths[1]);
+  if (!candidate) {
+    std::fprintf(stderr, "candidate %s: unreadable or not a %s document\n",
+                 paths[1].c_str(), kBenchRobustnessSchema);
+    return 2;
+  }
+
+  const CompareReport report = compare_bench(*baseline, *candidate, thresholds);
+  for (const CompareFailure& failure : report.failures) {
+    std::fprintf(stderr, "FAIL %s\n", failure.describe().c_str());
+  }
+  std::printf("bench_compare: %d cells, %d fingerprints compared — %s\n",
+              report.cells_compared, report.hashes_compared,
+              report.ok() ? "PASS"
+                          : ("FAIL (" + std::to_string(report.failures.size()) +
+                             " regressions)")
+                                .c_str());
+  return report.ok() ? 0 : 1;
+}

@@ -12,6 +12,11 @@
 ///      not perturb estimates — the PR-1 guarantee),
 ///   4. across worker-lane counts (n_threads 2 and 8 vs the serial path —
 ///      the PR-3 guarantee: parallel execution is bitwise invisible),
+///   5. under a stacked fault pipeline (slip ramp + LiDAR dropout): the
+///      corrupted trace hashes identically on re-corruption, a severity-0
+///      pipeline is a bitwise no-op, and replaying the corrupted trace is
+///      thread-count invariant (the PR-4 guarantee: fault injection is as
+///      deterministic as everything it corrupts),
 ///
 /// and, in a SYNPF_CHECKED build, requires the whole lap to complete with
 /// zero contract violations (reported through `telemetry::ContractMonitor`).
@@ -28,7 +33,9 @@
 #include "core/synpf.hpp"
 #include "eval/dead_reckoning.hpp"
 #include "eval/experiment.hpp"
+#include "eval/fault_replay.hpp"
 #include "eval/trace.hpp"
+#include "fault/pipeline.hpp"
 #include "gridmap/track_generator.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -158,13 +165,60 @@ int main(int argc, char** argv) {
     ok = compare(ra, rt, label) && ok;
   }
 
+  // 5. Fault-injection determinism: a stacked pipeline corrupts the trace
+  // to the same bytes every time (hash check), severity 0 never touches a
+  // byte, and the corrupted trace replays thread-count invariant.
+  {
+    auto make_pipeline = [] {
+      fault::FaultPipeline pipeline{0x7a017ULL, LidarConfig{}};
+      pipeline.add("odom_slip_ramp", 0.7);
+      pipeline.add("lidar_dropout", 0.5);
+      return pipeline;
+    };
+    const SensorTrace corrupted = corrupt_trace(make_pipeline(), trace);
+    const std::uint64_t h1 = trace_hash(corrupted);
+    const std::uint64_t h2 = trace_hash(corrupt_trace(make_pipeline(), trace));
+    if (h1 != h2) {
+      std::fprintf(stderr,
+                   "[fault-rerun] corrupted-trace hash diverges: "
+                   "%016llx vs %016llx\n",
+                   static_cast<unsigned long long>(h1),
+                   static_cast<unsigned long long>(h2));
+      ok = false;
+    } else {
+      std::printf("[fault-rerun] OK — corrupted trace hash %016llx stable\n",
+                  static_cast<unsigned long long>(h1));
+    }
+
+    fault::FaultPipeline noop{0x7a017ULL, LidarConfig{}};
+    noop.add("odom_slip_ramp", 0.0);
+    noop.add("lidar_dropout", 0.0);
+    if (trace_hash(corrupt_trace(noop, trace)) != trace_hash(trace)) {
+      std::fprintf(stderr,
+                   "[fault-noop] severity-0 pipeline altered the trace\n");
+      ok = false;
+    } else {
+      std::printf("[fault-noop] OK — severity-0 pipeline is a bitwise no-op\n");
+    }
+
+    SynPf f1{cfg, map, LidarConfig{}};
+    const auto rf = corrupted.replay(f1);
+    {
+      SynPfConfig tcfg = cfg;
+      tcfg.filter.n_threads = 8;
+      SynPf f8{tcfg, map, LidarConfig{}};
+      const auto rf8 = corrupted.replay(f8);
+      ok = compare(rf, rf8, "faulted-threads=8") && ok;
+    }
+  }
+
   const std::uint64_t violations = monitor.violations();
   if (violations != 0) {
     std::fprintf(stderr, "%llu contract violations during the run\n",
                  static_cast<unsigned long long>(violations));
     ok = false;
   } else if (contracts::enabled()) {
-    std::printf("[contracts] OK — full lap + 6 replays, zero violations\n");
+    std::printf("[contracts] OK — full lap + 8 replays, zero violations\n");
   }
 
   if (!ok) return 1;
