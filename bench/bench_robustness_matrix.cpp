@@ -16,7 +16,9 @@
 ///   SRL_LAPS=n  laps per cell
 ///   SRL_GIT_SHA recorded into provenance when set
 
+#include <algorithm>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -61,6 +63,9 @@ int main(int argc, char** argv) {
     DeadReckoning driver;
     runner.run(driver, &clean);
     for (const ScenarioSpec& spec : config.scenarios) {
+      // Kidnap is a pseudo-fault (the true vehicle teleports, the sensor
+      // stream is never corrupted), so there is no trace to fingerprint.
+      if (spec.fault == "kidnap") continue;
       fault::FaultPipeline pipeline{config.fault_seed, config.experiment.lidar};
       if (spec.fault != "none" || spec.severity != 0.0) {
         pipeline.add(spec.fault, spec.severity);
@@ -84,7 +89,8 @@ int main(int argc, char** argv) {
   doc.cells = matrix.run(track);
 
   TextTable table{{"localizer", "fault", "sev", "lat mu [cm]", "lat sigma",
-                   "align [%]", "ESS p50", "p50 [ms]", "p99 [ms]", "crash"}};
+                   "align [%]", "ESS p50", "p50 [ms]", "p99 [ms]", "crash",
+                   "recov", "t_reloc [s]"}};
   for (const ScenarioCell& cell : doc.cells) {
     table.add_row({cell.localizer, cell.scenario.fault,
                    TextTable::num(cell.scenario.severity, 2),
@@ -94,7 +100,11 @@ int main(int argc, char** argv) {
                    TextTable::num(cell.ess_fraction_p50, 3),
                    TextTable::num(cell.result.update_p50_ms, 2),
                    TextTable::num(cell.result.update_p99_ms, 2),
-                   cell.result.crashed ? "yes" : "no"});
+                   cell.result.crashed ? "yes" : "no",
+                   cell.recovery_success ? "yes" : "no",
+                   cell.recoveries > 0
+                       ? TextTable::num(cell.time_to_reloc_mean_s, 2)
+                       : std::string{"-"}});
   }
   std::cout << "\n" << table.render();
 
@@ -124,6 +134,69 @@ int main(int argc, char** argv) {
                       ? "paper shape reproduced: SynPF degrades less than "
                         "the Cartographer-style baseline under slip\n"
                       : "WARNING: paper shape NOT reproduced in this grid\n");
+  }
+
+  // ---- Kidnap recovery headline -----------------------------------------
+  // The PR-5 claim: a bare SynPF stays lost after a kidnap while the
+  // supervised stack relocalizes and finishes the run.
+  {
+    double kidnap_sev = 0.0;
+    for (const ScenarioCell& cell : doc.cells) {
+      if (cell.scenario.fault == "kidnap") {
+        kidnap_sev = std::max(kidnap_sev, cell.scenario.severity);
+      }
+    }
+    const ScenarioCell* bare = nullptr;
+    const ScenarioCell* supervised = nullptr;
+    for (const ScenarioCell& cell : doc.cells) {
+      if (cell.scenario.fault != "kidnap" ||
+          cell.scenario.severity != kidnap_sev) {
+        continue;
+      }
+      if (cell.localizer == "SynPF") bare = &cell;
+      if (cell.localizer == "SynPF+Recovery") supervised = &cell;
+    }
+    if (bare != nullptr && supervised != nullptr) {
+      auto describe = [](const ScenarioCell& cell) {
+        if (cell.result.crashed) return std::string{"CRASHED"};
+        if (!cell.recovery_success) return std::string{"stayed diverged"};
+        return "relocalized in " +
+               TextTable::num(cell.time_to_reloc_mean_s, 2) + " s (post " +
+               TextTable::num(cell.result.post_recovery_lateral_cm, 2) +
+               " cm)";
+      };
+      std::cout << "kidnap recovery (@ " << TextTable::num(kidnap_sev, 2)
+                << "): SynPF " << describe(*bare) << ", SynPF+Recovery "
+                << describe(*supervised) << "\n";
+    }
+  }
+
+  // ---- Recovery summary CSV ---------------------------------------------
+  {
+    std::string csv_file = out_file;
+    const std::string suffix = ".json";
+    if (csv_file.size() > suffix.size() &&
+        csv_file.compare(csv_file.size() - suffix.size(), suffix.size(),
+                         suffix) == 0) {
+      csv_file.resize(csv_file.size() - suffix.size());
+    }
+    csv_file += "_recovery.csv";
+    std::ofstream csv{csv_file};
+    csv << "localizer,fault,severity,kidnaps,divergence_episodes,recoveries,"
+           "recovery_success,time_to_reloc_mean_s,time_to_reloc_max_s,"
+           "post_divergence_lateral_cm,reinjections,global_relocs,"
+           "recovery_transitions\n";
+    for (const ScenarioCell& cell : doc.cells) {
+      csv << cell.localizer << ',' << cell.scenario.fault << ','
+          << cell.scenario.severity << ',' << cell.kidnaps << ','
+          << cell.divergence_episodes << ',' << cell.recoveries << ','
+          << (cell.recovery_success ? 1 : 0) << ','
+          << cell.time_to_reloc_mean_s << ',' << cell.time_to_reloc_max_s
+          << ',' << cell.post_divergence_lateral_cm << ','
+          << cell.reinjections << ',' << cell.global_relocs << ','
+          << cell.recovery_transitions << '\n';
+    }
+    if (csv) std::cout << "wrote " << csv_file << "\n";
   }
 
   // ---- Serialize --------------------------------------------------------

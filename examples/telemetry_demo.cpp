@@ -1,11 +1,13 @@
 /// \file telemetry_demo.cpp
-/// \brief End-to-end tour of the telemetry subsystem: record a short drive,
-/// replay it into SynPF with a metrics registry + trace buffer attached,
-/// then export
-///   - `telemetry_trace.json` — nested per-stage spans, loadable in
-///     chrome://tracing or ui.perfetto.dev,
+/// \brief End-to-end tour of the telemetry subsystem: record a short drive
+/// (with a mid-run kidnap), replay it into a *supervised* SynPF with a
+/// metrics registry + trace buffer attached, then export
+///   - `telemetry_trace.json` — nested per-stage spans including the
+///     recovery spans (recovery.inject / recovery.global_reloc), loadable
+///     in chrome://tracing or ui.perfetto.dev,
 ///   - `telemetry_metrics.csv` — every counter/gauge/histogram (per-stage
-///     latency percentiles, filter-health gauges, range-backend counters).
+///     latency percentiles, filter-health gauges, recovery.state gauge and
+///     state-transition counters).
 ///
 /// Build & run:  ./build/examples/telemetry_demo [laps]
 
@@ -18,6 +20,7 @@
 #include "eval/table.hpp"
 #include "eval/trace.hpp"
 #include "gridmap/track_generator.hpp"
+#include "recovery/supervised_localizer.hpp"
 #include "telemetry/telemetry.hpp"
 
 int main(int argc, char** argv) {
@@ -34,24 +37,34 @@ int main(int argc, char** argv) {
   ExperimentConfig exp;
   exp.laps = laps;
   exp.mu = 0.76;
+  // Kidnap the vehicle mid-drive so the replayed recovery layer has
+  // something to detect and repair — its spans then show up in the trace.
+  ExperimentConfig::KidnapSpec kidnap;
+  kidnap.t = 10.0;
+  kidnap.advance_frac = 0.25;
+  exp.kidnaps.push_back(kidnap);
   ExperimentRunner runner{track, exp};
 
   SynPf driver{SynPfConfig{}, map, lidar};
   SensorTrace trace;
-  std::cout << "Recording " << laps << "-lap trace...\n";
+  std::cout << "Recording " << laps << "-lap trace (kidnap at "
+            << TextTable::num(kidnap.t, 1) << " s)...\n";
   runner.run(driver, &trace);
   std::cout << "  " << trace.scans().size() << " scans, "
             << trace.odometry().size() << " odometry increments, "
             << TextTable::num(trace.duration(), 1) << " s\n";
 
-  // 2. Replay it open-loop into a fresh SynPF with full telemetry attached:
-  //    per-stage histograms + health gauges into the registry, nested spans
-  //    into the trace buffer.
+  // 2. Replay it open-loop into a fresh *supervised* SynPF with full
+  //    telemetry attached: per-stage histograms + health gauges into the
+  //    registry, nested spans (including recovery actions) into the trace
+  //    buffer.
   telemetry::Telemetry telemetry;
   SynPf synpf{SynPfConfig{}, map, lidar};
-  std::cout << "Replaying with telemetry attached...\n";
+  recovery::SupervisedLocalizer supervised{synpf, {}, map, lidar};
+  supervised.bind_filter(&synpf.filter());
+  std::cout << "Replaying with telemetry + divergence supervision...\n";
   const SensorTrace::ReplayResult result =
-      trace.replay(synpf, telemetry.sink());
+      trace.replay(supervised, telemetry.sink());
 
   TextTable summary{{"metric", "value"}};
   summary.add_row({"pose RMSE [m]", TextTable::num(result.pose_rmse_m, 3)});
@@ -93,7 +106,37 @@ int main(int argc, char** argv) {
       {"last pose jump [m]", TextTable::num(health.pose_jump_m, 4)});
   std::cout << "\nFilter health (last update):\n" << health_table.render();
 
-  // 5. Export: Chrome trace JSON + metrics CSV.
+  // 5. Recovery layer: final state, transition counters, actions taken.
+  auto counter = [&](const char* name) -> std::uint64_t {
+    const telemetry::Counter* c = telemetry.metrics.find_counter(name);
+    return c != nullptr ? c->value() : 0;
+  };
+  TextTable recovery_table{{"recovery signal", "value"}};
+  recovery_table.add_row(
+      {"state", recovery::to_string(supervised.state())});
+  recovery_table.add_row(
+      {"-> SUSPECT", std::to_string(counter("recovery.to_suspect"))});
+  recovery_table.add_row(
+      {"-> DIVERGED", std::to_string(counter("recovery.to_diverged"))});
+  recovery_table.add_row(
+      {"-> RECOVERING", std::to_string(counter("recovery.to_recovering"))});
+  recovery_table.add_row(
+      {"-> HEALTHY", std::to_string(counter("recovery.to_healthy"))});
+  recovery_table.add_row(
+      {"injections", std::to_string(counter("recovery.injections"))});
+  recovery_table.add_row(
+      {"global relocs", std::to_string(counter("recovery.global_relocs"))});
+  recovery_table.add_row(
+      {"blackouts", std::to_string(counter("recovery.blackouts"))});
+  if (const telemetry::Histogram* ttr =
+          telemetry.metrics.find_histogram("recovery.time_to_relocalize_s");
+      ttr != nullptr && ttr->count() > 0) {
+    recovery_table.add_row(
+        {"time to relocalize [s]", TextTable::num(ttr->mean(), 2)});
+  }
+  std::cout << "\nDivergence recovery:\n" << recovery_table.render();
+
+  // 6. Export: Chrome trace JSON + metrics CSV.
   const bool json_ok = telemetry.trace.write_chrome_trace("telemetry_trace.json");
   const bool csv_ok = telemetry.metrics.write_csv("telemetry_metrics.csv");
   std::cout << "\n"

@@ -201,7 +201,8 @@ void ParticleFilter::correct(const LaserScan& scan) {
 
     // Squash and exponentiate relative to the max for numerical stability;
     // fold in the prior weights (uniform after a resample, usually a no-op).
-    const double inv_squash = 1.0 / std::max(config_.squash_factor, 1e-6);
+    const double inv_squash =
+        1.0 / std::max(config_.squash_factor * squash_scale_, 1e-6);
     pool_.parallel_for(n, [&](int /*lane*/, std::size_t begin,
                               std::size_t end) {
       for (std::size_t i = begin; i < end; ++i) {
@@ -311,6 +312,24 @@ void ParticleFilter::set_weights(std::span<const double> weights) {
 }
 
 void ParticleFilter::force_resample() { resample(); }
+
+void ParticleFilter::inject_uniform(double fraction, Rng& rng) {
+  SYNPF_EXPECTS_MSG(std::isfinite(fraction),
+                    "injection fraction must be finite");
+  if (fraction <= 0.0 || recovery_map_ == nullptr) return;
+  const double f = std::min(fraction, 1.0);
+  for (Particle& p : particles_) {
+    if (rng.uniform() < f) p.pose = sample_free_pose(rng);
+  }
+  const double w = 1.0 / static_cast<double>(particles_.size());
+  for (Particle& p : particles_) p.weight = w;
+}
+
+void ParticleFilter::set_squash_scale(double scale) {
+  SYNPF_EXPECTS_MSG(std::isfinite(scale) && scale > 0.0,
+                    "squash scale must be positive and finite");
+  squash_scale_ = scale;
+}
 
 std::size_t ParticleFilter::kld_bound(std::size_t k) const {
   if (k <= 1) return static_cast<std::size_t>(config_.kld_min_particles);

@@ -173,6 +173,24 @@ class ParticleFilter {
   /// Last computed injection probability (diagnostic; 0 while healthy).
   double recovery_injection_prob() const { return injection_prob_; }
 
+  /// Recovery seam (src/recovery): replace each particle, with independent
+  /// probability `fraction`, by a uniform pose over the recovery map's free
+  /// cells, then reset the weights to uniform (the injected particles carry
+  /// no likelihood yet; the next correct() re-scores the whole cloud). All
+  /// draws come from the caller-provided `rng` serially in slot order, so
+  /// the outcome is a pure function of (cloud, fraction, rng state) — never
+  /// of the thread count. Requires set_recovery_map(); `fraction <= 0` is a
+  /// strict no-op (no draw, no weight touch).
+  void inject_uniform(double fraction, Rng& rng);
+
+  /// Recovery seam: temperature multiplier on the likelihood squash for
+  /// subsequent correct() calls (effective squash = squash_factor * scale).
+  /// Values > 1 flatten the posterior further — measurement tempering while
+  /// a supervisor distrusts the scans. 1.0 is the bitwise-exact nominal
+  /// path (x * 1.0 == x for every finite squash factor).
+  void set_squash_scale(double scale);
+  double squash_scale() const { return squash_scale_; }
+
   /// Attach a telemetry sink. With a metrics registry, every correct()
   /// records per-stage latency histograms (pf.predict_ms / pf.raycast_ms /
   /// pf.weight_ms / pf.resample_ms), samples a FilterHealth snapshot into
@@ -249,6 +267,7 @@ class ParticleFilter {
   telemetry::FilterHealth health_{};
 
   std::shared_ptr<const OccupancyGrid> recovery_map_;
+  double squash_scale_{1.0};
   double w_slow_{0.0};
   double w_fast_{0.0};
   double injection_prob_{0.0};

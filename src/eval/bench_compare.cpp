@@ -66,6 +66,17 @@ CompareReport compare_bench(const BenchDocument& baseline,
     }
     ++report.cells_compared;
 
+    // Lost recovery fires even when the candidate crashed (a crash *is* the
+    // failure mode being gated), so it is judged before the crash bail-outs.
+    // Both sides must carry the recovery block — a schema-v1 baseline has
+    // no recovery opinion to regress from.
+    const bool judge_recovery = thresholds.gate_recovery &&
+                                base.has_recovery && cand->has_recovery;
+    if (judge_recovery && base.recovery_success && !cand->recovery_success) {
+      report.failures.push_back({key, "recovery_success", 1.0, 0.0, 1.0});
+      continue;
+    }
+
     if (!thresholds.allow_new_crashes && cand->result.crashed &&
         !base.result.crashed) {
       report.failures.push_back({key, "crashed", 0.0, 1.0, 0.0});
@@ -81,6 +92,14 @@ CompareReport compare_bench(const BenchDocument& baseline,
     check_upper(key, "update_p99_ms", base.result.update_p99_ms,
                 cand->result.update_p99_ms, thresholds.p99_tol_frac,
                 thresholds.p99_slack_ms, report);
+    // Time-to-relocalize binds only where both runs actually recovered from
+    // at least one baseline episode (0/0 episodes means nothing to gate).
+    if (judge_recovery && base.recovery_success && cand->recovery_success &&
+        base.recoveries > 0 && base.time_to_reloc_mean_s > 0.0) {
+      check_upper(key, "time_to_reloc_mean_s", base.time_to_reloc_mean_s,
+                  cand->time_to_reloc_mean_s, thresholds.reloc_tol_frac,
+                  thresholds.reloc_slack_s, report);
+    }
   }
 
   if (thresholds.require_hash_match) {

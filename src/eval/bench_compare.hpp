@@ -1,7 +1,7 @@
 #pragma once
 
 /// \file bench_compare.hpp
-/// \brief The regression gate: diff two `srl.bench_robustness/1` documents
+/// \brief The regression gate: diff two `srl.bench_robustness` documents
 /// against configurable thresholds.
 ///
 /// Comparison semantics (baseline vs candidate):
@@ -13,6 +13,10 @@
 ///    its defaults are tight);
 ///  - a cell that crashes where the baseline did not is a robustness
 ///    regression (switchable for cross-machine smoke runs);
+///  - a cell that recovered from divergence in the baseline but not in the
+///    candidate is a recovery regression, and its mean time-to-relocalize
+///    may not regress past the tolerance (cells parsed from pre-recovery
+///    schema-v1 baselines skip both gates);
 ///  - with `require_hash_match`, every fault-trace fingerprint must match
 ///    bitwise — the determinism gate: same seed, same faults, same bytes.
 ///
@@ -34,6 +38,14 @@ struct CompareThresholds {
   /// update_p99_ms gate: candidate <= baseline * (1 + frac) + slack.
   double p99_tol_frac = 1.0;
   double p99_slack_ms = 2.0;
+  /// time_to_reloc_mean_s gate: candidate <= baseline * (1 + frac) + slack.
+  /// Binds only where both runs recovered and the baseline saw an episode.
+  double reloc_tol_frac = 0.5;
+  double reloc_slack_s = 0.5;
+  /// Gate on lost recovery: baseline recovered, candidate did not (crashing
+  /// counts as not recovering). Off only for schema-v1 baselines or
+  /// explicitly via --no-recovery-gate.
+  bool gate_recovery = true;
   /// Demand bitwise-equal fault-trace fingerprints (same-machine runs).
   bool require_hash_match = false;
   /// Tolerate candidate crashes in cells the baseline survived

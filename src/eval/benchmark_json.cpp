@@ -112,6 +112,25 @@ json::Value bench_to_json(const BenchDocument& doc) {
     c.set("stage_p99_ms", json::Value::number(cell.stage_p99_ms));
     c.set("crashed", json::Value::boolean(cell.result.crashed));
     c.set("completed", json::Value::boolean(cell.result.completed));
+    // Schema v2: recovery block. `recovery_success` doubles as the
+    // presence marker the reader keys `has_recovery` on.
+    c.set("recovery_success", json::Value::boolean(cell.recovery_success));
+    c.set("kidnaps", json::Value::number(static_cast<double>(cell.kidnaps)));
+    c.set("divergence_episodes",
+          json::Value::number(static_cast<double>(cell.divergence_episodes)));
+    c.set("recoveries",
+          json::Value::number(static_cast<double>(cell.recoveries)));
+    c.set("time_to_reloc_mean_s",
+          json::Value::number(cell.time_to_reloc_mean_s));
+    c.set("time_to_reloc_max_s", json::Value::number(cell.time_to_reloc_max_s));
+    c.set("post_divergence_lateral_cm",
+          json::Value::number(cell.post_divergence_lateral_cm));
+    c.set("reinjections",
+          json::Value::number(static_cast<double>(cell.reinjections)));
+    c.set("global_relocs",
+          json::Value::number(static_cast<double>(cell.global_relocs)));
+    c.set("recovery_transitions",
+          json::Value::number(static_cast<double>(cell.recovery_transitions)));
     cells.push_back(std::move(c));
   }
   root.set("cells", std::move(cells));
@@ -146,7 +165,10 @@ bool write_bench_json(const std::string& path, const BenchDocument& doc) {
 
 std::optional<BenchDocument> bench_from_json(const json::Value& root) {
   if (!root.is_object()) return std::nullopt;
-  if (str(root, "schema") != kBenchRobustnessSchema) return std::nullopt;
+  const std::string schema = str(root, "schema");
+  if (schema != kBenchRobustnessSchema && schema != kBenchRobustnessSchemaV1) {
+    return std::nullopt;
+  }
 
   BenchDocument doc;
   if (const json::Value* p = root.find("provenance");
@@ -207,6 +229,24 @@ std::optional<BenchDocument> bench_from_json(const json::Value& root) {
     cell.stage_p99_ms = num(c, "stage_p99_ms");
     cell.result.crashed = flag(c, "crashed");
     cell.result.completed = flag(c, "completed");
+    // v1 documents have no recovery block: leave has_recovery false so the
+    // compare gates know not to judge recovery against this baseline.
+    cell.has_recovery = c.find("recovery_success") != nullptr;
+    if (cell.has_recovery) {
+      cell.recovery_success = flag(c, "recovery_success");
+      cell.kidnaps = static_cast<int>(num(c, "kidnaps"));
+      cell.divergence_episodes =
+          static_cast<int>(num(c, "divergence_episodes"));
+      cell.recoveries = static_cast<int>(num(c, "recoveries"));
+      cell.time_to_reloc_mean_s = num(c, "time_to_reloc_mean_s");
+      cell.time_to_reloc_max_s = num(c, "time_to_reloc_max_s");
+      cell.post_divergence_lateral_cm = num(c, "post_divergence_lateral_cm");
+      cell.reinjections = static_cast<std::uint64_t>(num(c, "reinjections"));
+      cell.global_relocs =
+          static_cast<std::uint64_t>(num(c, "global_relocs"));
+      cell.recovery_transitions =
+          static_cast<std::uint64_t>(num(c, "recovery_transitions"));
+    }
     doc.cells.push_back(std::move(cell));
   }
 

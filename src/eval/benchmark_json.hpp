@@ -31,7 +31,13 @@
 
 namespace srl {
 
-inline constexpr const char* kBenchRobustnessSchema = "srl.bench_robustness/1";
+/// Current schema: v2 added the per-cell recovery block (recovery_success,
+/// divergence episodes, time-to-relocalize). The reader also accepts v1
+/// documents — their cells simply carry `has_recovery == false`, and the
+/// compare gates skip recovery checks for them.
+inline constexpr const char* kBenchRobustnessSchema = "srl.bench_robustness/2";
+inline constexpr const char* kBenchRobustnessSchemaV1 =
+    "srl.bench_robustness/1";
 
 /// Where the numbers came from — enough to explain a regression without
 /// reproducing it. Everything here is informational except `seed` and

@@ -59,6 +59,8 @@ ExperimentResult ExperimentRunner::run(Localizer& localizer,
 
   RunningStats lap_lateral_cm;      // current lap
   RunningStats alignment_percent;   // all timed-lap scans
+  RunningStats post_div_lateral_cm;
+  RunningStats post_rec_lateral_cm;
   RunningStats slip_abs;
   RunningStats odom_drift_per_lap;
   double pose_err_sq_sum = 0.0;
@@ -70,6 +72,15 @@ ExperimentResult ExperimentRunner::run(Localizer& localizer,
   double true_dist = 0.0;
   double lap_odom_dist = 0.0;
   double lap_true_dist = 0.0;
+
+  // Divergence-episode hysteresis on the true-pose estimate error.
+  std::size_t kidnap_idx = 0;
+  bool episode_open = false;
+  int over_run = 0;
+  int under_run = 0;
+  double episode_open_t = 0.0;
+  double first_divergence_t = -1.0;
+  double last_recovery_t = -1.0;
 
   const int want_laps = std::max(config_.laps, 1);
   while (t < config_.max_sim_time &&
@@ -85,6 +96,25 @@ ExperimentResult ExperimentRunner::run(Localizer& localizer,
         static_cast<float>(config_.crash_wall_distance)) {
       result.crashed = true;
       break;
+    }
+
+    // Scripted kidnap: teleport the *true* vehicle (at rest) along the race
+    // line; the localizer only ever learns through its sensors.
+    if (kidnap_idx < config_.kidnaps.size() &&
+        t >= config_.kidnaps[kidnap_idx].t) {
+      const ExperimentConfig::KidnapSpec& k = config_.kidnaps[kidnap_idx];
+      const Raceline::Projection cur =
+          raceline_.project({state.pose.x, state.pose.y});
+      const double s1 =
+          raceline_.wrap(cur.s + k.advance_frac * raceline_.length());
+      const Vec2 p = raceline_.position(s1);
+      const double h = raceline_.heading(s1);
+      const Vec2 normal{-std::sin(h), std::cos(h)};
+      vehicle.reset(Pose2{p.x + normal.x * k.lateral_m,
+                          p.y + normal.y * k.lateral_m,
+                          normalize_angle(h + k.yaw)});
+      ++kidnap_idx;
+      ++result.kidnaps_applied;
     }
 
     if (t >= next_odom) {
@@ -103,6 +133,40 @@ ExperimentResult ExperimentRunner::run(Localizer& localizer,
       Stopwatch update_watch;
       const Pose2 est = localizer.on_scan(scan);
       update_ms.record(update_watch.elapsed_ms());
+
+      // Episode hysteresis: open after `dwell` scans over the open
+      // threshold, close after `dwell` scans under the close threshold.
+      const double est_err =
+          std::hypot(est.x - state.pose.x, est.y - state.pose.y);
+      result.final_pose_error_m = est_err;
+      if (!episode_open) {
+        if (est_err > config_.divergence_open_m) {
+          if (over_run == 0) episode_open_t = t;
+          ++over_run;
+          if (over_run >= config_.divergence_dwell) {
+            episode_open = true;
+            under_run = 0;
+            ++result.divergence_episodes;
+            if (first_divergence_t < 0.0) first_divergence_t = t;
+          }
+        } else {
+          over_run = 0;
+        }
+      } else {
+        if (est_err < config_.divergence_close_m) {
+          ++under_run;
+          if (under_run >= config_.divergence_dwell) {
+            episode_open = false;
+            over_run = 0;
+            ++result.recoveries;
+            result.time_to_relocalize_s.push_back(t - episode_open_t);
+            last_recovery_t = t;
+          }
+        } else {
+          under_run = 0;
+        }
+      }
+
       if (timer.armed()) {
         alignment_percent.add(alignment_.score(scan, config_.lidar, est));
       }
@@ -138,6 +202,14 @@ ExperimentResult ExperimentRunner::run(Localizer& localizer,
           raceline_.project({state.pose.x, state.pose.y});
       if (timer.armed()) {
         lap_lateral_cm.add(std::abs(proj.lateral) * 100.0);
+      }
+      if (first_divergence_t >= 0.0) {
+        post_div_lateral_cm.add(std::abs(proj.lateral) * 100.0);
+        if (!episode_open && last_recovery_t >= 0.0 &&
+            result.recoveries == result.divergence_episodes &&
+            t >= last_recovery_t + config_.recovery_settle_s) {
+          post_rec_lateral_cm.add(std::abs(proj.lateral) * 100.0);
+        }
       }
       const bool was_armed = timer.armed();
       if (timer.update(proj.s, t)) {
@@ -181,6 +253,15 @@ ExperimentResult ExperimentRunner::run(Localizer& localizer,
   }
   result.mean_abs_slip = slip_abs.mean();
   result.odom_drift_m_per_lap = odom_drift_per_lap.mean();
+  result.time_to_relocalize_mean_s = mean(result.time_to_relocalize_s);
+  for (const double ttr : result.time_to_relocalize_s) {
+    result.time_to_relocalize_max_s =
+        std::max(result.time_to_relocalize_max_s, ttr);
+  }
+  result.post_divergence_lateral_cm = post_div_lateral_cm.mean();
+  result.post_recovery_lateral_cm = post_rec_lateral_cm.mean();
+  result.recovered =
+      !result.crashed && result.recoveries == result.divergence_episodes;
   return result;
 }
 

@@ -40,6 +40,27 @@ struct ExperimentConfig {
   /// timed laps. Applies identically to every localizer under test.
   double launch_ramp_s = 3.0;
   std::uint64_t seed = 1234;
+  /// Scripted kidnaps: at `t` the *true* vehicle is teleported (at rest) to
+  /// the race line point `advance_frac` of a lap ahead of its current arc
+  /// position, offset `lateral_m` along the local normal and `yaw` in
+  /// heading. The localizer is NOT told — recovering is its problem.
+  struct KidnapSpec {
+    double t{0.0};
+    double advance_frac{0.5};
+    double lateral_m{0.0};
+    double yaw{0.0};
+  };
+  std::vector<KidnapSpec> kidnaps{};
+  /// Divergence-episode bookkeeping on the true-pose estimate error:
+  /// an episode opens after `divergence_dwell` consecutive scans with
+  /// error > `divergence_open_m` and closes after the same dwell below
+  /// `divergence_close_m` (hysteresis so the boundary cannot chatter).
+  double divergence_open_m = 1.0;
+  double divergence_close_m = 0.5;
+  int divergence_dwell = 2;
+  /// Settling time after an episode closes before lateral samples count as
+  /// "post-recovery" (the controller needs a moment to rejoin the line).
+  double recovery_settle_s = 1.0;
   VehicleParams vehicle{};   ///< mu is overridden by `mu`
   LidarConfig lidar{};
   LidarNoise lidar_noise{};
@@ -78,6 +99,24 @@ struct ExperimentResult {
   bool crashed{false};
   double sim_time{0.0};
   bool completed{false};  ///< all requested laps finished without crash
+
+  // Divergence/recovery bookkeeping (kidnap & blackout scenarios).
+  int kidnaps_applied{0};
+  int divergence_episodes{0};  ///< episodes opened (error hysteresis)
+  int recoveries{0};           ///< episodes closed again
+  std::vector<double> time_to_relocalize_s;  ///< per closed episode
+  double time_to_relocalize_mean_s{0.0};
+  double time_to_relocalize_max_s{0.0};
+  /// Mean |lateral| over control ticks after the first episode opened
+  /// (what the divergence cost, recovered or not).
+  double post_divergence_lateral_cm{0.0};
+  /// Mean |lateral| over control ticks once every episode has closed and
+  /// `recovery_settle_s` has passed (how clean the recovered line is).
+  double post_recovery_lateral_cm{0.0};
+  double final_pose_error_m{0.0};  ///< estimate error at the last scan
+  /// No crash and every divergence episode closed (vacuously true when no
+  /// episode ever opened).
+  bool recovered{true};
 };
 
 class ExperimentRunner {

@@ -7,6 +7,7 @@
 #include "common/parallel.hpp"
 #include "core/synpf.hpp"
 #include "fault/faulted_localizer.hpp"
+#include "recovery/supervised_localizer.hpp"
 #include "slam/pure_localization.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -20,6 +21,20 @@ ScenarioMatrix::ScenarioMatrix(ScenarioMatrixConfig config)
     : config_{std::move(config)} {}
 
 namespace {
+
+constexpr const char* kRecoverySuffix = "+Recovery";
+
+bool wants_recovery(const std::string& kind) {
+  const std::string suffix{kRecoverySuffix};
+  return kind.size() > suffix.size() &&
+         kind.compare(kind.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string base_kind(const std::string& kind) {
+  return wants_recovery(kind)
+             ? kind.substr(0, kind.size() - std::string{kRecoverySuffix}.size())
+             : kind;
+}
 
 std::unique_ptr<Localizer> make_localizer(
     const std::string& kind, const std::shared_ptr<const OccupancyGrid>& map,
@@ -79,20 +94,61 @@ std::vector<ScenarioCell> ScenarioMatrix::run(const Track& track) const {
       experiment.seed = config_.seed;
 
       fault::FaultPipeline pipeline{config_.fault_seed, experiment.lidar};
-      if (cell.scenario.fault != "none" || cell.scenario.severity != 0.0) {
+      if (cell.scenario.fault == "kidnap") {
+        // Pseudo-fault: no sensor corruption — the true vehicle teleports.
+        ExperimentConfig::KidnapSpec kidnap;
+        kidnap.t = config_.kidnap_time;
+        kidnap.advance_frac = config_.kidnap_advance * cell.scenario.severity;
+        experiment.kidnaps.push_back(kidnap);
+        // Run the clock out instead of stopping at the lap budget, so the
+        // post-kidnap recovery (or failure to recover) is fully observed.
+        experiment.laps = 1000000;
+      } else if (cell.scenario.fault != "none" ||
+                 cell.scenario.severity != 0.0) {
         pipeline.add(cell.scenario.fault, cell.scenario.severity);
       }
 
       std::unique_ptr<Localizer> localizer =
-          make_localizer(cell.localizer, map, experiment.lidar, config_);
+          make_localizer(base_kind(cell.localizer), map, experiment.lidar,
+                         config_);
       if (localizer == nullptr) continue;  // unknown kind: zeroed cell
       fault::FaultedLocalizer faulted{*localizer, pipeline};
 
+      // Canonical composition: supervise *outside* the faults, so sensor
+      // corruption reaches the filter upstream of divergence detection.
+      std::unique_ptr<recovery::SupervisedLocalizer> supervised;
+      Localizer* subject = &faulted;
+      if (wants_recovery(cell.localizer)) {
+        recovery::SupervisedLocalizerConfig scfg;
+        supervised = std::make_unique<recovery::SupervisedLocalizer>(
+            faulted, scfg, map, experiment.lidar);
+        if (auto* synpf = dynamic_cast<SynPf*>(localizer.get())) {
+          supervised->bind_filter(&synpf->filter());
+        }
+        subject = supervised.get();
+      }
+
       telemetry::Telemetry telemetry;
       ExperimentRunner runner{track, experiment};
-      cell.result = runner.run(faulted, nullptr, telemetry.sink());
+      cell.result = runner.run(*subject, nullptr, telemetry.sink());
+
+      cell.has_recovery = true;
+      cell.recovery_success = cell.result.recovered;
+      cell.kidnaps = cell.result.kidnaps_applied;
+      cell.divergence_episodes = cell.result.divergence_episodes;
+      cell.recoveries = cell.result.recoveries;
+      cell.time_to_reloc_mean_s = cell.result.time_to_relocalize_mean_s;
+      cell.time_to_reloc_max_s = cell.result.time_to_relocalize_max_s;
+      cell.post_divergence_lateral_cm =
+          cell.result.post_divergence_lateral_cm;
 
       const telemetry::MetricsRegistry& m = telemetry.metrics;
+      cell.reinjections = counter_value(m, "recovery.injections");
+      cell.global_relocs = counter_value(m, "recovery.global_relocs");
+      cell.recovery_transitions = counter_value(m, "recovery.to_suspect") +
+                                  counter_value(m, "recovery.to_diverged") +
+                                  counter_value(m, "recovery.to_recovering") +
+                                  counter_value(m, "recovery.to_healthy");
       cell.ess_fraction_p50 = hist_quantile(m, "pf.ess_fraction_dist", 0.50);
       const telemetry::Histogram* ess = m.find_histogram("pf.ess_fraction_dist");
       cell.ess_fraction_min = ess != nullptr ? ess->min() : 0.0;
@@ -110,9 +166,11 @@ std::vector<ScenarioCell> ScenarioMatrix::run(const Track& track) const {
 
 ScenarioMatrixConfig ScenarioMatrix::smoke_config() {
   ScenarioMatrixConfig config;
+  config.localizers = {"SynPF", "CartoLite", "SynPF+Recovery"};
   config.scenarios = {
       {"none", 0.0},          {"odom_slip_ramp", 0.5}, {"odom_slip_ramp", 1.0},
-      {"lidar_dropout", 0.5}, {"lidar_dropout", 1.0},
+      {"lidar_dropout", 0.5}, {"lidar_dropout", 1.0},  {"kidnap", 1.0},
+      {"blackout", 1.0},
   };
   config.experiment.laps = 1;
   config.experiment.max_sim_time = 60.0;
@@ -122,6 +180,7 @@ ScenarioMatrixConfig ScenarioMatrix::smoke_config() {
 
 ScenarioMatrixConfig ScenarioMatrix::full_config() {
   ScenarioMatrixConfig config;
+  config.localizers = {"SynPF", "CartoLite", "SynPF+Recovery"};
   config.scenarios.push_back({"none", 0.0});
   for (const char* fault :
        {"odom_slip_ramp", "odom_yaw_bias", "lidar_dropout", "lidar_noise",
@@ -130,6 +189,8 @@ ScenarioMatrixConfig ScenarioMatrix::full_config() {
       config.scenarios.push_back({fault, severity});
     }
   }
+  config.scenarios.push_back({"kidnap", 0.5});
+  config.scenarios.push_back({"kidnap", 1.0});
   config.experiment.laps = 2;
   return config;
 }

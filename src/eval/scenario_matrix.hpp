@@ -39,8 +39,17 @@ struct ScenarioSpec {
 };
 
 struct ScenarioMatrixConfig {
-  /// Localizer kinds the grid compares; understood: "SynPF", "CartoLite".
+  /// Localizer kinds the grid compares; understood: "SynPF", "CartoLite",
+  /// and "SynPF+Recovery" (SynPF wrapped in a SupervisedLocalizer with the
+  /// default detector/policy stack, canonical supervised-outside-faulted
+  /// composition).
   std::vector<std::string> localizers{"SynPF", "CartoLite"};
+  /// Scenarios. Besides the fault-factory names (fault/injector.hpp) the
+  /// matrix understands the pseudo-fault "kidnap": no pipeline stage; the
+  /// *true* vehicle is teleported at `kidnap_time` by
+  /// `kidnap_advance * severity` of a lap (eval/experiment.hpp kidnaps).
+  /// Kidnap cells run until `max_sim_time` instead of the lap budget so the
+  /// recovery has room to play out.
   std::vector<ScenarioSpec> scenarios{};
   /// Closed-loop experiment template; mu/laps stay as configured here, the
   /// seed below overrides its seed so the whole matrix shares one.
@@ -55,6 +64,9 @@ struct ScenarioMatrixConfig {
   /// saturates cores cell-wise, and nested pools oversubscribe.
   int cell_threads = 1;
   int n_particles = 1200;
+  /// Kidnap pseudo-fault parameters (see `scenarios`).
+  double kidnap_time = 12.0;
+  double kidnap_advance = 0.25;  ///< lap fraction teleported at severity 1
 };
 
 /// One scored cell. `result` carries the paper metrics; the health block is
@@ -71,6 +83,20 @@ struct ScenarioCell {
   // -- per-stage latency (PF cells; CartoLite reports its own stages) --
   double stage_p50_ms{0.0};  ///< dominant stage (raycast / local match) p50
   double stage_p99_ms{0.0};
+  // -- divergence/recovery (experiment episode bookkeeping + recovery
+  //    telemetry; `has_recovery` is false only for cells parsed from a
+  //    pre-recovery schema-v1 document) --
+  bool has_recovery{false};
+  bool recovery_success{true};  ///< no crash, every episode closed
+  int kidnaps{0};
+  int divergence_episodes{0};
+  int recoveries{0};
+  double time_to_reloc_mean_s{0.0};
+  double time_to_reloc_max_s{0.0};
+  double post_divergence_lateral_cm{0.0};
+  std::uint64_t reinjections{0};       ///< recovery.injections counter
+  std::uint64_t global_relocs{0};      ///< recovery.global_relocs counter
+  std::uint64_t recovery_transitions{0};  ///< detector state transitions
 };
 
 class ScenarioMatrix {

@@ -12,9 +12,14 @@
 /// of the fault — the paper's robustness experiment, generalized from grip
 /// alone to the whole fault taxonomy.
 ///
-/// Event bookkeeping: odometry and scan indices count from `initialize`,
-/// and event time is seconds since the first event (odometry time is the
-/// accumulated sum of increment dts; scans use their own timestamps). An
+/// Event bookkeeping: odometry and scan indices count from construction
+/// (or an explicit `reset_stream()`), and event time is seconds since the
+/// first event (odometry time is the accumulated sum of increment dts;
+/// scans use their own timestamps). `initialize` deliberately does NOT
+/// rewind the stream: it sets the pose belief, and a supervision layer
+/// (recovery/supervised_localizer.hpp) may call it mid-run to relocalize a
+/// lost filter — faults are scheduled on the scenario clock, so a recovery
+/// action must not replay a blackout window or restart a slip ramp. An
 /// empty pipeline makes the wrapper a bitwise pass-through.
 
 #include <string>
@@ -31,6 +36,9 @@ class FaultedLocalizer final : public Localizer {
       : inner_{inner}, pipeline_{pipeline} {}
 
   void initialize(const Pose2& pose) override;
+  /// Rewind event indices, the stream clock, and the pipeline's timestamp
+  /// clamp, to replay a fresh stream through the same wrapper.
+  void reset_stream();
   void on_odometry(const OdometryDelta& odom) override;
   Pose2 on_scan(const LaserScan& scan) override;
   Pose2 pose() const override { return inner_.pose(); }

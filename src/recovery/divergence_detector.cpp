@@ -1,0 +1,152 @@
+#include "recovery/divergence_detector.hpp"
+
+namespace srl::recovery {
+
+const char* to_string(HealthState state) {
+  switch (state) {
+    case HealthState::kHealthy:
+      return "HEALTHY";
+    case HealthState::kSuspect:
+      return "SUSPECT";
+    case HealthState::kDiverged:
+      return "DIVERGED";
+    case HealthState::kRecovering:
+      return "RECOVERING";
+  }
+  return "?";
+}
+
+int DivergenceDetector::tripped_signals() const {
+  return static_cast<int>(ess_tripped_) + static_cast<int>(align_tripped_) +
+         static_cast<int>(jump_tripped_) + static_cast<int>(disagree_tripped_);
+}
+
+void DivergenceDetector::transition(HealthState next) {
+  if (next == state_) return;
+  state_ = next;
+  suspect_run_ = 0;
+  diverged_run_ = 0;
+  clean_run_ = 0;
+  switch (next) {
+    case HealthState::kSuspect:
+      ++transitions_.to_suspect;
+      break;
+    case HealthState::kDiverged:
+      ++transitions_.to_diverged;
+      break;
+    case HealthState::kRecovering:
+      ++transitions_.to_recovering;
+      break;
+    case HealthState::kHealthy:
+      ++transitions_.to_healthy;
+      break;
+  }
+}
+
+void DivergenceDetector::note_recovery_action() {
+  // The action invalidates the latches: a relocalization is itself a pose
+  // jump, and the alignment/ESS evidence predates the new hypothesis.
+  ess_tripped_ = align_tripped_ = jump_tripped_ = disagree_tripped_ = false;
+  cooldown_ = config_.recovering_cooldown;
+  transition(HealthState::kRecovering);
+}
+
+void DivergenceDetector::reset() {
+  const DivergenceDetectorConfig config = config_;
+  *this = DivergenceDetector{config};
+}
+
+HealthState DivergenceDetector::update(const DetectorInputs& inputs) {
+  if (inputs.blackout) return state_;  // no evidence, no judgement
+
+  // Per-signal hysteresis latches. A negative input leaves its latch alone.
+  auto latch_low = [](double value, double trip, double clear, bool& tripped) {
+    if (value < 0.0) return;
+    if (value < trip) tripped = true;
+    if (value > clear) tripped = false;
+  };
+  auto latch_high = [](double value, double trip, double clear, bool& tripped) {
+    if (value < 0.0) return;
+    if (value > trip) tripped = true;
+    if (value < clear) tripped = false;
+  };
+  latch_low(inputs.ess_fraction, config_.ess_trip, config_.ess_clear,
+            ess_tripped_);
+  latch_low(inputs.scan_alignment, config_.align_trip, config_.align_clear,
+            align_tripped_);
+  // Right after a recovery action the estimate is *supposed* to jump; the
+  // latches were cleared by note_recovery_action and the jump signal stays
+  // muted until the cooldown runs out.
+  if (state_ != HealthState::kRecovering || cooldown_ <= 0) {
+    latch_high(inputs.pose_jump_m, config_.jump_trip_m, config_.jump_clear_m,
+               jump_tripped_);
+  }
+  latch_high(inputs.odom_disagreement_m, config_.disagree_trip_m,
+             config_.disagree_clear_m, disagree_tripped_);
+
+  const int tripped = tripped_signals();
+  const bool suspicious = tripped > 0;
+  const bool fast = tripped >= config_.multi_signal_fast_path;
+
+  switch (state_) {
+    case HealthState::kHealthy:
+      if (suspicious) {
+        ++suspect_run_;
+        if (fast || suspect_run_ >= config_.suspect_dwell) {
+          transition(HealthState::kSuspect);
+        }
+      } else {
+        suspect_run_ = 0;
+      }
+      break;
+
+    case HealthState::kSuspect:
+      if (suspicious) {
+        clean_run_ = 0;
+        // Several independent witnesses accumulate dwell twice as fast.
+        diverged_run_ += fast ? 2 : 1;
+        if (diverged_run_ >= config_.diverged_dwell) {
+          transition(HealthState::kDiverged);
+        }
+      } else {
+        diverged_run_ = 0;
+        ++clean_run_;
+        if (clean_run_ >= config_.healthy_dwell) {
+          transition(HealthState::kHealthy);
+        }
+      }
+      break;
+
+    case HealthState::kDiverged:
+      // Waiting for the supervisor (note_recovery_action). The signals may
+      // also clear on their own — the filter's built-in machinery recovered.
+      if (!suspicious) {
+        ++clean_run_;
+        if (clean_run_ >= config_.healthy_dwell) {
+          transition(HealthState::kHealthy);
+        }
+      } else {
+        clean_run_ = 0;
+      }
+      break;
+
+    case HealthState::kRecovering:
+      if (cooldown_ > 0) --cooldown_;
+      if (!suspicious) {
+        ++clean_run_;
+        if (clean_run_ >= config_.healthy_dwell) {
+          transition(HealthState::kHealthy);
+        }
+      } else {
+        clean_run_ = 0;
+        if (cooldown_ <= 0) {
+          // The action did not take: relapse so the supervisor escalates.
+          transition(HealthState::kDiverged);
+        }
+      }
+      break;
+  }
+  return state_;
+}
+
+}  // namespace srl::recovery

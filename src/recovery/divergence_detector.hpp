@@ -1,0 +1,147 @@
+#pragma once
+
+/// \file divergence_detector.hpp
+/// \brief Online divergence detection: per-signal hysteresis fused into a
+/// debounced health state machine.
+///
+/// The detector consumes the filter-health signals the telemetry layer
+/// already computes — ESS fraction, scan-alignment score, pose-jump
+/// magnitude, odometry/estimate disagreement — and turns them into one
+/// discrete judgement:
+///
+///     HEALTHY ──suspect_dwell──► SUSPECT ──diverged_dwell──► DIVERGED
+///        ▲                          │                           │
+///        │◄──────healthy_dwell──────┘      note_recovery_action │
+///        │                                                      ▼
+///        └────────────healthy_dwell───────────────── RECOVERING
+///                                  (cooldown elapsed + still bad ► DIVERGED)
+///
+/// Each signal has its own trip/clear hysteresis pair (a tripped signal
+/// stays tripped until it crosses the *clear* threshold, so a value jittering
+/// around one threshold cannot flap the latch). The state machine debounces
+/// on top: transitions require `*_dwell` consecutive qualifying updates, and
+/// tripping several independent signals at once takes the fast path. While a
+/// recovery action settles (`RECOVERING`) the detector grants a cooldown
+/// before re-judging; if the signals are still bad afterwards it relapses to
+/// `DIVERGED`, telling the supervisor to escalate.
+///
+/// The detector is a pure observer — no RNG, no filter access — so running
+/// it (or not) can never perturb an estimate.
+
+#include <cstdint>
+
+namespace srl::recovery {
+
+enum class HealthState : int {
+  kHealthy = 0,
+  kSuspect = 1,
+  kDiverged = 2,
+  kRecovering = 3,
+};
+
+const char* to_string(HealthState state);
+
+/// One update's evidence. Signals are optional: a negative value means "not
+/// available this update" and leaves that signal's latch untouched.
+struct DetectorInputs {
+  /// ESS / particle count, in [0, 1] (particle-filter cells only).
+  double ess_fraction{-1.0};
+  /// Fraction of probed beams whose measured range matches the expected
+  /// range at the estimate, in [0, 1] (recovery_policy.hpp AlignmentProbe).
+  double scan_alignment{-1.0};
+  /// Distance between the odometry-propagated prior and the corrected
+  /// estimate of this update, m.
+  double pose_jump_m{-1.0};
+  /// | |odometry delta| - |estimate delta| | over the last scan interval, m.
+  double odom_disagreement_m{-1.0};
+  /// Full sensor blackout: judgement is suspended (state held) because
+  /// exteroceptive evidence is absent, not bad.
+  bool blackout{false};
+};
+
+struct DivergenceDetectorConfig {
+  // Per-signal hysteresis: trip when worse than `*_trip`, clear only when
+  // better than `*_clear` (trip < clear for low-is-bad signals, trip >
+  // clear for high-is-bad ones).
+  double ess_trip = 0.02;
+  double ess_clear = 0.10;
+  /// Alignment calibration (test_track, 0.15 m probe tolerance): a healthy
+  /// estimate never scores below ~0.92 over whole laps, while a kidnapped
+  /// one aliases into 0.4-0.85 (the corridor cross-section repeats around
+  /// the track, so even a pose meters wrong keeps most beams in tolerance).
+  /// The trip sits under the healthy band's observed floor, the clear just
+  /// above the aliased band's ceiling — detection latency is what turns a
+  /// kidnap into a wall, so the margin is deliberately thin and the
+  /// verification gate on relocalization absorbs any false trip.
+  double align_trip = 0.85;
+  double align_clear = 0.90;
+  double jump_trip_m = 0.60;
+  double jump_clear_m = 0.20;
+  double disagree_trip_m = 0.40;
+  double disagree_clear_m = 0.15;
+
+  // Debounce dwells, in updates.
+  int suspect_dwell = 2;    ///< suspicious updates before HEALTHY -> SUSPECT
+  int diverged_dwell = 4;   ///< suspicious updates in SUSPECT -> DIVERGED
+  int healthy_dwell = 5;    ///< clean updates before returning to HEALTHY
+  /// Tripping at least this many signals at once doubles the SUSPECT ->
+  /// DIVERGED dwell rate and skips the HEALTHY -> SUSPECT dwell entirely:
+  /// independent witnesses beat debounce caution.
+  int multi_signal_fast_path = 2;
+  /// Updates granted to a recovery action before the detector may relapse
+  /// RECOVERING -> DIVERGED (the filter needs a few corrections to
+  /// re-concentrate on an injected/relocalized hypothesis).
+  int recovering_cooldown = 10;
+};
+
+/// State-transition counters (telemetry: recovery.to_* counters).
+struct TransitionCounts {
+  std::uint64_t to_suspect{0};
+  std::uint64_t to_diverged{0};
+  std::uint64_t to_recovering{0};
+  std::uint64_t to_healthy{0};
+  std::uint64_t total() const {
+    return to_suspect + to_diverged + to_recovering + to_healthy;
+  }
+};
+
+class DivergenceDetector {
+ public:
+  explicit DivergenceDetector(DivergenceDetectorConfig config = {})
+      : config_{config} {}
+
+  /// Fold one update's evidence into the latches and advance the machine.
+  HealthState update(const DetectorInputs& inputs);
+
+  /// The supervisor applied a recovery action: enter RECOVERING with a
+  /// fresh cooldown and clear the signal latches (the action invalidates
+  /// them — a relocalization *is* a pose jump).
+  void note_recovery_action();
+
+  void reset();
+
+  HealthState state() const { return state_; }
+  /// Number of currently tripped signal latches.
+  int tripped_signals() const;
+  const TransitionCounts& transitions() const { return transitions_; }
+  const DivergenceDetectorConfig& config() const { return config_; }
+
+ private:
+  void transition(HealthState next);
+
+  DivergenceDetectorConfig config_;
+  HealthState state_{HealthState::kHealthy};
+  TransitionCounts transitions_{};
+
+  bool ess_tripped_{false};
+  bool align_tripped_{false};
+  bool jump_tripped_{false};
+  bool disagree_tripped_{false};
+
+  int suspect_run_{0};   ///< consecutive suspicious updates while HEALTHY
+  int diverged_run_{0};  ///< dwell accumulator while SUSPECT
+  int clean_run_{0};     ///< consecutive clean updates
+  int cooldown_{0};      ///< remaining RECOVERING grace updates
+};
+
+}  // namespace srl::recovery

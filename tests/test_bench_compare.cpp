@@ -47,6 +47,20 @@ BenchDocument make_doc() {
   doc.cells.push_back(cell("CartoLite", "none", 0.0, 8.0, 9.0, false));
   doc.cells.push_back(cell("CartoLite", "odom_slip_ramp", 1.0, 0.0, 9.0, true));
 
+  ScenarioCell kidnap = cell("SynPF+Recovery", "kidnap", 1.0, 5.2, 6.8, false);
+  kidnap.has_recovery = true;
+  kidnap.recovery_success = true;
+  kidnap.kidnaps = 1;
+  kidnap.divergence_episodes = 1;
+  kidnap.recoveries = 1;
+  kidnap.time_to_reloc_mean_s = 0.4;
+  kidnap.time_to_reloc_max_s = 0.4;
+  kidnap.post_divergence_lateral_cm = 5.0;
+  kidnap.reinjections = 1;
+  kidnap.global_relocs = 1;
+  kidnap.recovery_transitions = 4;
+  doc.cells.push_back(kidnap);
+
   doc.has_headline = true;
   doc.headline.fault = "odom_slip_ramp";
   doc.headline.severity = 1.0;
@@ -72,13 +86,72 @@ TEST(BenchJson, RoundTripsThroughDisk) {
   EXPECT_TRUE(back->provenance.fast_mode);
   ASSERT_EQ(back->fault_traces.size(), 1u);
   EXPECT_EQ(back->fault_traces[0].trace_hash, 0xfeedfacecafebeefULL);
-  ASSERT_EQ(back->cells.size(), 4u);
+  ASSERT_EQ(back->cells.size(), 5u);
   EXPECT_DOUBLE_EQ(back->cells[1].result.lateral_mean_cm, 5.0);
   EXPECT_TRUE(back->cells[3].result.crashed);
+  // The v2 writer emits the recovery block for every cell, so read-back
+  // always carries an opinion (the in-memory default is "no opinion").
+  EXPECT_TRUE(back->cells[1].has_recovery);
+  EXPECT_TRUE(back->cells[4].has_recovery);
+  EXPECT_TRUE(back->cells[4].recovery_success);
+  EXPECT_EQ(back->cells[4].kidnaps, 1);
+  EXPECT_EQ(back->cells[4].recoveries, 1);
+  EXPECT_DOUBLE_EQ(back->cells[4].time_to_reloc_mean_s, 0.4);
+  EXPECT_EQ(back->cells[4].global_relocs, 1u);
   ASSERT_TRUE(back->has_headline);
   EXPECT_TRUE(back->headline.carto_crashed);
   EXPECT_TRUE(back->headline.synpf_flat());
   std::remove(path.c_str());
+}
+
+TEST(BenchJson, AcceptsSchemaV1WithoutRecoveryBlocks) {
+  // A committed baseline from before the recovery schema bump must still
+  // parse; its cells carry no recovery opinion.
+  json::Value root = bench_to_json(make_doc());
+  root.set("schema", json::Value::string(kBenchRobustnessSchemaV1));
+  const std::optional<BenchDocument> doc = bench_from_json(root);
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_EQ(doc->cells.size(), 5u);
+  // The v2 writer emitted recovery blocks, so has_recovery survives — the
+  // schema string alone must not reject or strip them.
+  EXPECT_TRUE(doc->cells[4].has_recovery);
+}
+
+TEST(BenchJson, CellWithoutRecoveryBlockParsesAsNoOpinion) {
+  json::Value root = bench_to_json(make_doc());
+  const json::Value* cells = root.find("cells");
+  ASSERT_NE(cells, nullptr);
+  ASSERT_EQ(cells->size(), 5u);
+  // Rebuild the cells array with the recovery keys stripped from the
+  // kidnap cell, as a v1 writer would have emitted it.
+  const auto is_recovery_key = [](const std::string& key) {
+    for (const char* k :
+         {"recovery_success", "kidnaps", "divergence_episodes", "recoveries",
+          "time_to_reloc_mean_s", "time_to_reloc_max_s",
+          "post_divergence_lateral_cm", "reinjections", "global_relocs",
+          "recovery_transitions"}) {
+      if (key == k) return true;
+    }
+    return false;
+  };
+  json::Value stripped_cells = json::Value::array();
+  for (std::size_t i = 0; i < cells->size(); ++i) {
+    const json::Value& cell = *cells->at(i);
+    if (i != 4) {
+      stripped_cells.push_back(cell);
+      continue;
+    }
+    json::Value stripped = json::Value::object();
+    for (const auto& [key, value] : cell.members()) {
+      if (!is_recovery_key(key)) stripped.set(key, value);
+    }
+    stripped_cells.push_back(stripped);
+  }
+  root.set("cells", stripped_cells);
+  const std::optional<BenchDocument> doc = bench_from_json(root);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_FALSE(doc->cells[4].has_recovery);
+  EXPECT_TRUE(doc->cells[4].recovery_success);  // default: no regression
 }
 
 TEST(BenchJson, RejectsForeignSchema) {
@@ -98,7 +171,7 @@ TEST(BenchCompare, SelfCompareIsCleanEvenAtZeroTolerance) {
   strict.require_hash_match = true;
   const CompareReport report = compare_bench(doc, doc, strict);
   EXPECT_TRUE(report.ok());
-  EXPECT_EQ(report.cells_compared, 4);
+  EXPECT_EQ(report.cells_compared, 5);
   EXPECT_EQ(report.hashes_compared, 1);
 }
 
@@ -145,6 +218,61 @@ TEST(BenchCompare, NewCrashIsARegressionUnlessAllowed) {
 
   thresholds.allow_new_crashes = true;
   EXPECT_TRUE(compare_bench(baseline, candidate, thresholds).ok());
+}
+
+TEST(BenchCompare, LostRecoveryIsARegression) {
+  const BenchDocument baseline = make_doc();
+  BenchDocument candidate = make_doc();
+  candidate.cells[4].recovery_success = false;
+  const CompareReport report = compare_bench(baseline, candidate, {});
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].cell, "SynPF+Recovery/kidnap@1");
+  EXPECT_EQ(report.failures[0].metric, "recovery_success");
+
+  CompareThresholds off;
+  off.gate_recovery = false;
+  EXPECT_TRUE(compare_bench(baseline, candidate, off).ok());
+}
+
+TEST(BenchCompare, CrashedCandidateAlsoLosesRecovery) {
+  // A crash in a recovery cell is both a crash regression and a lost
+  // recovery: the gate must not be masked by the crash path.
+  const BenchDocument baseline = make_doc();
+  BenchDocument candidate = make_doc();
+  candidate.cells[4].result.crashed = true;
+  candidate.cells[4].recovery_success = false;
+  const CompareReport report = compare_bench(baseline, candidate, {});
+  bool saw_recovery = false;
+  for (const CompareFailure& f : report.failures) {
+    if (f.metric == "recovery_success") saw_recovery = true;
+  }
+  EXPECT_TRUE(saw_recovery);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(BenchCompare, TimeToRelocalizeGateBindsPastTolerance) {
+  const BenchDocument baseline = make_doc();
+  BenchDocument candidate = make_doc();
+  // Limit: 0.4 * (1 + 0.5) + 0.5 = 1.1 s.
+  candidate.cells[4].time_to_reloc_mean_s = 1.0;
+  EXPECT_TRUE(compare_bench(baseline, candidate, {}).ok());
+
+  candidate.cells[4].time_to_reloc_mean_s = 2.0;
+  const CompareReport report = compare_bench(baseline, candidate, {});
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].metric, "time_to_reloc_mean_s");
+  EXPECT_DOUBLE_EQ(report.failures[0].limit, 1.1);
+}
+
+TEST(BenchCompare, SchemaV1BaselineSkipsRecoveryGates) {
+  // A baseline parsed from a pre-recovery document carries no recovery
+  // block; the candidate's recovery state cannot "regress" from it.
+  BenchDocument baseline = make_doc();
+  baseline.cells[4].has_recovery = false;
+  BenchDocument candidate = make_doc();
+  candidate.cells[4].recovery_success = false;
+  candidate.cells[4].time_to_reloc_mean_s = 99.0;
+  EXPECT_TRUE(compare_bench(baseline, candidate, {}).ok());
 }
 
 TEST(BenchCompare, HashMismatchFailsOnlyWhenRequired) {

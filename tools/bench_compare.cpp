@@ -16,6 +16,9 @@
 ///       [--lat-slack-cm <cm>]     lateral mu absolute slack     (1.0)
 ///       [--p99-tol <frac>]        latency p99 relative tolerance (1.0)
 ///       [--p99-slack-ms <ms>]     latency p99 absolute slack     (2.0)
+///       [--reloc-tol <frac>]      time-to-relocalize relative tol (0.5)
+///       [--reloc-slack-s <s>]     time-to-relocalize absolute slack (0.5)
+///       [--no-recovery-gate]      skip recovery-success / reloc gates
 ///       [--hash require|ignore]   fault-trace fingerprint gate (ignore)
 ///       [--allow-new-crashes]     tolerate crashes the baseline survived
 
@@ -35,6 +38,8 @@ int usage(const char* argv0) {
                "usage: %s <baseline.json> <candidate.json>\n"
                "  [--lat-tol <frac>] [--lat-slack-cm <cm>]\n"
                "  [--p99-tol <frac>] [--p99-slack-ms <ms>]\n"
+               "  [--reloc-tol <frac>] [--reloc-slack-s <s>]\n"
+               "  [--no-recovery-gate]\n"
                "  [--hash require|ignore] [--allow-new-crashes]\n",
                argv0);
   return 2;
@@ -76,6 +81,16 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr || !parse_double(v, thresholds.p99_slack_ms))
         return usage(argv[0]);
+    } else if (std::strcmp(arg, "--reloc-tol") == 0) {
+      const char* v = next();
+      if (v == nullptr || !parse_double(v, thresholds.reloc_tol_frac))
+        return usage(argv[0]);
+    } else if (std::strcmp(arg, "--reloc-slack-s") == 0) {
+      const char* v = next();
+      if (v == nullptr || !parse_double(v, thresholds.reloc_slack_s))
+        return usage(argv[0]);
+    } else if (std::strcmp(arg, "--no-recovery-gate") == 0) {
+      thresholds.gate_recovery = false;
     } else if (std::strcmp(arg, "--hash") == 0) {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);

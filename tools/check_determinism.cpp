@@ -17,6 +17,11 @@
 ///      pipeline is a bitwise no-op, and replaying the corrupted trace is
 ///      thread-count invariant (the PR-4 guarantee: fault injection is as
 ///      deterministic as everything it corrupts),
+///   6. through a mid-run kidnap with the supervised recovery layer on top:
+///      detection + recovery replay bitwise across reruns and worker-lane
+///      counts, and a policies-off supervisor is a bitwise no-op on the
+///      bare filter's estimates (the PR-5 guarantee: recovery draws come
+///      from their own pinned substream schedule),
 ///
 /// and, in a SYNPF_CHECKED build, requires the whole lap to complete with
 /// zero contract violations (reported through `telemetry::ContractMonitor`).
@@ -37,6 +42,7 @@
 #include "eval/trace.hpp"
 #include "fault/pipeline.hpp"
 #include "gridmap/track_generator.hpp"
+#include "recovery/supervised_localizer.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace {
@@ -212,13 +218,60 @@ int main(int argc, char** argv) {
     }
   }
 
+  // 6. Recovery determinism: replay a kidnapped trace through the
+  // supervised stack. Recovery actions (injection, global relocalization)
+  // draw from their own substream schedule, so the repaired trajectory must
+  // be bitwise stable across reruns and thread counts — and a policies-off
+  // supervisor must not move a single bit of the bare filter's estimates.
+  {
+    SensorTrace ktrace;
+    {
+      ExperimentConfig kcfg;
+      kcfg.laps = 1000000;  // run the clock out; the kidnap ends laps anyway
+      kcfg.max_sim_time = max_sim_time;
+      kcfg.profile.scale = 0.5;
+      ExperimentConfig::KidnapSpec kidnap;
+      kidnap.t = max_sim_time * 0.3;
+      kidnap.advance_frac = 0.25;
+      kcfg.kidnaps.push_back(kidnap);
+      ExperimentRunner runner{track, kcfg};
+      DeadReckoning driver;
+      runner.run(driver, &ktrace);
+    }
+
+    auto supervised_replay = [&](int threads) {
+      SynPfConfig tcfg = cfg;
+      tcfg.filter.n_threads = threads;
+      SynPf pf{tcfg, map, LidarConfig{}};
+      recovery::SupervisedLocalizer sup{pf, {}, map, LidarConfig{}};
+      sup.bind_filter(&pf.filter());
+      return ktrace.replay(sup);
+    };
+    const auto rk = supervised_replay(1);
+    ok = compare(rk, supervised_replay(1), "recovery-rerun") && ok;
+    ok = compare(rk, supervised_replay(8), "recovery-threads=8") && ok;
+
+    SynPf bare{cfg, map, LidarConfig{}};
+    const auto rbare = ktrace.replay(bare);
+    {
+      recovery::SupervisedLocalizerConfig off;
+      off.policy = recovery::RecoveryPolicyConfig::none();
+      SynPf inner{cfg, map, LidarConfig{}};
+      recovery::SupervisedLocalizer sup{inner, off, map, LidarConfig{}};
+      sup.bind_filter(&inner.filter());
+      const auto roff = ktrace.replay(sup);
+      ok = compare(rbare, roff, "recovery-off-noop") && ok;
+    }
+  }
+
   const std::uint64_t violations = monitor.violations();
   if (violations != 0) {
     std::fprintf(stderr, "%llu contract violations during the run\n",
                  static_cast<unsigned long long>(violations));
     ok = false;
   } else if (contracts::enabled()) {
-    std::printf("[contracts] OK — full lap + 8 replays, zero violations\n");
+    std::printf("[contracts] OK — recording laps + all replays, "
+                "zero violations\n");
   }
 
   if (!ok) return 1;
