@@ -12,11 +12,17 @@
 /// regressions in the fault RNG schedule are bitwise-visible.
 ///
 /// Usage: bench_robustness_matrix [output.json]
-///   SRL_FAST=1  reduced smoke grid (2 faults x 2 severities, 1 lap)
-///   SRL_LAPS=n  laps per cell
-///   SRL_GIT_SHA recorded into provenance when set
+///   SRL_FAST=1          reduced smoke grid (2 faults x 2 severities, 1 lap)
+///   SRL_LAPS=n          laps per cell
+///   SRL_GIT_SHA         recorded into provenance when set
+///   SRL_BLACKBOX_DIR=d  black-box artifact directory (default "blackbox";
+///                       set to "" to run with the flight recorder off)
+///   SRL_RECORDER_AB=1   after the recorded grid, re-run with the recorder
+///                       off to measure overhead and verify the recorder is
+///                       a bitwise no-op on every cell's metrics
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -41,12 +47,19 @@ int main(int argc, char** argv) {
   ScenarioMatrixConfig config = fast_mode() ? ScenarioMatrix::smoke_config()
                                             : ScenarioMatrix::full_config();
   config.experiment.laps = bench_laps(config.experiment.laps);
+  const char* bb_dir = std::getenv("SRL_BLACKBOX_DIR");
+  config.blackbox_dir = bb_dir != nullptr ? bb_dir : "blackbox";
+  config.track_name = "test_track";
 
   const Track track = TrackGenerator::test_track();
   std::cout << "bench_robustness_matrix: " << config.localizers.size()
             << " localizers x " << config.scenarios.size() << " scenarios, "
             << config.experiment.laps << " laps per cell"
-            << (fast_mode() ? " (smoke grid)" : "") << "\n";
+            << (fast_mode() ? " (smoke grid)" : "")
+            << (config.blackbox_dir.empty()
+                    ? " [recorder off]"
+                    : " [recorder on -> " + config.blackbox_dir + "]")
+            << "\n";
 
   // ---- Fault-trace fingerprints -----------------------------------------
   // One clean closed-loop trace, corrupted per fault regime: the hash is a
@@ -85,13 +98,30 @@ int main(int argc, char** argv) {
   }
 
   // ---- The grid ---------------------------------------------------------
+  // With the A/B requested, a first untimed recorder-off grid warms page
+  // caches and the allocator so neither timed grid pays first-run cost —
+  // otherwise whichever variant runs first looks a few percent slower.
+  const bool run_ab = std::getenv("SRL_RECORDER_AB") != nullptr &&
+                      !config.blackbox_dir.empty();
+  using bench_clock = std::chrono::steady_clock;
+  if (run_ab) {
+    ScenarioMatrixConfig warm = config;
+    warm.blackbox_dir.clear();
+    std::cout << "recorder A/B: warm-up grid (untimed, recorder off)...\n";
+    (void)ScenarioMatrix{warm}.run(track);
+  }
   const ScenarioMatrix matrix{config};
+  const auto grid_t0 = bench_clock::now();
   doc.cells = matrix.run(track);
+  const double grid_wall_s =
+      std::chrono::duration<double>(bench_clock::now() - grid_t0).count();
 
   TextTable table{{"localizer", "fault", "sev", "lat mu [cm]", "lat sigma",
                    "align [%]", "ESS p50", "p50 [ms]", "p99 [ms]", "crash",
-                   "recov", "t_reloc [s]"}};
+                   "recov", "t_reloc [s]", "events", "crit", "boxes"}};
+  std::uint64_t total_boxes = 0;
   for (const ScenarioCell& cell : doc.cells) {
+    total_boxes += cell.blackboxes.size();
     table.add_row({cell.localizer, cell.scenario.fault,
                    TextTable::num(cell.scenario.severity, 2),
                    TextTable::num(cell.result.lateral_mean_cm, 2),
@@ -104,9 +134,60 @@ int main(int argc, char** argv) {
                    cell.recovery_success ? "yes" : "no",
                    cell.recoveries > 0
                        ? TextTable::num(cell.time_to_reloc_mean_s, 2)
-                       : std::string{"-"}});
+                       : std::string{"-"},
+                   std::to_string(cell.events_total),
+                   std::to_string(cell.events_critical),
+                   std::to_string(cell.blackboxes.size())});
   }
   std::cout << "\n" << table.render();
+  if (!config.blackbox_dir.empty()) {
+    std::cout << "flight recorder: " << total_boxes
+              << " black box(es) under " << config.blackbox_dir << "/, grid "
+              << TextTable::num(grid_wall_s, 2) << " s\n";
+  }
+
+  // ---- Recorder A/B (opt-in) --------------------------------------------
+  // SRL_RECORDER_AB=1 re-runs the grid with the recorder off: the metrics
+  // must be bitwise identical (the recorder is instrumentation, never
+  // physics) and the wall-time delta is the recorder's overhead, reported
+  // in provenance. A metric mismatch is a hard failure.
+  double baseline_wall_s = 0.0;
+  double recorder_overhead_pct = 0.0;
+  if (run_ab) {
+    ScenarioMatrixConfig off = config;
+    off.blackbox_dir.clear();
+    const ScenarioMatrix bare{off};
+    const auto ab_t0 = bench_clock::now();
+    const std::vector<ScenarioCell> off_cells = bare.run(track);
+    baseline_wall_s =
+        std::chrono::duration<double>(bench_clock::now() - ab_t0).count();
+    if (baseline_wall_s > 0.0) {
+      recorder_overhead_pct = 100.0 * (grid_wall_s / baseline_wall_s - 1.0);
+    }
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0;
+         i < doc.cells.size() && i < off_cells.size(); ++i) {
+      const ExperimentResult& a = doc.cells[i].result;
+      const ExperimentResult& b = off_cells[i].result;
+      if (a.lateral_mean_cm != b.lateral_mean_cm ||
+          a.lateral_std_cm != b.lateral_std_cm ||
+          a.scan_alignment != b.scan_alignment || a.crashed != b.crashed) {
+        ++mismatches;
+        std::cerr << "RECORDER A/B MISMATCH: " << doc.cells[i].localizer
+                  << " " << doc.cells[i].scenario.label()
+                  << " differs with the recorder attached\n";
+      }
+    }
+    std::cout << "recorder A/B: on " << TextTable::num(grid_wall_s, 2)
+              << " s, off " << TextTable::num(baseline_wall_s, 2)
+              << " s, overhead " << TextTable::num(recorder_overhead_pct, 2)
+              << " %\n";
+    if (mismatches > 0) {
+      std::cerr << "recorder is NOT a bitwise no-op (" << mismatches
+                << " cell(s) differ)\n";
+      return 1;
+    }
+  }
 
   // ---- Headline ---------------------------------------------------------
   doc.has_headline = compute_headline(doc.cells, "odom_slip_ramp", doc.headline);
@@ -214,6 +295,10 @@ int main(int argc, char** argv) {
   doc.provenance.n_particles = config.n_particles;
   doc.provenance.matrix_threads = config.matrix_threads;
   doc.provenance.fast_mode = fast_mode();
+  doc.provenance.recorder = !config.blackbox_dir.empty();
+  doc.provenance.recorder_wall_s = grid_wall_s;
+  doc.provenance.baseline_wall_s = baseline_wall_s;
+  doc.provenance.recorder_overhead_pct = recorder_overhead_pct;
 
   if (!write_bench_json(out_file, doc)) {
     std::cerr << "failed to write " << out_file << "\n";

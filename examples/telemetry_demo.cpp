@@ -7,10 +7,18 @@
 ///     in chrome://tracing or ui.perfetto.dev,
 ///   - `telemetry_metrics.csv` — every counter/gauge/histogram (per-stage
 ///     latency percentiles, filter-health gauges, recovery.state gauge and
-///     state-transition counters).
+///     state-transition counters),
+///   - `telemetry_events.ndjson` — the structured event journal, one JSON
+///     document per line,
+///
+/// and prints the event timeline of the scripted kidnap: the harness-level
+/// events from the closed-loop recording run (experiment.kidnap, episode
+/// open/close) followed by the filter + recovery events the supervised
+/// replay journals while it detects and repairs the kidnap.
 ///
 /// Build & run:  ./build/examples/telemetry_demo [laps]
 
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
@@ -47,9 +55,13 @@ int main(int argc, char** argv) {
 
   SynPf driver{SynPfConfig{}, map, lidar};
   SensorTrace trace;
+  // The recording run gets its own journal so the harness-level events
+  // (experiment.kidnap, divergence episodes) can be printed alongside the
+  // replay's filter/recovery events below.
+  telemetry::Telemetry recording_telemetry;
   std::cout << "Recording " << laps << "-lap trace (kidnap at "
             << TextTable::num(kidnap.t, 1) << " s)...\n";
-  runner.run(driver, &trace);
+  runner.run(driver, &trace, recording_telemetry.sink());
   std::cout << "  " << trace.scans().size() << " scans, "
             << trace.odometry().size() << " odometry increments, "
             << TextTable::num(trace.duration(), 1) << " s\n";
@@ -136,15 +148,52 @@ int main(int argc, char** argv) {
   }
   std::cout << "\nDivergence recovery:\n" << recovery_table.render();
 
-  // 6. Export: Chrome trace JSON + metrics CSV.
+  // 6. The event timeline of the kidnap. Debug-severity events (every
+  //    resample) are summarized, everything else is printed verbatim —
+  //    this is the same journal a flight-recorder black box snapshots.
+  auto print_timeline = [](const char* title,
+                           const telemetry::EventLog& log) {
+    std::uint64_t debug_count = 0;
+    std::cout << "\n" << title << " (" << log.total() << " events, "
+              << log.dropped() << " dropped):\n";
+    for (const telemetry::Event& event : log.events()) {
+      if (event.severity == telemetry::EventSeverity::kDebug) {
+        ++debug_count;
+        continue;
+      }
+      std::printf("  [%8.3f s] %-8s %-10s %s", event.t,
+                  telemetry::to_string(event.severity),
+                  telemetry::to_string(event.category), event.code.c_str());
+      for (const auto& [key, value] : event.data.members()) {
+        std::cout << "  " << key << "="
+                  << (value.is_string() ? value.as_string() : value.dump(0));
+      }
+      std::cout << "\n";
+    }
+    if (debug_count > 0) {
+      std::cout << "  (+ " << debug_count << " debug events elided)\n";
+    }
+  };
+  print_timeline("Closed-loop harness events (recording run)",
+                 recording_telemetry.events);
+  print_timeline("Filter + recovery events (supervised replay)",
+                 telemetry.events);
+
+  // 7. Export: Chrome trace JSON + metrics CSV + event journal NDJSON.
   const bool json_ok = telemetry.trace.write_chrome_trace("telemetry_trace.json");
   const bool csv_ok = telemetry.metrics.write_csv("telemetry_metrics.csv");
+  std::remove("telemetry_events.ndjson");  // write_ndjson appends
+  const bool events_ok =
+      telemetry.events.write_ndjson("telemetry_events.ndjson");
   std::cout << "\n"
             << (json_ok ? "wrote telemetry_trace.json ("
                         : "FAILED to write telemetry_trace.json (")
             << telemetry.trace.size() << " spans, " << telemetry.trace.dropped()
             << " dropped) — open in chrome://tracing or ui.perfetto.dev\n"
             << (csv_ok ? "wrote" : "FAILED to write")
-            << " telemetry_metrics.csv\n";
-  return json_ok && csv_ok ? 0 : 1;
+            << " telemetry_metrics.csv\n"
+            << (events_ok ? "wrote telemetry_events.ndjson ("
+                          : "FAILED to write telemetry_events.ndjson (")
+            << telemetry.events.size() << " events)\n";
+  return json_ok && csv_ok && events_ok ? 0 : 1;
 }

@@ -148,7 +148,10 @@ void Value::dump_to(std::string& out, int indent, int depth) const {
       out += bool_ ? "true" : "false";
       return;
     case Kind::kNumber:
-      out += format_number(number_);
+      // Non-finite doubles have no JSON spelling and the strict parser
+      // rejects "nan"/"inf"; degrade to null so dump() never emits a
+      // document parse() refuses.
+      out += std::isfinite(number_) ? format_number(number_) : "null";
       return;
     case Kind::kString:
       escape_string(string_, out);
@@ -434,6 +437,34 @@ std::optional<Value> Value::load(const std::string& path) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return parse(buffer.str());
+}
+
+bool append_ndjson(const std::string& path, const Value& v) {
+  std::ofstream out{path, std::ios::app};
+  if (!out) return false;
+  out << v.dump(0) << '\n';
+  return static_cast<bool>(out);
+}
+
+std::optional<std::vector<Value>> load_ndjson(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) return std::nullopt;
+  std::vector<Value> docs;
+  std::string line;
+  while (std::getline(in, line)) {
+    bool blank = true;
+    for (const char c : line) {
+      if (c != ' ' && c != '\t' && c != '\r') {
+        blank = false;
+        break;
+      }
+    }
+    if (blank) continue;
+    std::optional<Value> v = Value::parse(line);
+    if (!v.has_value()) return std::nullopt;
+    docs.push_back(std::move(*v));
+  }
+  return docs;
 }
 
 }  // namespace srl::json

@@ -92,4 +92,17 @@ class Value {
 /// number format used across every benchmark JSON.
 std::string format_number(double d);
 
+// -- NDJSON (newline-delimited JSON) ----------------------------------------
+// The append-only sink format of the telemetry event journal: one compact
+// document per line, so a crash mid-write loses at most the last line and a
+// reader can stream a journal without holding it in memory.
+
+/// Append `v` to `path` as one compact line (file created when absent).
+bool append_ndjson(const std::string& path, const Value& v);
+
+/// Parse every non-empty line of an NDJSON file. Strict like `parse`: any
+/// malformed line fails the whole load (nullopt), so a truncated tail line
+/// is detected rather than silently dropped. Blank lines are permitted.
+std::optional<std::vector<Value>> load_ndjson(const std::string& path);
+
 }  // namespace srl::json

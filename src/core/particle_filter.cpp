@@ -221,20 +221,38 @@ void ParticleFilter::correct(const LaserScan& scan) {
   // resample they are uniform by construction and carry no signal.
   if (health_on) sample_health();
 
-  if (effective_sample_size() <
+  const double pre_resample_ess = effective_sample_size();
+  if (pre_resample_ess <
       config_.resample_ess_fraction * static_cast<double>(n)) {
     telemetry::ScopedSpan span{sink_.trace, "pf.resample"};
     telemetry::StageTimer timer{h_resample_};
     resample();
     timer.stop();
     if (c_resamples_ != nullptr) c_resamples_->add();
+    if (sink_.events != nullptr) {
+      json::Value data = json::Value::object();
+      data.set("ess_fraction",
+               json::Value::number(pre_resample_ess / static_cast<double>(n)));
+      data.set("particles",
+               json::Value::number(static_cast<double>(particles_.size())));
+      sink_.events->emit(scan.t, telemetry::EventSeverity::kDebug,
+                         telemetry::EventCategory::kFilter, "pf.resample",
+                         std::move(data));
+    }
   }
 
   if (health_on) {
     health_.resample_count = resamples_;
     jump_detector_.update(predicted, estimate(), health_);
-    if (health_.pose_jump_alarm && c_jump_alarms_ != nullptr) {
-      c_jump_alarms_->add();
+    if (health_.pose_jump_alarm) {
+      if (c_jump_alarms_ != nullptr) c_jump_alarms_->add();
+      if (sink_.events != nullptr) {
+        json::Value data = json::Value::object();
+        data.set("jump_m", json::Value::number(health_.pose_jump_m));
+        sink_.events->emit(scan.t, telemetry::EventSeverity::kWarn,
+                           telemetry::EventCategory::kFilter, "pf.pose_jump",
+                           std::move(data));
+      }
     }
     g_pose_jump_->set(health_.pose_jump_m);
     g_particles_->set(static_cast<double>(particles_.size()));
@@ -300,6 +318,23 @@ double ParticleFilter::effective_sample_size() const {
         return w * w;
       });
   return sum_sq > 0.0 ? 1.0 / sum_sq : 0.0;
+}
+
+std::vector<Particle> ParticleFilter::top_particles(std::size_t k) const {
+  k = std::min(k, particles_.size());
+  std::vector<std::size_t> idx(particles_.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
+                    idx.end(), [this](std::size_t a, std::size_t b) {
+                      const double wa = particles_[a].weight;
+                      const double wb = particles_[b].weight;
+                      if (wa != wb) return wa > wb;
+                      return a < b;  // stable under weight ties
+                    });
+  std::vector<Particle> out;
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) out.push_back(particles_[idx[i]]);
+  return out;
 }
 
 void ParticleFilter::set_weights(std::span<const double> weights) {

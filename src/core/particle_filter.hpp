@@ -144,6 +144,10 @@ class ParticleFilter {
   double effective_sample_size() const;
 
   std::span<const Particle> particles() const { return particles_; }
+  /// Deterministic top-K digest of the cloud: the K heaviest particles in
+  /// descending weight order, ties broken by slot index. Pure read — the
+  /// flight recorder snapshots this per tick without touching the filter.
+  std::vector<Particle> top_particles(std::size_t k) const;
   const ParticleFilterConfig& config() const { return config_; }
   Rng& rng() { return rng_; }
   /// Resolved worker-lane count of the execution pool (>= 1).

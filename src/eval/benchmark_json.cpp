@@ -69,6 +69,15 @@ json::Value bench_to_json(const BenchDocument& doc) {
   provenance.set("matrix_threads",
                  json::Value::number(doc.provenance.matrix_threads));
   provenance.set("fast_mode", json::Value::boolean(doc.provenance.fast_mode));
+  // Schema v3: recorder provenance. Informational (the compare gate never
+  // reads it), so wall-clock numbers here cannot fail a bitwise self-diff.
+  provenance.set("recorder", json::Value::boolean(doc.provenance.recorder));
+  provenance.set("recorder_wall_s",
+                 json::Value::number(doc.provenance.recorder_wall_s));
+  provenance.set("baseline_wall_s",
+                 json::Value::number(doc.provenance.baseline_wall_s));
+  provenance.set("recorder_overhead_pct",
+                 json::Value::number(doc.provenance.recorder_overhead_pct));
   root.set("provenance", std::move(provenance));
 
   json::Value traces = json::Value::array();
@@ -131,6 +140,24 @@ json::Value bench_to_json(const BenchDocument& doc) {
           json::Value::number(static_cast<double>(cell.global_relocs)));
     c.set("recovery_transitions",
           json::Value::number(static_cast<double>(cell.recovery_transitions)));
+    // Schema v3: event-journal summary + black-box artifacts.
+    json::Value events = json::Value::object();
+    events.set("total",
+               json::Value::number(static_cast<double>(cell.events_total)));
+    events.set("warn",
+               json::Value::number(static_cast<double>(cell.events_warn)));
+    events.set("error",
+               json::Value::number(static_cast<double>(cell.events_error)));
+    events.set("critical",
+               json::Value::number(static_cast<double>(cell.events_critical)));
+    events.set("dropped",
+               json::Value::number(static_cast<double>(cell.events_dropped)));
+    c.set("events", std::move(events));
+    json::Value boxes = json::Value::array();
+    for (const std::string& box : cell.blackboxes) {
+      boxes.push_back(json::Value::string(box));
+    }
+    c.set("blackboxes", std::move(boxes));
     cells.push_back(std::move(c));
   }
   root.set("cells", std::move(cells));
@@ -166,7 +193,8 @@ bool write_bench_json(const std::string& path, const BenchDocument& doc) {
 std::optional<BenchDocument> bench_from_json(const json::Value& root) {
   if (!root.is_object()) return std::nullopt;
   const std::string schema = str(root, "schema");
-  if (schema != kBenchRobustnessSchema && schema != kBenchRobustnessSchemaV1) {
+  if (schema != kBenchRobustnessSchema && schema != kBenchRobustnessSchemaV2 &&
+      schema != kBenchRobustnessSchemaV1) {
     return std::nullopt;
   }
 
@@ -184,6 +212,10 @@ std::optional<BenchDocument> bench_from_json(const json::Value& root) {
     doc.provenance.matrix_threads =
         static_cast<int>(num(*p, "matrix_threads"));
     doc.provenance.fast_mode = flag(*p, "fast_mode");
+    doc.provenance.recorder = flag(*p, "recorder");
+    doc.provenance.recorder_wall_s = num(*p, "recorder_wall_s");
+    doc.provenance.baseline_wall_s = num(*p, "baseline_wall_s");
+    doc.provenance.recorder_overhead_pct = num(*p, "recorder_overhead_pct");
   }
 
   if (const json::Value* traces = root.find("fault_traces");
@@ -246,6 +278,23 @@ std::optional<BenchDocument> bench_from_json(const json::Value& root) {
           static_cast<std::uint64_t>(num(c, "global_relocs"));
       cell.recovery_transitions =
           static_cast<std::uint64_t>(num(c, "recovery_transitions"));
+    }
+    // v3 event summary (zeros when absent).
+    if (const json::Value* events = c.find("events");
+        events != nullptr && events->is_object()) {
+      cell.events_total = static_cast<std::uint64_t>(num(*events, "total"));
+      cell.events_warn = static_cast<std::uint64_t>(num(*events, "warn"));
+      cell.events_error = static_cast<std::uint64_t>(num(*events, "error"));
+      cell.events_critical =
+          static_cast<std::uint64_t>(num(*events, "critical"));
+      cell.events_dropped =
+          static_cast<std::uint64_t>(num(*events, "dropped"));
+    }
+    if (const json::Value* boxes = c.find("blackboxes");
+        boxes != nullptr && boxes->is_array()) {
+      for (std::size_t b = 0; b < boxes->size(); ++b) {
+        cell.blackboxes.push_back(boxes->at(b)->as_string());
+      }
     }
     doc.cells.push_back(std::move(cell));
   }

@@ -31,11 +31,16 @@
 
 namespace srl {
 
-/// Current schema: v2 added the per-cell recovery block (recovery_success,
-/// divergence episodes, time-to-relocalize). The reader also accepts v1
-/// documents — their cells simply carry `has_recovery == false`, and the
-/// compare gates skip recovery checks for them.
-inline constexpr const char* kBenchRobustnessSchema = "srl.bench_robustness/2";
+/// Current schema: v3 added the per-cell event-journal summary
+/// (events_total/warn/error/critical/dropped + black-box artifact paths)
+/// and the recorder provenance block (recorder on/off, recorder vs
+/// baseline wall time). v2 added the per-cell recovery block
+/// (recovery_success, divergence episodes, time-to-relocalize). The reader
+/// accepts v1/v2/v3; absent blocks parse to zeros (and v1 cells carry
+/// `has_recovery == false`, so the compare gates skip recovery checks).
+inline constexpr const char* kBenchRobustnessSchema = "srl.bench_robustness/3";
+inline constexpr const char* kBenchRobustnessSchemaV2 =
+    "srl.bench_robustness/2";
 inline constexpr const char* kBenchRobustnessSchemaV1 =
     "srl.bench_robustness/1";
 
@@ -52,6 +57,11 @@ struct BenchProvenance {
   int n_particles{0};
   int matrix_threads{0};
   bool fast_mode{false};
+  // -- schema v3: flight-recorder provenance (informational, not gated) --
+  bool recorder{false};          ///< grid ran with the flight recorder on
+  double recorder_wall_s{0.0};   ///< grid wall time, recorder on
+  double baseline_wall_s{0.0};   ///< recorder-off A/B wall time (0 = not run)
+  double recorder_overhead_pct{0.0};  ///< 100*(on/off - 1) when A/B was run
 };
 
 /// Bitwise fingerprint of one fault regime applied to the canonical

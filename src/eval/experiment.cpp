@@ -1,7 +1,9 @@
 #include "eval/experiment.hpp"
 
 #include <cmath>
+#include <filesystem>
 #include <memory>
+#include <sstream>
 
 #include "range/ray_marching.hpp"
 
@@ -35,6 +37,59 @@ ExperimentResult ExperimentRunner::run(Localizer& localizer,
   Rng rng{config_.seed};
   if (sink.enabled()) localizer.set_telemetry(sink);
   telemetry::Histogram update_ms;  // harness-side latency distribution
+
+  // Flight recorder: black-box dumps need the sensor stream alongside the
+  // snapshot ring, so with a recorder attached the run always records a
+  // trace (the caller's, or a local one that lives only for this run).
+  SensorTrace local_trace;
+  SensorTrace* rec = record;
+  if (sink.recorder != nullptr && rec == nullptr) rec = &local_trace;
+
+  auto emit = [&](double et, telemetry::EventSeverity severity,
+                  const char* code, json::Value data) {
+    if (sink.events == nullptr) return;
+    sink.events->emit(et, severity, telemetry::EventCategory::kExperiment,
+                      code, std::move(data));
+  };
+  // Self-contained black-box dump: snapshot window + event timeline (via
+  // the recorder) plus everything a postmortem replay needs — the start
+  // pose, the captured sensor trace (sidecar file), the sim seed, and the
+  // sim RNG stream state at dump time.
+  auto dump_blackbox = [&](const char* reason, double dt_now) {
+    if (sink.recorder == nullptr || !sink.recorder->can_dump()) return;
+    const std::string path = sink.recorder->next_dump_path(reason);
+    if (path.empty()) return;
+    json::Value extra = json::Value::object();
+    json::Value sp = json::Value::array();
+    const Pose2 p0 = start_pose();
+    sp.push_back(json::Value::number(p0.x));
+    sp.push_back(json::Value::number(p0.y));
+    sp.push_back(json::Value::number(p0.theta));
+    extra.set("start_pose", std::move(sp));
+    extra.set("sim_seed",
+              json::Value::number(static_cast<double>(config_.seed)));
+    std::ostringstream rng_state;
+    rng_state << rng;
+    extra.set("sim_rng_state", json::Value::string(rng_state.str()));
+    extra.set("crashed", json::Value::boolean(result.crashed));
+    if (rec != nullptr) {
+      const std::string trace_path =
+          telemetry::FlightRecorder::trace_sidecar_path(path);
+      // The sidecar lands before dump() creates the artifact directory.
+      std::error_code ec;
+      std::filesystem::create_directories(
+          std::filesystem::path(trace_path).parent_path(), ec);
+      if (rec->save(trace_path)) {
+        extra.set("trace_file",
+                  json::Value::string(
+                      std::filesystem::path(trace_path).filename().string()));
+      }
+    }
+    sink.recorder->dump(path, reason, dt_now, extra);
+  };
+  std::uint64_t seen_critical =
+      sink.events != nullptr ? sink.events->critical_count() : 0;
+  std::uint64_t tick = 0;
 
   VehicleParams vp = config_.vehicle;
   vp.mu = config_.mu;
@@ -115,12 +170,20 @@ ExperimentResult ExperimentRunner::run(Localizer& localizer,
                           normalize_angle(h + k.yaw)});
       ++kidnap_idx;
       ++result.kidnaps_applied;
+      {
+        json::Value data = json::Value::object();
+        data.set("advance_frac", json::Value::number(k.advance_frac));
+        data.set("lateral_m", json::Value::number(k.lateral_m));
+        data.set("yaw", json::Value::number(k.yaw));
+        emit(t, telemetry::EventSeverity::kInfo, "experiment.kidnap",
+             std::move(data));
+      }
     }
 
     if (t >= next_odom) {
       next_odom += odom_dt;
       const OdometryDelta odom = odom_sensor.measure(state, odom_dt, rng);
-      if (record != nullptr) record->add_odometry(t, odom);
+      if (rec != nullptr) rec->add_odometry(t, odom);
       localizer.on_odometry(odom);
       believed_speed = odom.v;
       odom_dist += odom.v * odom_dt;
@@ -129,7 +192,7 @@ ExperimentResult ExperimentRunner::run(Localizer& localizer,
     if (t >= next_scan) {
       next_scan += scan_dt;
       const LaserScan scan = lidar.scan(state.pose, state.twist(), t, rng);
-      if (record != nullptr) record->add_scan(scan, state.pose);
+      if (rec != nullptr) rec->add_scan(scan, state.pose);
       Stopwatch update_watch;
       const Pose2 est = localizer.on_scan(scan);
       update_ms.record(update_watch.elapsed_ms());
@@ -139,6 +202,19 @@ ExperimentResult ExperimentRunner::run(Localizer& localizer,
       const double est_err =
           std::hypot(est.x - state.pose.x, est.y - state.pose.y);
       result.final_pose_error_m = est_err;
+
+      if (sink.recorder != nullptr) {
+        telemetry::TickSnapshot snap;
+        snap.tick = tick;
+        snap.t = t;
+        snap.est_x = est.x;
+        snap.est_y = est.y;
+        snap.est_theta = est.theta;
+        snap.truth_err_m = est_err;
+        sink.recorder->record_tick(std::move(snap));
+      }
+      ++tick;
+
       if (!episode_open) {
         if (est_err > config_.divergence_open_m) {
           if (over_run == 0) episode_open_t = t;
@@ -148,6 +224,13 @@ ExperimentResult ExperimentRunner::run(Localizer& localizer,
             under_run = 0;
             ++result.divergence_episodes;
             if (first_divergence_t < 0.0) first_divergence_t = t;
+            {
+              json::Value data = json::Value::object();
+              data.set("error_m", json::Value::number(est_err));
+              emit(t, telemetry::EventSeverity::kError,
+                   "experiment.divergence_open", std::move(data));
+            }
+            dump_blackbox("divergence", t);
           }
         } else {
           over_run = 0;
@@ -161,9 +244,25 @@ ExperimentResult ExperimentRunner::run(Localizer& localizer,
             ++result.recoveries;
             result.time_to_relocalize_s.push_back(t - episode_open_t);
             last_recovery_t = t;
+            {
+              json::Value data = json::Value::object();
+              data.set("duration_s", json::Value::number(t - episode_open_t));
+              emit(t, telemetry::EventSeverity::kInfo,
+                   "experiment.episode_closed", std::move(data));
+            }
           }
         } else {
           under_run = 0;
+        }
+      }
+
+      // Contract violations (or any other critical event) since the last
+      // scan trip a black-box dump of their own.
+      if (sink.events != nullptr) {
+        const std::uint64_t crit = sink.events->critical_count();
+        if (crit > seen_critical) {
+          seen_critical = crit;
+          dump_blackbox("critical", t);
         }
       }
 
@@ -227,6 +326,14 @@ ExperimentResult ExperimentRunner::run(Localizer& localizer,
         lap_true_dist = true_dist;
       }
     }
+  }
+
+  if (result.crashed) {
+    json::Value data = json::Value::object();
+    data.set("t", json::Value::number(t));
+    emit(t, telemetry::EventSeverity::kCritical, "experiment.crash",
+         std::move(data));
+    dump_blackbox("crash", t);
   }
 
   result.sim_time = t;

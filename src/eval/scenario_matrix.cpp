@@ -6,6 +6,7 @@
 #include "common/json.hpp"
 #include "common/parallel.hpp"
 #include "core/synpf.hpp"
+#include "eval/postmortem.hpp"
 #include "fault/faulted_localizer.hpp"
 #include "recovery/supervised_localizer.hpp"
 #include "slam/pure_localization.hpp"
@@ -129,8 +130,76 @@ std::vector<ScenarioCell> ScenarioMatrix::run(const Track& track) const {
       }
 
       telemetry::Telemetry telemetry;
+      telemetry::Sink sink = telemetry.sink();
+
+      // Flight recorder: black boxes carry the cell's rebuild recipe plus a
+      // per-tick enrichment probe over the live stack (pure observers all
+      // the way down, so attaching it cannot change any estimate).
+      std::unique_ptr<telemetry::FlightRecorder> recorder;
+      if (!config_.blackbox_dir.empty()) {
+        telemetry::FlightRecorderConfig rcfg;
+        rcfg.dump_dir = config_.blackbox_dir;
+        rcfg.label = cell.localizer + "-" + cell.scenario.label();
+        recorder = std::make_unique<telemetry::FlightRecorder>(
+            rcfg, &telemetry.events);
+
+        PostmortemStackSpec spec;
+        spec.track = config_.track_name;
+        spec.localizer = cell.localizer;
+        spec.n_particles = config_.n_particles;
+        spec.threads = config_.cell_threads;
+        spec.range = "cddt";  // make_localizer pins kCddt for grid builds
+        spec.beams = SynPfConfig{}.beams;
+        spec.pf_seed = SynPfConfig{}.seed;
+        spec.fault = cell.scenario.fault;
+        spec.severity = cell.scenario.severity;
+        spec.fault_seed = config_.fault_seed;
+        json::Value provenance = json::Value::object();
+        provenance.set("stack", stack_spec_to_json(spec));
+        recorder->set_provenance(std::move(provenance));
+
+        SynPf* synpf = dynamic_cast<SynPf*>(localizer.get());
+        recovery::SupervisedLocalizer* sup = supervised.get();
+        fault::FaultedLocalizer* flt = &faulted;
+        const std::size_t top_k = rcfg.top_k;
+        recorder->set_tick_probe([synpf, sup, flt,
+                                  top_k](telemetry::TickSnapshot& snap) {
+          if (synpf != nullptr) {
+            ParticleFilter& pf = synpf->filter();
+            // Health signals come from the filter's cached per-update
+            // block (metrics are attached grid-wide) — the probe must not
+            // add O(n) passes of its own.
+            snap.ess_fraction = pf.health().ess_fraction;
+            snap.weight_entropy = pf.health().weight_entropy;
+            snap.injection_prob = pf.recovery_injection_prob();
+            snap.digest.clear();
+            for (const Particle& p : pf.top_particles(top_k)) {
+              snap.digest.push_back(p.pose.x);
+              snap.digest.push_back(p.pose.y);
+              snap.digest.push_back(p.pose.theta);
+              snap.digest.push_back(p.weight);
+            }
+          }
+          if (sup != nullptr) {
+            snap.health_state = static_cast<int>(sup->state());
+            snap.latch_mask = sup->detector().latch_mask();
+            snap.alignment = sup->last_alignment();
+          }
+          snap.fault_level = flt->last_fault_level();
+        });
+        sink.recorder = recorder.get();
+      }
+
       ExperimentRunner runner{track, experiment};
-      cell.result = runner.run(*subject, nullptr, telemetry.sink());
+      cell.result = runner.run(*subject, nullptr, sink);
+
+      cell.events_total = telemetry.events.total();
+      cell.events_warn = telemetry.events.count(telemetry::EventSeverity::kWarn);
+      cell.events_error =
+          telemetry.events.count(telemetry::EventSeverity::kError);
+      cell.events_critical = telemetry.events.critical_count();
+      cell.events_dropped = telemetry.events.dropped();
+      if (recorder != nullptr) cell.blackboxes = recorder->dump_paths();
 
       cell.has_recovery = true;
       cell.recovery_success = cell.result.recovered;

@@ -67,6 +67,14 @@ struct ScenarioMatrixConfig {
   /// Kidnap pseudo-fault parameters (see `scenarios`).
   double kidnap_time = 12.0;
   double kidnap_advance = 0.25;  ///< lap fraction teleported at severity 1
+  /// Flight recorder (telemetry/flight_recorder.hpp): when non-empty, every
+  /// cell runs with a recorder attached and black-box artifacts land here on
+  /// divergence/crash/contract triggers. Empty = recorder off — the cells
+  /// then run the exact pre-recorder hot path (bitwise no-op guarantee).
+  std::string blackbox_dir{};
+  /// Track recipe stamped into each black box's rebuild provenance
+  /// (PostmortemStackSpec::track). Must name the track `run()` is given.
+  std::string track_name{"test_track"};
 };
 
 /// One scored cell. `result` carries the paper metrics; the health block is
@@ -97,6 +105,16 @@ struct ScenarioCell {
   std::uint64_t reinjections{0};       ///< recovery.injections counter
   std::uint64_t global_relocs{0};      ///< recovery.global_relocs counter
   std::uint64_t recovery_transitions{0};  ///< detector state transitions
+  // -- event journal (schema v3; zero when parsed from older documents) --
+  std::uint64_t events_total{0};
+  std::uint64_t events_warn{0};
+  std::uint64_t events_error{0};
+  std::uint64_t events_critical{0};
+  std::uint64_t events_dropped{0};
+  /// Black-box artifacts this cell dumped (paths as written, relative to
+  /// the bench working directory). Empty when the recorder is off or the
+  /// cell never triggered.
+  std::vector<std::string> blackboxes{};
 };
 
 class ScenarioMatrix {

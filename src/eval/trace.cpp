@@ -77,6 +77,16 @@ SensorTrace::ReplayResult SensorTrace::replay(Localizer& localizer,
     err_sq += ex * ex + ey * ey;
     const double eh = angle_dist(est.theta, rec.truth.theta);
     hdg_sq += eh * eh;
+    if (sink.recorder != nullptr) {
+      telemetry::TickSnapshot snap;
+      snap.tick = result.estimates.size() - 1;
+      snap.t = rec.scan.t;
+      snap.est_x = est.x;
+      snap.est_y = est.y;
+      snap.est_theta = est.theta;
+      snap.truth_err_m = std::hypot(ex, ey);
+      sink.recorder->record_tick(std::move(snap));
+    }
   }
   const auto n = static_cast<double>(result.estimates.size());
   result.pose_rmse_m = std::sqrt(err_sq / n);

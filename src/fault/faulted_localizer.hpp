@@ -23,6 +23,7 @@
 /// empty pipeline makes the wrapper a bitwise pass-through.
 
 #include <string>
+#include <vector>
 
 #include "core/localizer.hpp"
 #include "fault/pipeline.hpp"
@@ -49,11 +50,20 @@ class FaultedLocalizer final : public Localizer {
     return inner_.mean_scan_update_ms();
   }
   double total_busy_s() const override { return inner_.total_busy_s(); }
-  void set_telemetry(const telemetry::Sink& sink) override {
-    inner_.set_telemetry(sink);
-  }
+  /// Forwards the sink to the wrapped localizer and keeps the event-log
+  /// pointer locally: the wrapper journals fault-envelope edges
+  /// (`fault.active` / `fault.cleared`) at scan boundaries. Event emission
+  /// never touches the corruption math, so an attached sink cannot change
+  /// any estimate.
+  void set_telemetry(const telemetry::Sink& sink) override;
+
+  /// Strongest per-stage envelope strength observed at the last scan
+  /// boundary (0 while every stage is dormant). Flight-recorder probe.
+  double last_fault_level() const { return fault_level_; }
 
  private:
+  void journal_envelopes(double scan_t, double stream_t);
+
   Localizer& inner_;
   const FaultPipeline& pipeline_;
   std::uint64_t odom_index_{0};
@@ -61,6 +71,10 @@ class FaultedLocalizer final : public Localizer {
   double odom_clock_{0.0};  ///< accumulated odometry time since initialize
   double first_scan_t_{0.0};
   bool seen_scan_{false};
+
+  telemetry::EventLog* events_{nullptr};
+  std::vector<bool> stage_active_;  ///< envelope > 0 at the last boundary
+  double fault_level_{0.0};
 };
 
 }  // namespace srl::fault

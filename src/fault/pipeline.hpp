@@ -50,6 +50,9 @@ class FaultPipeline {
 
   std::size_t size() const { return stack_.size(); }
   bool empty() const { return stack_.empty(); }
+  /// Injector at stack slot `i` (application order). Observers use this to
+  /// poll per-stage envelope strength; it never advances any stream state.
+  const Injector& stage(std::size_t i) const { return *stack_[i]; }
   std::uint64_t seed() const { return seed_; }
   const LidarConfig& lidar() const { return lidar_; }
 

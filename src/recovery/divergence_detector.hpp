@@ -123,6 +123,13 @@ class DivergenceDetector {
   HealthState state() const { return state_; }
   /// Number of currently tripped signal latches.
   int tripped_signals() const;
+  /// Bitmask of the tripped latches (bit0 = ess, bit1 = alignment,
+  /// bit2 = pose jump, bit3 = odometry disagreement). Snapshotted into
+  /// flight-recorder ticks so a postmortem can see *which* witnesses fired.
+  int latch_mask() const {
+    return (ess_tripped_ ? 1 : 0) | (align_tripped_ ? 2 : 0) |
+           (jump_tripped_ ? 4 : 0) | (disagree_tripped_ ? 8 : 0);
+  }
   const TransitionCounts& transitions() const { return transitions_; }
   const DivergenceDetectorConfig& config() const { return config_; }
 

@@ -31,6 +31,7 @@ void SupervisedLocalizer::initialize(const Pose2& pose) {
   pending_odom_ = Pose2{};
   have_last_estimate_ = false;
   diverged_since_ = -1.0;
+  last_alignment_ = -1.0;
   if (g_state_ != nullptr) {
     g_state_->set(static_cast<double>(static_cast<int>(detector_.state())));
   }
@@ -59,7 +60,15 @@ void SupervisedLocalizer::set_tempering(bool want) {
   tempering_engaged_ = want;
 }
 
-void SupervisedLocalizer::publish(const TransitionCounts& before) {
+void SupervisedLocalizer::emit_event(double t,
+                                     telemetry::EventSeverity severity,
+                                     const char* code, json::Value data) {
+  if (sink_.events == nullptr) return;
+  sink_.events->emit(t, severity, telemetry::EventCategory::kRecovery, code,
+                     std::move(data));
+}
+
+void SupervisedLocalizer::publish(const TransitionCounts& before, double t) {
   const TransitionCounts& now = detector_.transitions();
   auto bump = [](telemetry::Counter* c, std::uint64_t then,
                  std::uint64_t current) {
@@ -71,6 +80,21 @@ void SupervisedLocalizer::publish(const TransitionCounts& before) {
   bump(c_to_healthy_, before.to_healthy, now.to_healthy);
   if (g_state_ != nullptr) {
     g_state_->set(static_cast<double>(static_cast<int>(detector_.state())));
+  }
+  if (sink_.events != nullptr && now.total() > before.total()) {
+    // Journal the detector transition (at most one per update) with the
+    // evidence snapshot: which latches were tripped when the machine moved.
+    json::Value data = json::Value::object();
+    data.set("state", json::Value::string(to_string(detector_.state())));
+    data.set("tripped",
+             json::Value::number(static_cast<double>(detector_.tripped_signals())));
+    data.set("latch_mask",
+             json::Value::number(static_cast<double>(detector_.latch_mask())));
+    const bool diverged = detector_.state() == HealthState::kDiverged;
+    emit_event(t,
+               diverged ? telemetry::EventSeverity::kError
+                        : telemetry::EventSeverity::kInfo,
+               "recovery.transition", std::move(data));
   }
 }
 
@@ -87,12 +111,29 @@ void SupervisedLocalizer::apply_recovery(const LaserScan& scan) {
       pf_->inject_uniform(fraction, rng);
       if (g_inject_fraction_ != nullptr) g_inject_fraction_->set(fraction);
       if (c_injections_ != nullptr) c_injections_->add();
+      {
+        json::Value data = json::Value::object();
+        data.set("fraction", json::Value::number(fraction));
+        emit_event(scan.t, telemetry::EventSeverity::kWarn, "recovery.inject",
+                   std::move(data));
+      }
       break;
     }
     case RecoveryPolicy::Action::kGlobalReloc: {
       telemetry::ScopedSpan span{sink_.trace, "recovery.global_reloc"};
       const std::optional<Pose2> best =
           policy_.global_relocalize(scan, probe_, inner_.pose());
+      {
+        json::Value data = json::Value::object();
+        data.set("accepted", json::Value::boolean(best.has_value()));
+        if (best.has_value()) {
+          data.set("x", json::Value::number(best->x));
+          data.set("y", json::Value::number(best->y));
+          data.set("theta", json::Value::number(best->theta));
+        }
+        emit_event(scan.t, telemetry::EventSeverity::kWarn,
+                   "recovery.global_reloc", std::move(data));
+      }
       if (best.has_value()) {
         inner_.initialize(*best);
         relocated_this_scan_ = true;
@@ -119,12 +160,14 @@ Pose2 SupervisedLocalizer::on_scan(const LaserScan& scan) {
       fallback_pose_ = inner_.pose();
       blackout_dist_m_ = 0.0;
       if (c_blackouts_ != nullptr) c_blackouts_->add();
+      emit_event(scan.t, telemetry::EventSeverity::kWarn,
+                 "recovery.blackout_enter", json::Value::object());
     }
     const TransitionCounts before = detector_.transitions();
     DetectorInputs in;
     in.blackout = true;
     detector_.update(in);
-    publish(before);
+    publish(before, scan.t);
     return fallback_pose_;
   }
   if (blackout_engaged_) {
@@ -132,6 +175,12 @@ Pose2 SupervisedLocalizer::on_scan(const LaserScan& scan) {
     // odometry while blind, so hand judgement of the residual drift back to
     // the detector on the normal path below.
     blackout_engaged_ = false;
+    {
+      json::Value data = json::Value::object();
+      data.set("drift_m", json::Value::number(blackout_dist_m_));
+      emit_event(scan.t, telemetry::EventSeverity::kInfo,
+                 "recovery.blackout_exit", std::move(data));
+    }
     blackout_dist_m_ = 0.0;
     if (g_blackout_drift_ != nullptr) g_blackout_drift_->set(0.0);
   }
@@ -141,6 +190,7 @@ Pose2 SupervisedLocalizer::on_scan(const LaserScan& scan) {
 
   const double align = probe_.score(estimate, scan);
   policy_.observe_alignment(align);
+  last_alignment_ = align;
 
   DetectorInputs in;
   in.scan_alignment = align;
@@ -181,7 +231,7 @@ Pose2 SupervisedLocalizer::on_scan(const LaserScan& scan) {
       diverged_since_ = -1.0;
     }
   }
-  publish(before);
+  publish(before, scan.t);
   // After a relocalization the inner estimate moved; report the repaired
   // pose. On every other path return the inner estimate verbatim so an
   // all-policies-off supervisor is a bitwise pass-through.

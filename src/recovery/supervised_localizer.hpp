@@ -83,11 +83,16 @@ class SupervisedLocalizer final : public Localizer {
   bool blackout_engaged() const { return blackout_engaged_; }
   /// Dead-reckoned distance accumulated during the current blackout, m.
   double blackout_drift_m() const { return blackout_dist_m_; }
+  /// Alignment-probe score of the most recent non-blackout scan
+  /// (-1 before the first one). Flight-recorder probe.
+  double last_alignment() const { return last_alignment_; }
 
  private:
   void apply_recovery(const LaserScan& scan);
   void set_tempering(bool want);
-  void publish(const TransitionCounts& before);
+  void publish(const TransitionCounts& before, double t);
+  void emit_event(double t, telemetry::EventSeverity severity,
+                  const char* code, json::Value data);
 
   Localizer& inner_;
   SupervisedLocalizerConfig config_;
@@ -110,6 +115,7 @@ class SupervisedLocalizer final : public Localizer {
   bool tempering_engaged_{false};
   bool relocated_this_scan_{false};
   double diverged_since_{-1.0};  ///< scan time of the open divergence episode
+  double last_alignment_{-1.0};
 
   telemetry::Sink sink_{};
   telemetry::Gauge* g_state_{nullptr};

@@ -5,13 +5,17 @@
 ///
 /// Instrumented components (`ParticleFilter`, `SynPf`, `CartoLocalizer`,
 /// the range backends, `ExperimentRunner`, `SensorTrace::replay`) accept a
-/// `Sink` — a pair of nullable pointers. Either side may be absent: a null
+/// `Sink` — a bundle of nullable pointers. Any side may be absent: a null
 /// metrics registry skips all counter/gauge/histogram records, a null trace
-/// buffer makes every `ScopedSpan` a no-op. The default-constructed Sink is
-/// the zero-cost configuration (one predictable branch per record site).
+/// buffer makes every `ScopedSpan` a no-op, a null event log skips journal
+/// emission, a null flight recorder skips black-box snapshots. The
+/// default-constructed Sink is the zero-cost configuration (one predictable
+/// branch per record site).
 
 #include "telemetry/contract_monitor.hpp"
+#include "telemetry/events.hpp"
 #include "telemetry/filter_health.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace_buffer.hpp"
 
@@ -19,21 +23,33 @@
 
 namespace srl::telemetry {
 
-/// Non-owning telemetry destination. Cheap to copy; both pointers nullable.
+/// Non-owning telemetry destination. Cheap to copy; all pointers nullable.
 struct Sink {
   MetricsRegistry* metrics{nullptr};
   TraceBuffer* trace{nullptr};
+  EventLog* events{nullptr};
+  FlightRecorder* recorder{nullptr};
 
-  bool enabled() const { return metrics != nullptr || trace != nullptr; }
+  bool enabled() const {
+    return metrics != nullptr || trace != nullptr || events != nullptr ||
+           recorder != nullptr;
+  }
 };
 
-/// Owning bundle for examples, benches and tests: registry + trace buffer
-/// with a ready-made Sink over them.
+/// Owning bundle for examples, benches and tests: registry + trace buffer +
+/// event journal with a ready-made Sink over them. The flight recorder is
+/// per-run state, so harnesses attach their own (`Sink::recorder`).
 struct Telemetry {
   MetricsRegistry metrics;
   TraceBuffer trace;
+  EventLog events;
 
-  Sink sink() { return Sink{&metrics, &trace}; }
+  Sink sink() {
+    // Surface silent overflow in the registry (idempotent to re-wire).
+    trace.set_dropped_counter(&metrics.counter("telemetry.dropped_spans"));
+    events.set_dropped_counter(&metrics.counter("telemetry.dropped_events"));
+    return Sink{&metrics, &trace, &events, nullptr};
+  }
 };
 
 /// Stage stopwatch that records into a histogram on `stop()` — and does

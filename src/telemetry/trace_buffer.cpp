@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "common/csv.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace srl::telemetry {
 
@@ -30,9 +31,15 @@ void TraceBuffer::add(const char* name, double ts_us, double dur_us,
   std::lock_guard lock{mutex_};
   if (events_.size() >= capacity_) {
     ++dropped_;
+    if (dropped_counter_ != nullptr) dropped_counter_->add();
     return;
   }
   events_.emplace_back(name, ts_us, dur_us, tid, depth);
+}
+
+void TraceBuffer::set_dropped_counter(Counter* counter) {
+  std::lock_guard lock{mutex_};
+  dropped_counter_ = counter;
 }
 
 std::vector<TraceEvent> TraceBuffer::events() const {
@@ -78,7 +85,7 @@ bool TraceBuffer::write_chrome_trace(const std::string& path) const {
         << ",\"pid\":0,\"tid\":" << e.tid << ",\"args\":{\"depth\":" << e.depth
         << "}}";
   }
-  out << "]}\n";
+  out << "],\"otherData\":{\"dropped_spans\":" << dropped() << "}}\n";
   return static_cast<bool>(out);
 }
 

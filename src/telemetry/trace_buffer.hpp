@@ -17,6 +17,8 @@
 
 namespace srl::telemetry {
 
+class Counter;
+
 struct TraceEvent {
   const char* name;     ///< string literal; not owned
   double ts_us;         ///< start, microseconds since the buffer epoch
@@ -46,7 +48,13 @@ class TraceBuffer {
   std::uint64_t dropped() const;
   void clear();
 
-  /// Chrome trace JSON: {"traceEvents":[...],"displayTimeUnit":"ms"}.
+  /// Mirror span overflow into a registry counter
+  /// (telemetry.dropped_spans) so silent truncation shows up in metrics
+  /// tables, not just in this buffer's own accessor.
+  void set_dropped_counter(Counter* counter);
+
+  /// Chrome trace JSON: {"traceEvents":[...],"displayTimeUnit":"ms"} plus
+  /// an "otherData" footer carrying the dropped-span count.
   /// Loadable in chrome://tracing and ui.perfetto.dev.
   bool write_chrome_trace(const std::string& path) const;
   /// CSV: name,ts_us,dur_us,tid,depth.
@@ -61,6 +69,7 @@ class TraceBuffer {
   mutable std::mutex mutex_;
   std::vector<TraceEvent> events_;
   std::uint64_t dropped_{0};
+  Counter* dropped_counter_{nullptr};
 };
 
 /// RAII span: records [construction, destruction) into `buffer` under

@@ -262,6 +262,99 @@ TEST(TraceBuffer, ChromeTraceJsonIsWellFormed) {
   EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
   EXPECT_NE(text.find("\"pf.raycast\""), std::string::npos);
   EXPECT_NE(text.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  // Spans that didn't fit the buffer are accounted in the footer.
+  EXPECT_NE(text.find("\"dropped_spans\":0"), std::string::npos);
+}
+
+TEST(TraceBuffer, DroppedSpansReachRegistryAndFooter) {
+  MetricsRegistry registry;
+  TraceBuffer buf{2};
+  buf.set_dropped_counter(&registry.counter("telemetry.dropped_spans"));
+  for (int i = 0; i < 5; ++i) buf.add("e", 0.0, 1.0, 0, 0);
+  EXPECT_EQ(buf.dropped(), 3u);
+  EXPECT_EQ(registry.counter("telemetry.dropped_spans").value(), 3u);
+
+  const std::string path = "test_telemetry_trace_dropped.json";
+  ASSERT_TRUE(buf.write_chrome_trace(path));
+  std::ifstream in{path};
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::remove(path.c_str());
+  EXPECT_NE(ss.str().find("\"dropped_spans\":3"), std::string::npos);
+}
+
+// ------------------------------------------------------------ EventLog
+
+TEST(EventLog, EmitsInOrderWithSeverityTallies) {
+  EventLog log;
+  log.emit(0.1, EventSeverity::kInfo, EventCategory::kExperiment, "e.start");
+  log.emit(0.2, EventSeverity::kWarn, EventCategory::kFault, "fault.active");
+  log.emit(0.3, EventSeverity::kCritical, EventCategory::kContract,
+           "contract.violation");
+  EXPECT_EQ(log.total(), 3u);
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.dropped(), 0u);
+  EXPECT_EQ(log.count(EventSeverity::kWarn), 1u);
+  EXPECT_EQ(log.critical_count(), 1u);
+  const std::vector<Event> events = log.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_EQ(events[2].seq, 2u);
+  EXPECT_EQ(events[1].code, "fault.active");
+  EXPECT_EQ(events[1].category, EventCategory::kFault);
+}
+
+TEST(EventLog, KeepsFirstCapacityEventsAndCountsOverflow) {
+  EventLog log{4};
+  MetricsRegistry registry;
+  log.set_dropped_counter(&registry.counter("telemetry.dropped_events"));
+  for (int i = 0; i < 10; ++i) {
+    log.emit(0.1 * i, EventSeverity::kInfo, EventCategory::kFilter,
+             "e" + std::to_string(i));
+  }
+  EXPECT_EQ(log.total(), 10u);
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.dropped(), 6u);
+  EXPECT_EQ(registry.counter("telemetry.dropped_events").value(), 6u);
+  // The journal keeps the *beginning* of the causal chain.
+  const std::vector<Event> events = log.events();
+  EXPECT_EQ(events.front().code, "e0");
+  EXPECT_EQ(events.back().code, "e3");
+  // Severity tallies count every emission, kept or dropped.
+  EXPECT_EQ(log.count(EventSeverity::kInfo), 10u);
+}
+
+TEST(EventLog, NdjsonRoundTrip) {
+  EventLog log;
+  json::Value data = json::Value::object();
+  data.set("ess_fraction", json::Value::number(0.25));
+  log.emit(1.5, EventSeverity::kDebug, EventCategory::kFilter, "pf.resample",
+           std::move(data));
+  log.emit(2.0, EventSeverity::kError, EventCategory::kRecovery,
+           "recovery.transition");
+
+  const std::string path = "test_telemetry_events.ndjson";
+  std::remove(path.c_str());
+  ASSERT_TRUE(log.write_ndjson(path));
+  const auto back = EventLog::load_ndjson(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->size(), 2u);
+  EXPECT_EQ((*back)[0].code, "pf.resample");
+  EXPECT_EQ((*back)[0].severity, EventSeverity::kDebug);
+  EXPECT_DOUBLE_EQ((*back)[0].t, 1.5);
+  const json::Value* ess = (*back)[0].data.find("ess_fraction");
+  ASSERT_NE(ess, nullptr);
+  EXPECT_DOUBLE_EQ(ess->as_double(), 0.25);
+  EXPECT_EQ((*back)[1].severity, EventSeverity::kError);
+  EXPECT_EQ((*back)[1].category, EventCategory::kRecovery);
+}
+
+TEST(EventLog, EventJsonRejectsMalformed) {
+  EXPECT_FALSE(event_from_json(json::Value::number(1.0)).has_value());
+  json::Value missing = json::Value::object();
+  missing.set("t", json::Value::number(0.0));
+  EXPECT_FALSE(event_from_json(missing).has_value());
 }
 
 // ------------------------------------------------------------ FilterHealth

@@ -22,6 +22,10 @@
 ///      counts, and a policies-off supervisor is a bitwise no-op on the
 ///      bare filter's estimates (the PR-5 guarantee: recovery draws come
 ///      from their own pinned substream schedule),
+///   7. with the flight recorder + event journal attached to the supervised
+///      kidnap replay: estimates stay bitwise identical to the recorder-off
+///      run, and the recorder's per-tick estimate hash is invariant across
+///      worker-lane counts (the PR-6 guarantee black-box replay rests on),
 ///
 /// and, in a SYNPF_CHECKED build, requires the whole lap to complete with
 /// zero contract violations (reported through `telemetry::ContractMonitor`).
@@ -43,6 +47,7 @@
 #include "fault/pipeline.hpp"
 #include "gridmap/track_generator.hpp"
 #include "recovery/supervised_localizer.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace {
@@ -261,6 +266,49 @@ int main(int argc, char** argv) {
       sup.bind_filter(&inner.filter());
       const auto roff = ktrace.replay(sup);
       ok = compare(rbare, roff, "recovery-off-noop") && ok;
+    }
+
+    // 7. Flight recorder: attaching the recorder + event journal to the
+    // supervised kidnap replay must not move a single estimate bit (the
+    // recorder observes, never steers), and the recorder's own per-tick
+    // estimate hash must be thread-count invariant — the property the
+    // postmortem bitwise-replay verdict rests on.
+    {
+      auto recorded_replay = [&](int threads,
+                                 telemetry::FlightRecorder& recorder) {
+        telemetry::Telemetry telemetry;
+        SynPfConfig tcfg = cfg;
+        tcfg.filter.n_threads = threads;
+        SynPf pf{tcfg, map, LidarConfig{}};
+        recovery::SupervisedLocalizer sup{pf, {}, map, LidarConfig{}};
+        sup.bind_filter(&pf.filter());
+        telemetry::Sink sink = telemetry.sink();
+        sink.recorder = &recorder;
+        return ktrace.replay(sup, sink);
+      };
+      telemetry::FlightRecorder rec1{telemetry::FlightRecorderConfig{}};
+      const auto rr = recorded_replay(1, rec1);
+      ok = compare(rk, rr, "recorder-noop") && ok;
+      telemetry::FlightRecorder rec8{telemetry::FlightRecorderConfig{}};
+      (void)recorded_replay(8, rec8);
+      if (rec1.estimate_hash() != rec8.estimate_hash() ||
+          rec1.ticks() != rec8.ticks()) {
+        std::fprintf(stderr,
+                     "[recorder-threads] estimate hash diverges across "
+                     "thread counts: %016llx (%llu ticks) vs %016llx "
+                     "(%llu ticks)\n",
+                     static_cast<unsigned long long>(rec1.estimate_hash()),
+                     static_cast<unsigned long long>(rec1.ticks()),
+                     static_cast<unsigned long long>(rec8.estimate_hash()),
+                     static_cast<unsigned long long>(rec8.ticks()));
+        ok = false;
+      } else {
+        std::printf(
+            "[recorder-threads] OK — estimate hash %016llx stable over "
+            "%llu ticks at 1 and 8 lanes\n",
+            static_cast<unsigned long long>(rec1.estimate_hash()),
+            static_cast<unsigned long long>(rec1.ticks()));
+      }
     }
   }
 
