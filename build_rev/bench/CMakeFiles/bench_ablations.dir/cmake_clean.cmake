@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablations.dir/bench_ablations.cpp.o"
+  "CMakeFiles/bench_ablations.dir/bench_ablations.cpp.o.d"
+  "bench_ablations"
+  "bench_ablations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

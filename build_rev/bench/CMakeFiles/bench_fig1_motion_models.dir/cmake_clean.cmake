@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_motion_models.dir/bench_fig1_motion_models.cpp.o"
+  "CMakeFiles/bench_fig1_motion_models.dir/bench_fig1_motion_models.cpp.o.d"
+  "bench_fig1_motion_models"
+  "bench_fig1_motion_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_motion_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

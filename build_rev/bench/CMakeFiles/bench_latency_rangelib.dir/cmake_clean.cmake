@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_latency_rangelib.dir/bench_latency_rangelib.cpp.o"
+  "CMakeFiles/bench_latency_rangelib.dir/bench_latency_rangelib.cpp.o.d"
+  "bench_latency_rangelib"
+  "bench_latency_rangelib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_latency_rangelib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_latency_rangelib.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_latency_rangelib.
+# This may be replaced when dependencies are built.

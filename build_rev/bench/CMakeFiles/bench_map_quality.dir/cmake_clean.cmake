@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_map_quality.dir/bench_map_quality.cpp.o"
+  "CMakeFiles/bench_map_quality.dir/bench_map_quality.cpp.o.d"
+  "bench_map_quality"
+  "bench_map_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_map_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_map_quality.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_particle_sweep.dir/bench_particle_sweep.cpp.o"
+  "CMakeFiles/bench_particle_sweep.dir/bench_particle_sweep.cpp.o.d"
+  "bench_particle_sweep"
+  "bench_particle_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_particle_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

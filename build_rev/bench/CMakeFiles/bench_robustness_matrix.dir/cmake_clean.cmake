@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_robustness_matrix.dir/bench_robustness_matrix.cpp.o"
+  "CMakeFiles/bench_robustness_matrix.dir/bench_robustness_matrix.cpp.o.d"
+  "bench_robustness_matrix"
+  "bench_robustness_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_robustness_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_slip_sweep.dir/bench_slip_sweep.cpp.o"
+  "CMakeFiles/bench_slip_sweep.dir/bench_slip_sweep.cpp.o.d"
+  "bench_slip_sweep"
+  "bench_slip_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_slip_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1.dir/bench_table1.cpp.o"
+  "CMakeFiles/bench_table1.dir/bench_table1.cpp.o.d"
+  "bench_table1"
+  "bench_table1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_relocalization.dir/global_relocalization.cpp.o"
+  "CMakeFiles/global_relocalization.dir/global_relocalization.cpp.o.d"
+  "global_relocalization"
+  "global_relocalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_relocalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

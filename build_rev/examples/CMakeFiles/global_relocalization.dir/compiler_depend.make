@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for global_relocalization.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for global_relocalization.
+# This may be replaced when dependencies are built.

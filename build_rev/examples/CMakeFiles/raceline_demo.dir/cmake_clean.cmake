@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raceline_demo.dir/raceline_demo.cpp.o"
+  "CMakeFiles/raceline_demo.dir/raceline_demo.cpp.o.d"
+  "raceline_demo"
+  "raceline_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raceline_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustness_study.dir/robustness_study.cpp.o"
+  "CMakeFiles/robustness_study.dir/robustness_study.cpp.o.d"
+  "robustness_study"
+  "robustness_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustness_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slam_mapping.dir/slam_mapping.cpp.o"
+  "CMakeFiles/slam_mapping.dir/slam_mapping.cpp.o.d"
+  "slam_mapping"
+  "slam_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slam_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for slam_mapping.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_demo.dir/telemetry_demo.cpp.o"
+  "CMakeFiles/telemetry_demo.dir/telemetry_demo.cpp.o.d"
+  "telemetry_demo"
+  "telemetry_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

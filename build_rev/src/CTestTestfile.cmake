@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build_rev/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("telemetry")
+subdirs("gridmap")
+subdirs("range")
+subdirs("motion")
+subdirs("sensor")
+subdirs("core")
+subdirs("fault")
+subdirs("slam")
+subdirs("vehicle")
+subdirs("control")
+subdirs("track")
+subdirs("recovery")
+subdirs("eval")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/contracts.cpp" "src/common/CMakeFiles/srl_common.dir/contracts.cpp.o" "gcc" "src/common/CMakeFiles/srl_common.dir/contracts.cpp.o.d"
+  "/root/repo/src/common/csv.cpp" "src/common/CMakeFiles/srl_common.dir/csv.cpp.o" "gcc" "src/common/CMakeFiles/srl_common.dir/csv.cpp.o.d"
+  "/root/repo/src/common/json.cpp" "src/common/CMakeFiles/srl_common.dir/json.cpp.o" "gcc" "src/common/CMakeFiles/srl_common.dir/json.cpp.o.d"
+  "/root/repo/src/common/parallel.cpp" "src/common/CMakeFiles/srl_common.dir/parallel.cpp.o" "gcc" "src/common/CMakeFiles/srl_common.dir/parallel.cpp.o.d"
+  "/root/repo/src/common/polyline.cpp" "src/common/CMakeFiles/srl_common.dir/polyline.cpp.o" "gcc" "src/common/CMakeFiles/srl_common.dir/polyline.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/common/CMakeFiles/srl_common.dir/stats.cpp.o" "gcc" "src/common/CMakeFiles/srl_common.dir/stats.cpp.o.d"
+  "/root/repo/src/common/types.cpp" "src/common/CMakeFiles/srl_common.dir/types.cpp.o" "gcc" "src/common/CMakeFiles/srl_common.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

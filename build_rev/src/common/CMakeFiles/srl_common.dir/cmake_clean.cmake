@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srl_common.dir/contracts.cpp.o"
+  "CMakeFiles/srl_common.dir/contracts.cpp.o.d"
+  "CMakeFiles/srl_common.dir/csv.cpp.o"
+  "CMakeFiles/srl_common.dir/csv.cpp.o.d"
+  "CMakeFiles/srl_common.dir/json.cpp.o"
+  "CMakeFiles/srl_common.dir/json.cpp.o.d"
+  "CMakeFiles/srl_common.dir/parallel.cpp.o"
+  "CMakeFiles/srl_common.dir/parallel.cpp.o.d"
+  "CMakeFiles/srl_common.dir/polyline.cpp.o"
+  "CMakeFiles/srl_common.dir/polyline.cpp.o.d"
+  "CMakeFiles/srl_common.dir/stats.cpp.o"
+  "CMakeFiles/srl_common.dir/stats.cpp.o.d"
+  "CMakeFiles/srl_common.dir/types.cpp.o"
+  "CMakeFiles/srl_common.dir/types.cpp.o.d"
+  "libsrl_common.a"
+  "libsrl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

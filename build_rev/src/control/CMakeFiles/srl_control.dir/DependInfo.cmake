@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/pure_pursuit.cpp" "src/control/CMakeFiles/srl_control.dir/pure_pursuit.cpp.o" "gcc" "src/control/CMakeFiles/srl_control.dir/pure_pursuit.cpp.o.d"
+  "/root/repo/src/control/speed_profile.cpp" "src/control/CMakeFiles/srl_control.dir/speed_profile.cpp.o" "gcc" "src/control/CMakeFiles/srl_control.dir/speed_profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_rev/src/track/CMakeFiles/srl_track.dir/DependInfo.cmake"
+  "/root/repo/build_rev/src/vehicle/CMakeFiles/srl_vehicle.dir/DependInfo.cmake"
+  "/root/repo/build_rev/src/motion/CMakeFiles/srl_motion.dir/DependInfo.cmake"
+  "/root/repo/build_rev/src/common/CMakeFiles/srl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srl_control.dir/pure_pursuit.cpp.o"
+  "CMakeFiles/srl_control.dir/pure_pursuit.cpp.o.d"
+  "CMakeFiles/srl_control.dir/speed_profile.cpp.o"
+  "CMakeFiles/srl_control.dir/speed_profile.cpp.o.d"
+  "libsrl_control.a"
+  "libsrl_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srl_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for srl_control.
+# This may be replaced when dependencies are built.

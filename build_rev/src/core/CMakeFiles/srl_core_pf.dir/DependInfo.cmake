@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/particle_filter.cpp" "src/core/CMakeFiles/srl_core_pf.dir/particle_filter.cpp.o" "gcc" "src/core/CMakeFiles/srl_core_pf.dir/particle_filter.cpp.o.d"
+  "/root/repo/src/core/synpf.cpp" "src/core/CMakeFiles/srl_core_pf.dir/synpf.cpp.o" "gcc" "src/core/CMakeFiles/srl_core_pf.dir/synpf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_rev/src/sensor/CMakeFiles/srl_sensor.dir/DependInfo.cmake"
+  "/root/repo/build_rev/src/motion/CMakeFiles/srl_motion.dir/DependInfo.cmake"
+  "/root/repo/build_rev/src/range/CMakeFiles/srl_range.dir/DependInfo.cmake"
+  "/root/repo/build_rev/src/gridmap/CMakeFiles/srl_gridmap.dir/DependInfo.cmake"
+  "/root/repo/build_rev/src/telemetry/CMakeFiles/srl_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build_rev/src/common/CMakeFiles/srl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srl_core_pf.dir/particle_filter.cpp.o"
+  "CMakeFiles/srl_core_pf.dir/particle_filter.cpp.o.d"
+  "CMakeFiles/srl_core_pf.dir/synpf.cpp.o"
+  "CMakeFiles/srl_core_pf.dir/synpf.cpp.o.d"
+  "libsrl_core_pf.a"
+  "libsrl_core_pf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srl_core_pf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

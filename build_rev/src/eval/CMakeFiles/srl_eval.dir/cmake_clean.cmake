@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srl_eval.dir/bench_compare.cpp.o"
+  "CMakeFiles/srl_eval.dir/bench_compare.cpp.o.d"
+  "CMakeFiles/srl_eval.dir/benchmark_json.cpp.o"
+  "CMakeFiles/srl_eval.dir/benchmark_json.cpp.o.d"
+  "CMakeFiles/srl_eval.dir/experiment.cpp.o"
+  "CMakeFiles/srl_eval.dir/experiment.cpp.o.d"
+  "CMakeFiles/srl_eval.dir/fault_replay.cpp.o"
+  "CMakeFiles/srl_eval.dir/fault_replay.cpp.o.d"
+  "CMakeFiles/srl_eval.dir/metrics.cpp.o"
+  "CMakeFiles/srl_eval.dir/metrics.cpp.o.d"
+  "CMakeFiles/srl_eval.dir/postmortem.cpp.o"
+  "CMakeFiles/srl_eval.dir/postmortem.cpp.o.d"
+  "CMakeFiles/srl_eval.dir/scenario_matrix.cpp.o"
+  "CMakeFiles/srl_eval.dir/scenario_matrix.cpp.o.d"
+  "CMakeFiles/srl_eval.dir/table.cpp.o"
+  "CMakeFiles/srl_eval.dir/table.cpp.o.d"
+  "CMakeFiles/srl_eval.dir/trace.cpp.o"
+  "CMakeFiles/srl_eval.dir/trace.cpp.o.d"
+  "libsrl_eval.a"
+  "libsrl_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srl_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

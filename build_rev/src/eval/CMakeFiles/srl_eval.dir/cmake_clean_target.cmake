@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsrl_eval.a"
+)

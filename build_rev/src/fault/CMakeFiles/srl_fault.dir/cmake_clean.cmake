@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srl_fault.dir/faulted_localizer.cpp.o"
+  "CMakeFiles/srl_fault.dir/faulted_localizer.cpp.o.d"
+  "CMakeFiles/srl_fault.dir/injector.cpp.o"
+  "CMakeFiles/srl_fault.dir/injector.cpp.o.d"
+  "CMakeFiles/srl_fault.dir/pipeline.cpp.o"
+  "CMakeFiles/srl_fault.dir/pipeline.cpp.o.d"
+  "libsrl_fault.a"
+  "libsrl_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srl_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gridmap/distance_transform.cpp" "src/gridmap/CMakeFiles/srl_gridmap.dir/distance_transform.cpp.o" "gcc" "src/gridmap/CMakeFiles/srl_gridmap.dir/distance_transform.cpp.o.d"
+  "/root/repo/src/gridmap/map_degrade.cpp" "src/gridmap/CMakeFiles/srl_gridmap.dir/map_degrade.cpp.o" "gcc" "src/gridmap/CMakeFiles/srl_gridmap.dir/map_degrade.cpp.o.d"
+  "/root/repo/src/gridmap/map_io.cpp" "src/gridmap/CMakeFiles/srl_gridmap.dir/map_io.cpp.o" "gcc" "src/gridmap/CMakeFiles/srl_gridmap.dir/map_io.cpp.o.d"
+  "/root/repo/src/gridmap/morphology.cpp" "src/gridmap/CMakeFiles/srl_gridmap.dir/morphology.cpp.o" "gcc" "src/gridmap/CMakeFiles/srl_gridmap.dir/morphology.cpp.o.d"
+  "/root/repo/src/gridmap/occupancy_grid.cpp" "src/gridmap/CMakeFiles/srl_gridmap.dir/occupancy_grid.cpp.o" "gcc" "src/gridmap/CMakeFiles/srl_gridmap.dir/occupancy_grid.cpp.o.d"
+  "/root/repo/src/gridmap/track_generator.cpp" "src/gridmap/CMakeFiles/srl_gridmap.dir/track_generator.cpp.o" "gcc" "src/gridmap/CMakeFiles/srl_gridmap.dir/track_generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_rev/src/common/CMakeFiles/srl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srl_gridmap.dir/distance_transform.cpp.o"
+  "CMakeFiles/srl_gridmap.dir/distance_transform.cpp.o.d"
+  "CMakeFiles/srl_gridmap.dir/map_degrade.cpp.o"
+  "CMakeFiles/srl_gridmap.dir/map_degrade.cpp.o.d"
+  "CMakeFiles/srl_gridmap.dir/map_io.cpp.o"
+  "CMakeFiles/srl_gridmap.dir/map_io.cpp.o.d"
+  "CMakeFiles/srl_gridmap.dir/morphology.cpp.o"
+  "CMakeFiles/srl_gridmap.dir/morphology.cpp.o.d"
+  "CMakeFiles/srl_gridmap.dir/occupancy_grid.cpp.o"
+  "CMakeFiles/srl_gridmap.dir/occupancy_grid.cpp.o.d"
+  "CMakeFiles/srl_gridmap.dir/track_generator.cpp.o"
+  "CMakeFiles/srl_gridmap.dir/track_generator.cpp.o.d"
+  "libsrl_gridmap.a"
+  "libsrl_gridmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srl_gridmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/motion/diff_drive.cpp" "src/motion/CMakeFiles/srl_motion.dir/diff_drive.cpp.o" "gcc" "src/motion/CMakeFiles/srl_motion.dir/diff_drive.cpp.o.d"
+  "/root/repo/src/motion/tum_model.cpp" "src/motion/CMakeFiles/srl_motion.dir/tum_model.cpp.o" "gcc" "src/motion/CMakeFiles/srl_motion.dir/tum_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_rev/src/common/CMakeFiles/srl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srl_motion.dir/diff_drive.cpp.o"
+  "CMakeFiles/srl_motion.dir/diff_drive.cpp.o.d"
+  "CMakeFiles/srl_motion.dir/tum_model.cpp.o"
+  "CMakeFiles/srl_motion.dir/tum_model.cpp.o.d"
+  "libsrl_motion.a"
+  "libsrl_motion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srl_motion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

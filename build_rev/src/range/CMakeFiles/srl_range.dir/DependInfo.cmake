@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/range/bresenham.cpp" "src/range/CMakeFiles/srl_range.dir/bresenham.cpp.o" "gcc" "src/range/CMakeFiles/srl_range.dir/bresenham.cpp.o.d"
+  "/root/repo/src/range/cddt.cpp" "src/range/CMakeFiles/srl_range.dir/cddt.cpp.o" "gcc" "src/range/CMakeFiles/srl_range.dir/cddt.cpp.o.d"
+  "/root/repo/src/range/lookup_table.cpp" "src/range/CMakeFiles/srl_range.dir/lookup_table.cpp.o" "gcc" "src/range/CMakeFiles/srl_range.dir/lookup_table.cpp.o.d"
+  "/root/repo/src/range/range_factory.cpp" "src/range/CMakeFiles/srl_range.dir/range_factory.cpp.o" "gcc" "src/range/CMakeFiles/srl_range.dir/range_factory.cpp.o.d"
+  "/root/repo/src/range/ray_marching.cpp" "src/range/CMakeFiles/srl_range.dir/ray_marching.cpp.o" "gcc" "src/range/CMakeFiles/srl_range.dir/ray_marching.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_rev/src/gridmap/CMakeFiles/srl_gridmap.dir/DependInfo.cmake"
+  "/root/repo/build_rev/src/telemetry/CMakeFiles/srl_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build_rev/src/common/CMakeFiles/srl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

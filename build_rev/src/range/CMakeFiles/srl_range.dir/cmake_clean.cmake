@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srl_range.dir/bresenham.cpp.o"
+  "CMakeFiles/srl_range.dir/bresenham.cpp.o.d"
+  "CMakeFiles/srl_range.dir/cddt.cpp.o"
+  "CMakeFiles/srl_range.dir/cddt.cpp.o.d"
+  "CMakeFiles/srl_range.dir/lookup_table.cpp.o"
+  "CMakeFiles/srl_range.dir/lookup_table.cpp.o.d"
+  "CMakeFiles/srl_range.dir/range_factory.cpp.o"
+  "CMakeFiles/srl_range.dir/range_factory.cpp.o.d"
+  "CMakeFiles/srl_range.dir/ray_marching.cpp.o"
+  "CMakeFiles/srl_range.dir/ray_marching.cpp.o.d"
+  "libsrl_range.a"
+  "libsrl_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srl_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srl_recovery.dir/divergence_detector.cpp.o"
+  "CMakeFiles/srl_recovery.dir/divergence_detector.cpp.o.d"
+  "CMakeFiles/srl_recovery.dir/recovery_policy.cpp.o"
+  "CMakeFiles/srl_recovery.dir/recovery_policy.cpp.o.d"
+  "CMakeFiles/srl_recovery.dir/supervised_localizer.cpp.o"
+  "CMakeFiles/srl_recovery.dir/supervised_localizer.cpp.o.d"
+  "libsrl_recovery.a"
+  "libsrl_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srl_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

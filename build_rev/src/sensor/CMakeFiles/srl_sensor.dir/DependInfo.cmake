@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sensor/beam_model.cpp" "src/sensor/CMakeFiles/srl_sensor.dir/beam_model.cpp.o" "gcc" "src/sensor/CMakeFiles/srl_sensor.dir/beam_model.cpp.o.d"
+  "/root/repo/src/sensor/lidar.cpp" "src/sensor/CMakeFiles/srl_sensor.dir/lidar.cpp.o" "gcc" "src/sensor/CMakeFiles/srl_sensor.dir/lidar.cpp.o.d"
+  "/root/repo/src/sensor/lidar_sim.cpp" "src/sensor/CMakeFiles/srl_sensor.dir/lidar_sim.cpp.o" "gcc" "src/sensor/CMakeFiles/srl_sensor.dir/lidar_sim.cpp.o.d"
+  "/root/repo/src/sensor/scanline_layout.cpp" "src/sensor/CMakeFiles/srl_sensor.dir/scanline_layout.cpp.o" "gcc" "src/sensor/CMakeFiles/srl_sensor.dir/scanline_layout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_rev/src/range/CMakeFiles/srl_range.dir/DependInfo.cmake"
+  "/root/repo/build_rev/src/common/CMakeFiles/srl_common.dir/DependInfo.cmake"
+  "/root/repo/build_rev/src/gridmap/CMakeFiles/srl_gridmap.dir/DependInfo.cmake"
+  "/root/repo/build_rev/src/telemetry/CMakeFiles/srl_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

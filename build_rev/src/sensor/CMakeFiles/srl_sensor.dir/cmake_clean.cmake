@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srl_sensor.dir/beam_model.cpp.o"
+  "CMakeFiles/srl_sensor.dir/beam_model.cpp.o.d"
+  "CMakeFiles/srl_sensor.dir/lidar.cpp.o"
+  "CMakeFiles/srl_sensor.dir/lidar.cpp.o.d"
+  "CMakeFiles/srl_sensor.dir/lidar_sim.cpp.o"
+  "CMakeFiles/srl_sensor.dir/lidar_sim.cpp.o.d"
+  "CMakeFiles/srl_sensor.dir/scanline_layout.cpp.o"
+  "CMakeFiles/srl_sensor.dir/scanline_layout.cpp.o.d"
+  "libsrl_sensor.a"
+  "libsrl_sensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srl_sensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/slam/carto_slam.cpp" "src/slam/CMakeFiles/srl_slam.dir/carto_slam.cpp.o" "gcc" "src/slam/CMakeFiles/srl_slam.dir/carto_slam.cpp.o.d"
+  "/root/repo/src/slam/linalg.cpp" "src/slam/CMakeFiles/srl_slam.dir/linalg.cpp.o" "gcc" "src/slam/CMakeFiles/srl_slam.dir/linalg.cpp.o.d"
+  "/root/repo/src/slam/pose_graph.cpp" "src/slam/CMakeFiles/srl_slam.dir/pose_graph.cpp.o" "gcc" "src/slam/CMakeFiles/srl_slam.dir/pose_graph.cpp.o.d"
+  "/root/repo/src/slam/probability_grid.cpp" "src/slam/CMakeFiles/srl_slam.dir/probability_grid.cpp.o" "gcc" "src/slam/CMakeFiles/srl_slam.dir/probability_grid.cpp.o.d"
+  "/root/repo/src/slam/pure_localization.cpp" "src/slam/CMakeFiles/srl_slam.dir/pure_localization.cpp.o" "gcc" "src/slam/CMakeFiles/srl_slam.dir/pure_localization.cpp.o.d"
+  "/root/repo/src/slam/scan_matching.cpp" "src/slam/CMakeFiles/srl_slam.dir/scan_matching.cpp.o" "gcc" "src/slam/CMakeFiles/srl_slam.dir/scan_matching.cpp.o.d"
+  "/root/repo/src/slam/submap.cpp" "src/slam/CMakeFiles/srl_slam.dir/submap.cpp.o" "gcc" "src/slam/CMakeFiles/srl_slam.dir/submap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_rev/src/core/CMakeFiles/srl_core_pf.dir/DependInfo.cmake"
+  "/root/repo/build_rev/src/sensor/CMakeFiles/srl_sensor.dir/DependInfo.cmake"
+  "/root/repo/build_rev/src/gridmap/CMakeFiles/srl_gridmap.dir/DependInfo.cmake"
+  "/root/repo/build_rev/src/common/CMakeFiles/srl_common.dir/DependInfo.cmake"
+  "/root/repo/build_rev/src/motion/CMakeFiles/srl_motion.dir/DependInfo.cmake"
+  "/root/repo/build_rev/src/range/CMakeFiles/srl_range.dir/DependInfo.cmake"
+  "/root/repo/build_rev/src/telemetry/CMakeFiles/srl_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srl_slam.dir/carto_slam.cpp.o"
+  "CMakeFiles/srl_slam.dir/carto_slam.cpp.o.d"
+  "CMakeFiles/srl_slam.dir/linalg.cpp.o"
+  "CMakeFiles/srl_slam.dir/linalg.cpp.o.d"
+  "CMakeFiles/srl_slam.dir/pose_graph.cpp.o"
+  "CMakeFiles/srl_slam.dir/pose_graph.cpp.o.d"
+  "CMakeFiles/srl_slam.dir/probability_grid.cpp.o"
+  "CMakeFiles/srl_slam.dir/probability_grid.cpp.o.d"
+  "CMakeFiles/srl_slam.dir/pure_localization.cpp.o"
+  "CMakeFiles/srl_slam.dir/pure_localization.cpp.o.d"
+  "CMakeFiles/srl_slam.dir/scan_matching.cpp.o"
+  "CMakeFiles/srl_slam.dir/scan_matching.cpp.o.d"
+  "CMakeFiles/srl_slam.dir/submap.cpp.o"
+  "CMakeFiles/srl_slam.dir/submap.cpp.o.d"
+  "libsrl_slam.a"
+  "libsrl_slam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srl_slam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/contract_monitor.cpp" "src/telemetry/CMakeFiles/srl_telemetry.dir/contract_monitor.cpp.o" "gcc" "src/telemetry/CMakeFiles/srl_telemetry.dir/contract_monitor.cpp.o.d"
+  "/root/repo/src/telemetry/events.cpp" "src/telemetry/CMakeFiles/srl_telemetry.dir/events.cpp.o" "gcc" "src/telemetry/CMakeFiles/srl_telemetry.dir/events.cpp.o.d"
+  "/root/repo/src/telemetry/filter_health.cpp" "src/telemetry/CMakeFiles/srl_telemetry.dir/filter_health.cpp.o" "gcc" "src/telemetry/CMakeFiles/srl_telemetry.dir/filter_health.cpp.o.d"
+  "/root/repo/src/telemetry/flight_recorder.cpp" "src/telemetry/CMakeFiles/srl_telemetry.dir/flight_recorder.cpp.o" "gcc" "src/telemetry/CMakeFiles/srl_telemetry.dir/flight_recorder.cpp.o.d"
+  "/root/repo/src/telemetry/metrics.cpp" "src/telemetry/CMakeFiles/srl_telemetry.dir/metrics.cpp.o" "gcc" "src/telemetry/CMakeFiles/srl_telemetry.dir/metrics.cpp.o.d"
+  "/root/repo/src/telemetry/trace_buffer.cpp" "src/telemetry/CMakeFiles/srl_telemetry.dir/trace_buffer.cpp.o" "gcc" "src/telemetry/CMakeFiles/srl_telemetry.dir/trace_buffer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_rev/src/common/CMakeFiles/srl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srl_telemetry.dir/contract_monitor.cpp.o"
+  "CMakeFiles/srl_telemetry.dir/contract_monitor.cpp.o.d"
+  "CMakeFiles/srl_telemetry.dir/events.cpp.o"
+  "CMakeFiles/srl_telemetry.dir/events.cpp.o.d"
+  "CMakeFiles/srl_telemetry.dir/filter_health.cpp.o"
+  "CMakeFiles/srl_telemetry.dir/filter_health.cpp.o.d"
+  "CMakeFiles/srl_telemetry.dir/flight_recorder.cpp.o"
+  "CMakeFiles/srl_telemetry.dir/flight_recorder.cpp.o.d"
+  "CMakeFiles/srl_telemetry.dir/metrics.cpp.o"
+  "CMakeFiles/srl_telemetry.dir/metrics.cpp.o.d"
+  "CMakeFiles/srl_telemetry.dir/trace_buffer.cpp.o"
+  "CMakeFiles/srl_telemetry.dir/trace_buffer.cpp.o.d"
+  "libsrl_telemetry.a"
+  "libsrl_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srl_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

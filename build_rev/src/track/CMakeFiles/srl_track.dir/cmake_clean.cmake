@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srl_track.dir/raceline.cpp.o"
+  "CMakeFiles/srl_track.dir/raceline.cpp.o.d"
+  "CMakeFiles/srl_track.dir/raceline_optimizer.cpp.o"
+  "CMakeFiles/srl_track.dir/raceline_optimizer.cpp.o.d"
+  "libsrl_track.a"
+  "libsrl_track.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srl_track.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vehicle/sensors.cpp" "src/vehicle/CMakeFiles/srl_vehicle.dir/sensors.cpp.o" "gcc" "src/vehicle/CMakeFiles/srl_vehicle.dir/sensors.cpp.o.d"
+  "/root/repo/src/vehicle/vehicle_sim.cpp" "src/vehicle/CMakeFiles/srl_vehicle.dir/vehicle_sim.cpp.o" "gcc" "src/vehicle/CMakeFiles/srl_vehicle.dir/vehicle_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_rev/src/motion/CMakeFiles/srl_motion.dir/DependInfo.cmake"
+  "/root/repo/build_rev/src/common/CMakeFiles/srl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srl_vehicle.dir/sensors.cpp.o"
+  "CMakeFiles/srl_vehicle.dir/sensors.cpp.o.d"
+  "CMakeFiles/srl_vehicle.dir/vehicle_sim.cpp.o"
+  "CMakeFiles/srl_vehicle.dir/vehicle_sim.cpp.o.d"
+  "libsrl_vehicle.a"
+  "libsrl_vehicle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srl_vehicle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,87 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/build_rev/tests/header_checks/common_angles.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/common_angles.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/common_angles.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/common_contracts.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/common_contracts.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/common_contracts.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/common_csv.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/common_csv.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/common_csv.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/common_json.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/common_json.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/common_json.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/common_parallel.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/common_parallel.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/common_parallel.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/common_polyline.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/common_polyline.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/common_polyline.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/common_rng.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/common_rng.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/common_rng.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/common_stats.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/common_stats.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/common_stats.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/common_timer.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/common_timer.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/common_timer.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/common_types.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/common_types.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/common_types.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/control_pure_pursuit.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/control_pure_pursuit.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/control_pure_pursuit.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/control_speed_profile.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/control_speed_profile.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/control_speed_profile.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/core_localizer.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/core_localizer.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/core_localizer.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/core_particle_filter.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/core_particle_filter.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/core_particle_filter.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/core_synpf.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/core_synpf.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/core_synpf.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/eval_bench_compare.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/eval_bench_compare.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/eval_bench_compare.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/eval_benchmark_json.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/eval_benchmark_json.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/eval_benchmark_json.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/eval_dead_reckoning.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/eval_dead_reckoning.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/eval_dead_reckoning.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/eval_experiment.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/eval_experiment.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/eval_experiment.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/eval_fault_replay.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/eval_fault_replay.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/eval_fault_replay.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/eval_metrics.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/eval_metrics.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/eval_metrics.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/eval_postmortem.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/eval_postmortem.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/eval_postmortem.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/eval_scenario_matrix.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/eval_scenario_matrix.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/eval_scenario_matrix.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/eval_table.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/eval_table.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/eval_table.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/eval_trace.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/eval_trace.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/eval_trace.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/fault_faulted_localizer.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/fault_faulted_localizer.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/fault_faulted_localizer.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/fault_injector.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/fault_injector.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/fault_injector.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/fault_pipeline.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/fault_pipeline.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/fault_pipeline.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/gridmap_distance_transform.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/gridmap_distance_transform.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/gridmap_distance_transform.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/gridmap_map_degrade.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/gridmap_map_degrade.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/gridmap_map_degrade.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/gridmap_map_io.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/gridmap_map_io.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/gridmap_map_io.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/gridmap_morphology.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/gridmap_morphology.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/gridmap_morphology.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/gridmap_occupancy_grid.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/gridmap_occupancy_grid.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/gridmap_occupancy_grid.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/gridmap_track_generator.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/gridmap_track_generator.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/gridmap_track_generator.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/motion_ackermann.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/motion_ackermann.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/motion_ackermann.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/motion_diff_drive.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/motion_diff_drive.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/motion_diff_drive.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/motion_motion_model.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/motion_motion_model.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/motion_motion_model.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/motion_tum_model.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/motion_tum_model.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/motion_tum_model.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/range_bresenham.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/range_bresenham.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/range_bresenham.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/range_cddt.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/range_cddt.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/range_cddt.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/range_lookup_table.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/range_lookup_table.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/range_lookup_table.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/range_range_method.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/range_range_method.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/range_range_method.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/range_ray_marching.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/range_ray_marching.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/range_ray_marching.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/recovery_divergence_detector.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/recovery_divergence_detector.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/recovery_divergence_detector.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/recovery_recovery_policy.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/recovery_recovery_policy.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/recovery_recovery_policy.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/recovery_supervised_localizer.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/recovery_supervised_localizer.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/recovery_supervised_localizer.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/sensor_beam_model.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/sensor_beam_model.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/sensor_beam_model.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/sensor_lidar.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/sensor_lidar.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/sensor_lidar.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/sensor_lidar_sim.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/sensor_lidar_sim.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/sensor_lidar_sim.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/sensor_scanline_layout.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/sensor_scanline_layout.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/sensor_scanline_layout.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/slam_carto_slam.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/slam_carto_slam.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/slam_carto_slam.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/slam_linalg.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/slam_linalg.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/slam_linalg.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/slam_pose_graph.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/slam_pose_graph.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/slam_pose_graph.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/slam_probability_grid.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/slam_probability_grid.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/slam_probability_grid.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/slam_pure_localization.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/slam_pure_localization.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/slam_pure_localization.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/slam_scan_matching.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/slam_scan_matching.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/slam_scan_matching.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/slam_submap.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/slam_submap.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/slam_submap.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/telemetry_contract_monitor.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/telemetry_contract_monitor.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/telemetry_contract_monitor.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/telemetry_events.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/telemetry_events.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/telemetry_events.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/telemetry_filter_health.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/telemetry_filter_health.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/telemetry_filter_health.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/telemetry_flight_recorder.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/telemetry_flight_recorder.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/telemetry_flight_recorder.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/telemetry_metrics.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/telemetry_metrics.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/telemetry_metrics.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/telemetry_telemetry.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/telemetry_telemetry.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/telemetry_telemetry.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/telemetry_trace_buffer.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/telemetry_trace_buffer.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/telemetry_trace_buffer.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/track_raceline.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/track_raceline.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/track_raceline.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/track_raceline_optimizer.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/track_raceline_optimizer.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/track_raceline_optimizer.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/vehicle_odometry_fusion.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/vehicle_odometry_fusion.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/vehicle_odometry_fusion.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/vehicle_sensors.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/vehicle_sensors.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/vehicle_sensors.cpp.o.d"
+  "/root/repo/build_rev/tests/header_checks/vehicle_vehicle_sim.cpp" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/vehicle_vehicle_sim.cpp.o" "gcc" "tests/CMakeFiles/header_self_sufficiency.dir/header_checks/vehicle_vehicle_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for header_self_sufficiency.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for header_self_sufficiency.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_angles.dir/test_angles.cpp.o"
+  "CMakeFiles/test_angles.dir/test_angles.cpp.o.d"
+  "test_angles"
+  "test_angles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_angles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

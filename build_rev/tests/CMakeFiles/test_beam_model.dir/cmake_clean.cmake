@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_beam_model.dir/test_beam_model.cpp.o"
+  "CMakeFiles/test_beam_model.dir/test_beam_model.cpp.o.d"
+  "test_beam_model"
+  "test_beam_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_beam_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

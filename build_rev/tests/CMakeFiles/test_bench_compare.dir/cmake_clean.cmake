@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bench_compare.dir/test_bench_compare.cpp.o"
+  "CMakeFiles/test_bench_compare.dir/test_bench_compare.cpp.o.d"
+  "test_bench_compare"
+  "test_bench_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bench_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_carto_slam.dir/test_carto_slam.cpp.o"
+  "CMakeFiles/test_carto_slam.dir/test_carto_slam.cpp.o.d"
+  "test_carto_slam"
+  "test_carto_slam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_carto_slam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

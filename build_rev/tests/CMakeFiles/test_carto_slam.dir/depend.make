@@ -1,0 +1,2 @@
+# Empty dependencies file for test_carto_slam.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_contracts.dir/test_contracts.cpp.o"
+  "CMakeFiles/test_contracts.dir/test_contracts.cpp.o.d"
+  "test_contracts"
+  "test_contracts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_contracts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csv.dir/test_csv.cpp.o"
+  "CMakeFiles/test_csv.dir/test_csv.cpp.o.d"
+  "test_csv"
+  "test_csv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

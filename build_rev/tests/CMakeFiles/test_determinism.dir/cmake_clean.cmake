@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_determinism.dir/test_determinism.cpp.o"
+  "CMakeFiles/test_determinism.dir/test_determinism.cpp.o.d"
+  "test_determinism"
+  "test_determinism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_determinism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distance_transform.dir/test_distance_transform.cpp.o"
+  "CMakeFiles/test_distance_transform.dir/test_distance_transform.cpp.o.d"
+  "test_distance_transform"
+  "test_distance_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distance_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

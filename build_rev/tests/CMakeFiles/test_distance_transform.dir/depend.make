@@ -1,0 +1,2 @@
+# Empty dependencies file for test_distance_transform.
+# This may be replaced when dependencies are built.

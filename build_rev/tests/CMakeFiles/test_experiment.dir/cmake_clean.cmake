@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_experiment.dir/test_experiment.cpp.o"
+  "CMakeFiles/test_experiment.dir/test_experiment.cpp.o.d"
+  "test_experiment"
+  "test_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extensions.dir/test_extensions.cpp.o"
+  "CMakeFiles/test_extensions.dir/test_extensions.cpp.o.d"
+  "test_extensions"
+  "test_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fault.dir/test_fault.cpp.o"
+  "CMakeFiles/test_fault.dir/test_fault.cpp.o.d"
+  "test_fault"
+  "test_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_golden_trace.dir/test_golden_trace.cpp.o"
+  "CMakeFiles/test_golden_trace.dir/test_golden_trace.cpp.o.d"
+  "test_golden_trace"
+  "test_golden_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_golden_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_json.dir/test_json.cpp.o"
+  "CMakeFiles/test_json.dir/test_json.cpp.o.d"
+  "test_json"
+  "test_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lidar.dir/test_lidar.cpp.o"
+  "CMakeFiles/test_lidar.dir/test_lidar.cpp.o.d"
+  "test_lidar"
+  "test_lidar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lidar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

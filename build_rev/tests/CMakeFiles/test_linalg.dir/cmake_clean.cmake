@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linalg.dir/test_linalg.cpp.o"
+  "CMakeFiles/test_linalg.dir/test_linalg.cpp.o.d"
+  "test_linalg"
+  "test_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_map_degrade.dir/test_map_degrade.cpp.o"
+  "CMakeFiles/test_map_degrade.dir/test_map_degrade.cpp.o.d"
+  "test_map_degrade"
+  "test_map_degrade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_map_degrade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_map_io.dir/test_map_io.cpp.o"
+  "CMakeFiles/test_map_io.dir/test_map_io.cpp.o.d"
+  "test_map_io"
+  "test_map_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_map_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_morphology.dir/test_morphology.cpp.o"
+  "CMakeFiles/test_morphology.dir/test_morphology.cpp.o.d"
+  "test_morphology"
+  "test_morphology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_morphology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

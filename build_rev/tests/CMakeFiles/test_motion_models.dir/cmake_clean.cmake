@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_motion_models.dir/test_motion_models.cpp.o"
+  "CMakeFiles/test_motion_models.dir/test_motion_models.cpp.o.d"
+  "test_motion_models"
+  "test_motion_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_motion_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_occupancy_grid.dir/test_occupancy_grid.cpp.o"
+  "CMakeFiles/test_occupancy_grid.dir/test_occupancy_grid.cpp.o.d"
+  "test_occupancy_grid"
+  "test_occupancy_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_occupancy_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_particle_filter.dir/test_particle_filter.cpp.o"
+  "CMakeFiles/test_particle_filter.dir/test_particle_filter.cpp.o.d"
+  "test_particle_filter"
+  "test_particle_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_particle_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

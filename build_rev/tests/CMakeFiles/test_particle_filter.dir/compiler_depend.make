@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_particle_filter.
+# This may be replaced when dependencies are built.

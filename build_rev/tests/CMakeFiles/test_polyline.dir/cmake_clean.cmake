@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_polyline.dir/test_polyline.cpp.o"
+  "CMakeFiles/test_polyline.dir/test_polyline.cpp.o.d"
+  "test_polyline"
+  "test_polyline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_polyline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pose_graph.dir/test_pose_graph.cpp.o"
+  "CMakeFiles/test_pose_graph.dir/test_pose_graph.cpp.o.d"
+  "test_pose_graph"
+  "test_pose_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pose_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_postmortem.cpp" "tests/CMakeFiles/test_postmortem.dir/test_postmortem.cpp.o" "gcc" "tests/CMakeFiles/test_postmortem.dir/test_postmortem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_rev/src/eval/CMakeFiles/srl_eval.dir/DependInfo.cmake"
+  "/root/repo/build_rev/src/recovery/CMakeFiles/srl_recovery.dir/DependInfo.cmake"
+  "/root/repo/build_rev/src/slam/CMakeFiles/srl_slam.dir/DependInfo.cmake"
+  "/root/repo/build_rev/src/core/CMakeFiles/srl_core_pf.dir/DependInfo.cmake"
+  "/root/repo/build_rev/src/control/CMakeFiles/srl_control.dir/DependInfo.cmake"
+  "/root/repo/build_rev/src/track/CMakeFiles/srl_track.dir/DependInfo.cmake"
+  "/root/repo/build_rev/src/vehicle/CMakeFiles/srl_vehicle.dir/DependInfo.cmake"
+  "/root/repo/build_rev/src/sensor/CMakeFiles/srl_sensor.dir/DependInfo.cmake"
+  "/root/repo/build_rev/src/range/CMakeFiles/srl_range.dir/DependInfo.cmake"
+  "/root/repo/build_rev/src/gridmap/CMakeFiles/srl_gridmap.dir/DependInfo.cmake"
+  "/root/repo/build_rev/src/telemetry/CMakeFiles/srl_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build_rev/src/common/CMakeFiles/srl_common.dir/DependInfo.cmake"
+  "/root/repo/build_rev/src/fault/CMakeFiles/srl_fault.dir/DependInfo.cmake"
+  "/root/repo/build_rev/src/motion/CMakeFiles/srl_motion.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_postmortem.dir/test_postmortem.cpp.o"
+  "CMakeFiles/test_postmortem.dir/test_postmortem.cpp.o.d"
+  "test_postmortem"
+  "test_postmortem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_postmortem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

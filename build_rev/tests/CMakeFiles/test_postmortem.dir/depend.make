@@ -1,0 +1,2 @@
+# Empty dependencies file for test_postmortem.
+# This may be replaced when dependencies are built.

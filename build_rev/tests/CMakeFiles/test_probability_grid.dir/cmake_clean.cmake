@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_probability_grid.dir/test_probability_grid.cpp.o"
+  "CMakeFiles/test_probability_grid.dir/test_probability_grid.cpp.o.d"
+  "test_probability_grid"
+  "test_probability_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_probability_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

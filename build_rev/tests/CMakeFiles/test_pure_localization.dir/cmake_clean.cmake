@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pure_localization.dir/test_pure_localization.cpp.o"
+  "CMakeFiles/test_pure_localization.dir/test_pure_localization.cpp.o.d"
+  "test_pure_localization"
+  "test_pure_localization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pure_localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_pure_localization.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_raceline.dir/test_raceline.cpp.o"
+  "CMakeFiles/test_raceline.dir/test_raceline.cpp.o.d"
+  "test_raceline"
+  "test_raceline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_raceline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_raceline_optimizer.dir/test_raceline_optimizer.cpp.o"
+  "CMakeFiles/test_raceline_optimizer.dir/test_raceline_optimizer.cpp.o.d"
+  "test_raceline_optimizer"
+  "test_raceline_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_raceline_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_range_methods.dir/test_range_methods.cpp.o"
+  "CMakeFiles/test_range_methods.dir/test_range_methods.cpp.o.d"
+  "test_range_methods"
+  "test_range_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_range_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_range_methods.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_recovery.dir/test_recovery.cpp.o"
+  "CMakeFiles/test_recovery.dir/test_recovery.cpp.o.d"
+  "test_recovery"
+  "test_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

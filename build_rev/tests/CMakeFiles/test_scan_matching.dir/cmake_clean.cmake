@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scan_matching.dir/test_scan_matching.cpp.o"
+  "CMakeFiles/test_scan_matching.dir/test_scan_matching.cpp.o.d"
+  "test_scan_matching"
+  "test_scan_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scan_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scanline_layout.dir/test_scanline_layout.cpp.o"
+  "CMakeFiles/test_scanline_layout.dir/test_scanline_layout.cpp.o.d"
+  "test_scanline_layout"
+  "test_scanline_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scanline_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

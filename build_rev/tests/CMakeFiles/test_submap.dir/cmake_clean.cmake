@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_submap.dir/test_submap.cpp.o"
+  "CMakeFiles/test_submap.dir/test_submap.cpp.o.d"
+  "test_submap"
+  "test_submap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_submap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

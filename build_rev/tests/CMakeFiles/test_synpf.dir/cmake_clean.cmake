@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synpf.dir/test_synpf.cpp.o"
+  "CMakeFiles/test_synpf.dir/test_synpf.cpp.o.d"
+  "test_synpf"
+  "test_synpf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synpf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_telemetry.dir/test_telemetry.cpp.o"
+  "CMakeFiles/test_telemetry.dir/test_telemetry.cpp.o.d"
+  "test_telemetry"
+  "test_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace.dir/test_trace.cpp.o"
+  "CMakeFiles/test_trace.dir/test_trace.cpp.o.d"
+  "test_trace"
+  "test_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_track_generator.dir/test_track_generator.cpp.o"
+  "CMakeFiles/test_track_generator.dir/test_track_generator.cpp.o.d"
+  "test_track_generator"
+  "test_track_generator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_track_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

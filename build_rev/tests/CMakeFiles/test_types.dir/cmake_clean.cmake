@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_types.dir/test_types.cpp.o"
+  "CMakeFiles/test_types.dir/test_types.cpp.o.d"
+  "test_types"
+  "test_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vehicle.dir/test_vehicle.cpp.o"
+  "CMakeFiles/test_vehicle.dir/test_vehicle.cpp.o.d"
+  "test_vehicle"
+  "test_vehicle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vehicle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compare.dir/bench_compare.cpp.o"
+  "CMakeFiles/bench_compare.dir/bench_compare.cpp.o.d"
+  "bench_compare"
+  "bench_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

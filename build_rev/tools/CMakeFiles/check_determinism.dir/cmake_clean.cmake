@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/check_determinism.dir/check_determinism.cpp.o"
+  "CMakeFiles/check_determinism.dir/check_determinism.cpp.o.d"
+  "check_determinism"
+  "check_determinism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/check_determinism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/postmortem.dir/postmortem.cpp.o"
+  "CMakeFiles/postmortem.dir/postmortem.cpp.o.d"
+  "postmortem"
+  "postmortem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/postmortem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
