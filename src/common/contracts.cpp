@@ -71,6 +71,9 @@ void set_observer(Observer observer, void* context) {
 }
 
 void abort_handler(const Violation& v) {
+  // The process is about to die; stderr is the only channel guaranteed to
+  // still work (telemetry sinks may be mid-teardown or never attached).
+  // srl-lint-allow(hy-printf): last-resort diagnostic immediately before abort()
   std::fputs(describe(v).c_str(), stderr);
   std::fputc('\n', stderr);
   std::abort();

@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file u64_set.hpp
+/// \brief `U64Set`: a deterministic insert-only set of 64-bit keys.
+///
+/// Replacement for `std::unordered_set<std::uint64_t>` in estimate-affecting
+/// code (srl-lint rule `det-unordered`). The standard container is banned
+/// there because its iteration order — and, across standard libraries, its
+/// bucket geometry and growth schedule — is implementation-defined, so code
+/// that ever walks one stops being bitwise reproducible across platforms.
+///
+/// `U64Set` closes the loophole by construction instead of by code review:
+///
+///  - it exposes **no iteration at all** — only `insert`, `contains` and
+///    `size`, the operations whose results are order-free;
+///  - hashing is the repo's pinned SplitMix64 finalizer (`splitmix64`,
+///    common/rng.hpp), not `std::hash`, so probe sequences are identical on
+///    every platform;
+///  - open addressing with linear probing over a power-of-two table, growth
+///    at 70% load — behavior is a pure function of the key sequence.
+///
+/// The particle filter's KLD-adaptive resample uses it to count occupied
+/// (x, y, θ) histogram bins in its hot loop (DESIGN.md §13).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace srl {
+
+class U64Set {
+ public:
+  /// `expected` keys are accommodated without rehashing (rounded up to the
+  /// next power of two over the load limit).
+  explicit U64Set(std::size_t expected = 0) {
+    std::size_t cap = 16;
+    while (cap * 7 / 10 < expected) cap *= 2;
+    slots_.assign(cap, 0);
+    used_.assign(cap, 0);
+  }
+
+  /// Insert `key`; returns true when the key was not present before.
+  bool insert(std::uint64_t key) {
+    if ((count_ + 1) * 10 > slots_.size() * 7) grow();
+    const std::size_t i = probe(key);
+    if (used_[i] != 0) return false;
+    used_[i] = 1;
+    slots_[i] = key;
+    ++count_;
+    return true;
+  }
+
+  bool contains(std::uint64_t key) const { return used_[probe(key)] != 0; }
+
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+ private:
+  /// Slot holding `key`, or the empty slot where it would go. The table is
+  /// never full (grow() keeps load under 70%), so the probe terminates.
+  std::size_t probe(std::uint64_t key) const {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(splitmix64(key)) & mask;
+    while (used_[i] != 0 && slots_[i] != key) i = (i + 1) & mask;
+    return i;
+  }
+
+  void grow() {
+    std::vector<std::uint64_t> old_slots = std::move(slots_);
+    std::vector<std::uint8_t> old_used = std::move(used_);
+    slots_.assign(old_slots.size() * 2, 0);
+    used_.assign(old_used.size() * 2, 0);
+    for (std::size_t i = 0; i < old_slots.size(); ++i) {
+      if (old_used[i] == 0) continue;
+      const std::size_t j = probe(old_slots[i]);
+      used_[j] = 1;
+      slots_[j] = old_slots[i];
+    }
+  }
+
+  std::vector<std::uint64_t> slots_;
+  std::vector<std::uint8_t> used_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace srl

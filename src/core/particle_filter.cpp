@@ -4,11 +4,11 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
-#include <unordered_set>
 #include <utility>
 
 #include "common/angles.hpp"
 #include "common/contracts.hpp"
+#include "common/u64_set.hpp"
 #include "sensor/scanline_layout.hpp"
 
 namespace srl {
@@ -116,12 +116,14 @@ void ParticleFilter::predict(const OdometryDelta& odom) {
   pool_.parallel_for(particles_.size(), [&](int /*lane*/, std::size_t begin,
                                             std::size_t end) {
     telemetry::ScopedSpan chunk{sink_.trace, "pf.predict.chunk"};
+    // srl-lint: realtime
     for (std::size_t i = begin; i < end; ++i) {
       // Slot i's noise comes from its own substream, so the sample is the
       // same whichever lane runs it.
       particles_[i].pose =
           motion_->sample(particles_[i].pose, odom, slot_rngs_[i]);
     }
+    // srl-lint: end-realtime
   });
   timer.stop();
 }
@@ -146,6 +148,7 @@ void ParticleFilter::correct(const LaserScan& scan) {
       telemetry::ScopedSpan chunk{sink_.trace, "pf.raycast.chunk"};
       std::vector<Pose2>& rays = ray_scratch_[static_cast<std::size_t>(lane)];
       rays.resize(k);
+      // srl-lint: realtime
       for (std::size_t i = begin; i < end; ++i) {
         const Pose2 sensor = particles_[i].pose * lidar_.mount;
         for (std::size_t j = 0; j < k; ++j) {
@@ -153,6 +156,7 @@ void ParticleFilter::correct(const LaserScan& scan) {
         }
         caster_->ranges(rays, std::span<float>{expected_}.subspan(i * k, k));
       }
+      // srl-lint: end-realtime
     });
     timer.stop();
   }
@@ -169,6 +173,7 @@ void ParticleFilter::correct(const LaserScan& scan) {
     pool_.parallel_for(n, [&](int /*lane*/, std::size_t begin,
                               std::size_t end) {
       telemetry::ScopedSpan chunk{sink_.trace, "pf.weight.chunk"};
+      // srl-lint: realtime
       for (std::size_t i = begin; i < end; ++i) {
         double log_w = 0.0;
         const float* expected_row = expected_.data() + i * k;
@@ -179,6 +184,7 @@ void ParticleFilter::correct(const LaserScan& scan) {
         }
         log_weights_[i] = log_w;
       }
+      // srl-lint: end-realtime
     });
     double max_log = -std::numeric_limits<double>::infinity();
     for (std::size_t i = 0; i < n; ++i) {
@@ -409,14 +415,17 @@ void ParticleFilter::resample() {
   double target = rng_.uniform(0.0, step);
   double cumulative = particles_[0].weight;
   std::size_t i = 0;
+  // srl-lint: realtime
   for (std::size_t m = 0; m < max_n; ++m) {
     while (cumulative < target && i + 1 < n) {
       ++i;
       cumulative += particles_[i].weight;
     }
+    // srl-lint-allow(rt-alloc): reserve(max_n) above pins capacity, so this emplace_back never reallocates
     drawn.emplace_back(particles_[i].pose, step);
     target += step;
   }
+  // srl-lint: end-realtime
 
   // Kidnapped-robot recovery: replace a fraction of the resampled cloud
   // with uniform random poses when the measurement likelihood collapsed.
@@ -451,7 +460,10 @@ void ParticleFilter::resample() {
 
   std::vector<Particle> kept;
   kept.reserve(max_n);
-  std::unordered_set<std::uint64_t> bins;
+  // Deterministic by construction (pinned SplitMix64 hashing, no iteration):
+  // the KLD bin count must be a pure function of the particle sequence on
+  // every platform, which std::unordered_set does not promise.
+  U64Set bins;
   const auto min_keep =
       static_cast<std::size_t>(std::max(config_.kld_min_particles, 1));
   std::size_t idx = 0;

@@ -43,6 +43,7 @@ Rng FaultPipeline::event_rng(std::size_t slot, std::uint64_t kind,
   // (slot, kind, index) triples yield independent streams regardless of
   // how many events any injector has processed.
   const std::uint64_t stream = (static_cast<std::uint64_t>(slot) << 8) | kind;
+  // srl-lint-allow(rng-stream-key): key is (slot << 8) | kind — the pinned injector-slot/event-kind schedule above, not a free variable
   return Rng{seed_}.substream(stream, index);
 }
 

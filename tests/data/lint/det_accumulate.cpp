@@ -1,0 +1,20 @@
+// Fixture: det-accumulate positives and negatives.
+#include <numeric>
+#include <vector>
+
+double total(const std::vector<double>& xs) {
+  return std::accumulate(xs.begin(), xs.end(), 0.0);  // positive
+}
+
+double fused(const std::vector<double>& xs) {
+  return std::reduce(xs.begin(), xs.end());  // positive
+}
+
+double fixed_order(const std::vector<double>& xs) {
+  // negative: a local helper merely *named* accumulate is fixed-order code.
+  auto accumulate = [&](double init) {
+    for (double x : xs) init += x;
+    return init;
+  };
+  return accumulate(0.0);
+}

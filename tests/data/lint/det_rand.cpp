@@ -1,0 +1,31 @@
+// Fixture: det-rand positives and negatives (never compiled, only linted).
+#include <cstdlib>
+#include <random>
+
+#include "common/rng.hpp"
+
+int noise() {
+  return std::rand();  // positive: raw libc randomness
+}
+
+void reseed() {
+  srand(42);  // positive: global reseed
+}
+
+unsigned hardware_entropy() {
+  std::random_device dev;  // positive: nondeterministic source
+  return dev();
+}
+
+double engine_draw() {
+  std::mt19937_64 engine{7};  // positive: raw engine outside Rng
+  return static_cast<double>(engine());
+}
+
+double good_draw(srl::Rng& rng) {
+  return rng.uniform();  // negative: the sanctioned path
+}
+
+int brand_strand(int brand) {
+  return brand;  // negative: 'rand' only inside larger identifiers
+}

@@ -1,0 +1,15 @@
+// Fixture: det-thread-id positives and negatives.
+#include <thread>
+
+bool lane_dependent() {
+  return std::this_thread::get_id() == std::thread::id{};  // positive
+}
+
+unsigned long raw_tid();
+unsigned long current() {
+  return pthread_self();  // positive
+}
+
+int slot_dependent(int slot) {
+  return slot;  // negative: keying by slot index is the sanctioned pattern
+}

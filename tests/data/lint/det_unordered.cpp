@@ -1,0 +1,14 @@
+// Fixture: det-unordered positives and negatives. The comment mention of
+// std::unordered_map below must NOT fire (comments are stripped).
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+std::unordered_map<int, double> weights;  // positive
+std::unordered_set<long> bins;            // positive
+
+std::map<int, double> ordered;  // negative: deterministic iteration
+
+const char* doc() {
+  return "prefer std::unordered_map alternatives";  // negative: string
+}

@@ -1,0 +1,26 @@
+// Fixture: det-wall-clock positives and negatives.
+#include <chrono>
+#include <ctime>
+
+double now_s() {
+  const auto t = std::chrono::steady_clock::now();  // positive
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+long stamp() {
+  return static_cast<long>(time(nullptr));  // positive: libc wall clock
+}
+
+long epoch_ms(std::chrono::system_clock::time_point t) {  // positive
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             t.time_since_epoch())
+      .count();
+}
+
+double add(double dt_s) {
+  // negative: duration arithmetic carries no clock read.
+  const std::chrono::duration<double> d{dt_s};
+  return d.count() * 2.0;
+}
+
+double scan_time(double t) { return t; }  // negative: 'time' as a word only

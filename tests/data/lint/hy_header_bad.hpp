@@ -1,0 +1,9 @@
+// Fixture: header hygiene positives — no include guard, namespace leak.
+#include <vector>
+
+using namespace std;  // positive: hy-using-namespace
+
+inline vector<double> twice(vector<double> xs) {
+  for (double& x : xs) x *= 2.0;
+  return xs;
+}

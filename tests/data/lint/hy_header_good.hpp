@@ -1,0 +1,13 @@
+// Fixture: a hygienic header — #pragma once first, no namespace leaks.
+#pragma once
+
+#include <vector>
+
+namespace srl::fixture {
+
+inline std::vector<double> twice(std::vector<double> xs) {
+  for (double& x : xs) x *= 2.0;
+  return xs;
+}
+
+}  // namespace srl::fixture

@@ -1,0 +1,13 @@
+// Fixture: hy-printf positives and negatives (src scope only).
+#include <cstdio>
+#include <iostream>
+
+void report(double x) {
+  std::printf("%f\n", x);        // positive
+  fprintf(stderr, "%f\n", x);    // positive
+  std::cout << x << '\n';        // positive
+}
+
+int format(char* buf, std::size_t n, double x) {
+  return std::snprintf(buf, n, "%f", x);  // negative: formats to a buffer
+}

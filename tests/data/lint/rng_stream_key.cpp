@@ -1,0 +1,30 @@
+// Fixture: rng-stream-key positives and negatives.
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+constexpr std::uint64_t kFixtureStreamNoise = 3;
+
+enum class FixtureStream : std::uint64_t { kJitter = 4 };
+
+srl::Rng pinned(const srl::Rng& rng, std::uint64_t slot) {
+  return rng.substream(kFixtureStreamNoise, slot);  // negative: pinned
+}
+
+srl::Rng qualified(const srl::Rng& rng) {
+  return rng.substream(
+      static_cast<std::uint64_t>(FixtureStream::kJitter));  // positive: cast
+}
+
+srl::Rng variable(const srl::Rng& rng, std::uint64_t stream) {
+  return rng.substream(stream, 0);  // positive: free variable key
+}
+
+srl::Rng literal(const srl::Rng& rng) {
+  return rng.substream(7, 0);  // positive: magic number key
+}
+
+srl::Rng multi_line(const srl::Rng& rng, std::uint64_t epoch) {
+  return rng.substream(
+      kFixtureStreamNoise, epoch);  // negative: pinned across a line break
+}

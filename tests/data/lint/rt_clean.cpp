@@ -1,0 +1,12 @@
+// Fixture: a clean realtime block produces no findings.
+#include <cmath>
+#include <vector>
+
+void hot(std::vector<double>& out, const std::vector<double>& in) {
+  out.resize(in.size());
+  // srl-lint: realtime
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = std::exp(in[i]);
+  }
+  // srl-lint: end-realtime
+}

@@ -1,0 +1,19 @@
+// Fixture: rt-* positives inside an annotated block, negatives outside.
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+std::mutex m;
+
+void hot(std::vector<double>& out, const std::vector<double>& in) {
+  out.reserve(in.size());  // negative: allocation before the block is fine
+  // srl-lint: realtime
+  for (double x : in) {
+    std::lock_guard<std::mutex> lock{m};  // positive: rt-lock
+    out.push_back(x);                     // positive: rt-alloc
+    std::printf("%f\n", x);               // positive: rt-io
+    if (x < 0.0) throw x;                 // positive: rt-throw
+  }
+  // srl-lint: end-realtime
+  out.push_back(0.0);  // negative: after the block
+}

@@ -1,0 +1,7 @@
+// Fixture: rt-marker — the block below is never closed.
+#include <vector>
+
+void hot(std::vector<double>& out) {
+  // srl-lint: realtime
+  for (double& x : out) x *= 2.0;
+}

@@ -1,0 +1,31 @@
+// Fixture: suppression forms — standalone, trailing, unused, malformed.
+#include <cstdlib>
+
+int standalone() {
+  // srl-lint-allow(det-rand): fixture exercises the standalone allow form
+  return std::rand();
+}
+
+int trailing() {
+  return std::rand();  // srl-lint-allow(det-rand): trailing allow form
+}
+
+// srl-lint-allow(det-rand): nothing on the next line uses randomness
+int unused_allow(int x) {
+  return x;
+}
+
+int bad_rule() {
+  // srl-lint-allow(not-a-rule): the rule id above does not exist
+  return 1;
+}
+
+int missing_reason() {
+  // srl-lint-allow(det-rand):
+  return std::rand();
+}
+
+int wrong_rule() {
+  // srl-lint-allow(rt-alloc): wrong family, rand still fires below
+  return std::rand();
+}

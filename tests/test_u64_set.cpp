@@ -1,0 +1,100 @@
+/// \file test_u64_set.cpp
+/// \brief U64Set — the deterministic distinct-key set that replaced
+/// std::unordered_set in the particle filter's KLD bin counter (det-unordered
+/// rule). Distinct-count semantics must match a reference ordered set exactly
+/// through growth, duplicates and adversarial key patterns.
+
+#include "common/u64_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace srl {
+namespace {
+
+TEST(U64Set, StartsEmpty) {
+  U64Set s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_FALSE(s.contains(0));
+  EXPECT_FALSE(s.contains(~0ull));
+}
+
+TEST(U64Set, InsertReportsNovelty) {
+  U64Set s;
+  EXPECT_TRUE(s.insert(7));
+  EXPECT_FALSE(s.insert(7));  // duplicate
+  EXPECT_TRUE(s.insert(8));
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.contains(7));
+  EXPECT_TRUE(s.contains(8));
+  EXPECT_FALSE(s.contains(9));
+}
+
+TEST(U64Set, ZeroAndMaxAreOrdinaryKeys) {
+  U64Set s;
+  EXPECT_TRUE(s.insert(0));
+  EXPECT_TRUE(s.insert(~0ull));
+  EXPECT_FALSE(s.insert(0));
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_TRUE(s.contains(~0ull));
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(U64Set, GrowsThroughManyInsertsAndMatchesReferenceSet) {
+  U64Set s;
+  std::set<std::uint64_t> ref;
+  Rng rng{20260808};
+  for (int i = 0; i < 20000; ++i) {
+    // Mix of fresh and repeated keys in a narrow range to force collisions.
+    const auto key = static_cast<std::uint64_t>(rng.uniform_int(0, 4999));
+    EXPECT_EQ(s.insert(key), ref.insert(key).second) << "key " << key;
+    EXPECT_EQ(s.size(), ref.size());
+  }
+  for (std::uint64_t k = 0; k < 5000; ++k) {
+    EXPECT_EQ(s.contains(k), ref.count(k) == 1) << "key " << k;
+  }
+}
+
+TEST(U64Set, SequentialKeysStressLinearProbing) {
+  // Sequential integers are the worst case for weak hash mixing; splitmix64
+  // scatters them, and linear probing must still resolve every collision.
+  U64Set s{1000};
+  for (std::uint64_t k = 0; k < 10000; ++k) EXPECT_TRUE(s.insert(k));
+  EXPECT_EQ(s.size(), 10000u);
+  for (std::uint64_t k = 0; k < 10000; ++k) EXPECT_TRUE(s.contains(k));
+  for (std::uint64_t k = 10000; k < 10100; ++k) EXPECT_FALSE(s.contains(k));
+}
+
+TEST(U64Set, ExpectedCapacityAvoidsEarlyGrowthButIsNotALimit) {
+  U64Set s{16};
+  for (std::uint64_t k = 0; k < 1000; ++k) s.insert(k * 2654435761u);
+  EXPECT_EQ(s.size(), 1000u);
+}
+
+TEST(U64Set, KldBinPattern) {
+  // The particle-filter usage: hash 3-D bin coordinates into one key and
+  // count distinct bins. Same key composition as particle_filter.cpp.
+  U64Set bins;
+  std::set<std::uint64_t> ref;
+  for (int x = -8; x < 8; ++x) {
+    for (int y = -8; y < 8; ++y) {
+      for (int t = 0; t < 4; ++t) {
+        const auto key = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(x)) << 40) ^
+                         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(y)) << 16) ^
+                         static_cast<std::uint64_t>(static_cast<std::uint32_t>(t));
+        bins.insert(key);
+        ref.insert(key);
+      }
+    }
+  }
+  EXPECT_EQ(bins.size(), ref.size());
+}
+
+}  // namespace
+}  // namespace srl

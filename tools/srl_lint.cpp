@@ -1,0 +1,132 @@
+/// \file srl_lint.cpp
+/// \brief CLI for the project-specific determinism & real-time static
+/// analysis pass (DESIGN.md §13).
+///
+/// Walks `src/`, `tools/`, `bench/` and `tests/` under the given repo root
+/// (or takes the translation-unit list from a CMake compile database) and
+/// prints every unsuppressed finding as `file:line: rule: message (fix:
+/// hint)`, stable-sorted so reruns are byte-identical. Exit codes:
+///
+///   0  clean (no unsuppressed findings)
+///   1  at least one finding
+///   2  usage error / unreadable root
+///
+/// Usage:
+///   srl_lint [<repo-root>]            root defaults to "."
+///       [--compile-commands <json>]   TU list from a compile database
+///                                     (headers still come from the walk;
+///                                     silently falls back to the walk when
+///                                     the database is missing/malformed)
+///       [--report <path>]             also write the findings to a file
+///                                     (the CI artifact)
+///       [--suppressions]              print the audited suppression
+///                                     inventory (file:line: rule: reason)
+///                                     instead of linting verdict only
+///       [--list-rules]                print the rule catalog and exit
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [<repo-root>] [--compile-commands <json>]\n"
+               "  [--report <path>] [--suppressions] [--list-rules]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace srl;
+
+  std::string root = ".";
+  std::string db_path;
+  std::string report_path;
+  bool print_suppressions = false;
+  bool list_rules = false;
+  int n_roots = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--compile-commands") == 0) {
+      if (i + 1 >= argc) return usage(argv[0]);
+      db_path = argv[++i];
+    } else if (std::strcmp(arg, "--report") == 0) {
+      if (i + 1 >= argc) return usage(argv[0]);
+      report_path = argv[++i];
+    } else if (std::strcmp(arg, "--suppressions") == 0) {
+      print_suppressions = true;
+    } else if (std::strcmp(arg, "--list-rules") == 0) {
+      list_rules = true;
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      return usage(argv[0]);
+    } else if (n_roots++ == 0) {
+      root = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  if (list_rules) {
+    for (const lint::RuleInfo& rule : lint::rule_catalog()) {
+      std::printf("%-22s %s\n", std::string{rule.id}.c_str(),
+                  std::string{rule.summary}.c_str());
+    }
+    return 0;
+  }
+
+  std::error_code ec;
+  if (!std::filesystem::is_directory(root, ec) || ec) {
+    std::fprintf(stderr, "%s: not a directory\n", root.c_str());
+    return 2;
+  }
+  if (!db_path.empty() && !std::filesystem::is_regular_file(db_path, ec)) {
+    std::fprintf(stderr,
+                 "note: %s not found, falling back to directory walk\n",
+                 db_path.c_str());
+    db_path.clear();
+  }
+
+  const std::vector<std::string> files =
+      lint::collect_files_with_db(root, db_path);
+  if (files.empty()) {
+    std::fprintf(stderr, "%s: no lintable files under src/tools/bench/tests\n",
+                 root.c_str());
+    return 2;
+  }
+  const lint::TreeReport report = lint::lint_tree(root, files);
+
+  if (print_suppressions) {
+    std::fputs(lint::render_suppressions(report.suppressions).c_str(), stdout);
+    std::printf("srl_lint: %zu suppressions in %d files\n",
+                report.suppressions.size(), report.files_scanned);
+    return report.findings.empty() ? 0 : 1;
+  }
+
+  const std::string rendered = lint::render_findings(report.findings);
+  std::fputs(rendered.c_str(), stdout);
+  if (!report_path.empty()) {
+    std::ofstream out{report_path, std::ios::binary};
+    out << rendered;
+    if (!out) {
+      std::fprintf(stderr, "%s: could not write report\n",
+                   report_path.c_str());
+      return 2;
+    }
+  }
+  std::printf("srl_lint: %d files, %zu findings, %zu suppressions — %s\n",
+              report.files_scanned, report.findings.size(),
+              report.suppressions.size(),
+              report.findings.empty() ? "CLEAN" : "FAIL");
+  return report.findings.empty() ? 0 : 1;
+}
