@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "core/synpf.hpp"
+#include "eval/frontier/scenario_sampler.hpp"
 #include "fault/faulted_localizer.hpp"
 #include "fault/pipeline.hpp"
 #include "gridmap/track_generator.hpp"
@@ -53,6 +54,19 @@ std::string base_kind(const std::string& kind) {
              : kind;
 }
 
+/// Frontier recipes ("frontier:<seed>:<index>") resolve through the
+/// scenario sampler: the replay key alone rebuilds the sampled circuit AND
+/// the sampled fault envelope (eval/frontier/scenario_sampler.hpp).
+std::optional<frontier::SampledScenario> frontier_scenario(
+    const std::string& recipe) {
+  std::uint64_t seed = 0;
+  std::uint32_t index = 0;
+  if (!frontier::ScenarioSampler::parse_replay_recipe(recipe, seed, index)) {
+    return std::nullopt;
+  }
+  return frontier::ScenarioSampler{seed}.sample(index);
+}
+
 /// Track recipe parser (see PostmortemStackSpec::track).
 std::optional<Track> build_track(const std::string& recipe) {
   if (recipe == "test_track") return TrackGenerator::test_track();
@@ -66,6 +80,9 @@ std::optional<Track> build_track(const std::string& recipe) {
         straight > 0.0 && radius > 0.0) {
       return TrackGenerator::oval(straight, radius);
     }
+  }
+  if (const auto scenario = frontier_scenario(recipe); scenario.has_value()) {
+    return frontier::ScenarioSampler{scenario->seed}.build_track(*scenario);
   }
   return std::nullopt;
 }
@@ -303,8 +320,15 @@ PostmortemReplay replay_blackbox(const Blackbox& box, int threads) {
   // outside. An empty pipeline / policies-off supervisor is a bitwise
   // pass-through, so the always-wrapped shape costs nothing.
   fault::FaultPipeline pipeline{box.stack.fault_seed, lidar};
-  if (box.stack.fault != "none" && box.stack.fault != "kidnap" &&
-      box.stack.severity != 0.0) {
+  if (const auto scenario = frontier_scenario(box.stack.track);
+      scenario.has_value()) {
+    // Frontier black box: the fault envelope (phase/ramp/window) was
+    // sampled, not canonical — rebuild it from the replay key.
+    if (scenario->severity > 0.0) {
+      pipeline.add(fault::make_injector(scenario->axis, scenario->profile));
+    }
+  } else if (box.stack.fault != "none" && box.stack.fault != "kidnap" &&
+             box.stack.severity != 0.0) {
     pipeline.add(box.stack.fault, box.stack.severity);
   }
   fault::FaultedLocalizer faulted{*localizer, pipeline};

@@ -32,8 +32,11 @@ namespace srl {
 /// harness (scenario matrix, tests) serializes this into the recorder's
 /// provenance under `"stack"`; `replay_blackbox` reconstructs from it.
 struct PostmortemStackSpec {
-  /// Track recipe: "test_track", "hairpin", or "oval:<straight>,<radius>"
-  /// (default TrackSpec geometry in all cases).
+  /// Track recipe: "test_track", "hairpin", "oval:<straight>,<radius>"
+  /// (default TrackSpec geometry in all cases), or a frontier replay key
+  /// "frontier:<seed>:<index>" — the sampled circuit AND the sampled fault
+  /// envelope both rebuild from it (eval/frontier/scenario_sampler.hpp),
+  /// overriding the canonical `fault`/`severity` pipeline below.
   std::string track{"test_track"};
   /// Localizer kind, same vocabulary as ScenarioMatrixConfig::localizers:
   /// "SynPF", "CartoLite", or a "+Recovery"-suffixed supervised variant.

@@ -140,39 +140,48 @@ const std::vector<std::string>& known_faults() {
 
 std::unique_ptr<Injector> make_injector(const std::string& name,
                                         double severity) {
-  FaultProfile step{severity};
-  if (name == "none") {
-    return std::make_unique<IdentityInjector>(FaultProfile{0.0});
-  }
   if (name == "odom_slip_ramp") {
     // The paper's condition: grip degrades over the run, not instantly.
-    FaultProfile ramp{severity, 0.0, 10.0};
-    return std::make_unique<OdometrySlipInjector>(ramp);
-  }
-  if (name == "odom_scale") {
-    return std::make_unique<OdometryScaleInjector>(step);
-  }
-  if (name == "odom_yaw_bias") {
-    return std::make_unique<OdometryYawBiasInjector>(step);
-  }
-  if (name == "lidar_dropout") {
-    return std::make_unique<LidarDropoutInjector>(step);
-  }
-  if (name == "lidar_noise") {
-    return std::make_unique<LidarNoiseInjector>(step);
-  }
-  if (name == "scan_decimation") {
-    return std::make_unique<ScanDecimationInjector>(step);
-  }
-  if (name == "latency_jitter") {
-    return std::make_unique<LatencyJitterInjector>(step);
+    return make_injector(name, FaultProfile{severity, 0.0, 10.0});
   }
   if (name == "blackout") {
     // A 2 s sensor loss a few seconds into the run; severity stretches the
     // window up to its full length.
     FaultProfile window{1.0, 5.0, 0.0, 2.0 * severity};
     if (severity <= 0.0) window.severity = 0.0;
-    return std::make_unique<BlackoutInjector>(window);
+    return make_injector(name, window);
+  }
+  return make_injector(name, FaultProfile{severity});
+}
+
+std::unique_ptr<Injector> make_injector(const std::string& name,
+                                        const FaultProfile& profile) {
+  if (name == "none") {
+    return std::make_unique<IdentityInjector>(FaultProfile{0.0});
+  }
+  if (name == "odom_slip_ramp") {
+    return std::make_unique<OdometrySlipInjector>(profile);
+  }
+  if (name == "odom_scale") {
+    return std::make_unique<OdometryScaleInjector>(profile);
+  }
+  if (name == "odom_yaw_bias") {
+    return std::make_unique<OdometryYawBiasInjector>(profile);
+  }
+  if (name == "lidar_dropout") {
+    return std::make_unique<LidarDropoutInjector>(profile);
+  }
+  if (name == "lidar_noise") {
+    return std::make_unique<LidarNoiseInjector>(profile);
+  }
+  if (name == "scan_decimation") {
+    return std::make_unique<ScanDecimationInjector>(profile);
+  }
+  if (name == "latency_jitter") {
+    return std::make_unique<LatencyJitterInjector>(profile);
+  }
+  if (name == "blackout") {
+    return std::make_unique<BlackoutInjector>(profile);
   }
   return nullptr;
 }

@@ -249,4 +249,12 @@ const std::vector<std::string>& known_faults();
 std::unique_ptr<Injector> make_injector(const std::string& name,
                                         double severity);
 
+/// Build a named fault with an explicit envelope (the frontier sampler's
+/// entry point: sampled phases, ramps and windows instead of the canonical
+/// shapes above). `profile.severity` carries the intensity; the injector's
+/// magnitude parameters stay at their defaults so a given (name, profile)
+/// names exactly one corruption. Returns nullptr for unknown names.
+std::unique_ptr<Injector> make_injector(const std::string& name,
+                                        const FaultProfile& profile);
+
 }  // namespace srl::fault

@@ -64,6 +64,12 @@ double Raceline::curvature(double s) const {
   return curvature_[i];
 }
 
+double Raceline::max_abs_curvature() const {
+  double best = 0.0;
+  for (const double k : curvature_) best = std::max(best, std::abs(k));
+  return best;
+}
+
 Raceline::Projection Raceline::project(const Vec2& p) const {
   Projection best;
   double best_d2 = std::numeric_limits<double>::max();

@@ -31,6 +31,12 @@ class Raceline {
   double heading(double s) const;
   double curvature(double s) const;
 
+  /// Largest |curvature| over the line's vertices — the track-difficulty
+  /// scalar the frontier artifact stamps per sampled circuit (a tight
+  /// hairpin and a sweeping oval at the same corridor width are very
+  /// different localization problems).
+  double max_abs_curvature() const;
+
   struct Projection {
     double s{0.0};        ///< arc length of the closest point
     double lateral{0.0};  ///< signed offset: positive = left of travel

@@ -7,6 +7,7 @@
 
 #include "common/json.hpp"
 #include "eval/benchmark_json.hpp"
+#include "eval/frontier/frontier_json.hpp"
 
 namespace srl {
 namespace {
@@ -287,6 +288,169 @@ TEST(BenchCompare, HashMismatchFailsOnlyWhenRequired) {
   ASSERT_EQ(report.failures.size(), 1u);
   EXPECT_EQ(report.failures[0].metric, "trace_hash");
   EXPECT_EQ(report.failures[0].cell, "fault_traces/odom_slip_ramp@1");
+}
+
+// ---------------------------------------------------------------------------
+// Frontier artifact (`srl.frontier/1`) round-trip & regression gate
+// ---------------------------------------------------------------------------
+
+frontier::FrontierDocument make_frontier_doc() {
+  frontier::FrontierDocument doc;
+  doc.provenance.compiler = "testc 1.0";
+  doc.provenance.build = "release";
+  doc.provenance.fast_mode = true;
+  doc.result.seed = 0xF407;
+  doc.result.fault_seed = 0x7a017ULL;
+  doc.result.bisect_iterations = 5;
+  doc.result.n_particles = 800;
+
+  auto point = [](const char* localizer, const char* axis, double lo,
+                  double hi, bool censored) {
+    frontier::FrontierPoint p;
+    p.localizer = localizer;
+    p.axis = axis;
+    p.track_class = "club";
+    p.censored = censored;
+    p.bracket_lo = lo;
+    p.bracket_hi = hi;
+    p.breaking_severity = censored ? 0.0 : hi;
+    p.breaking_index = censored ? 0u : 0x1234u;
+    p.track_length_m = 42.5;
+    p.track_max_abs_curvature = 0.385;
+    frontier::FrontierEvaluation eval;
+    eval.index = 0x1234u;
+    eval.severity = hi;
+    eval.failed = !censored;
+    eval.lateral_mean_cm = 7.25;
+    eval.final_pose_error_m = 1.5;
+    p.evaluations.push_back(eval);
+    if (!censored) p.blackboxes.push_back("blackbox/frontier_0.json");
+    return p;
+  };
+  doc.result.points.push_back(
+      point("SynPF", "odom_slip_ramp", 0.875, 0.90625, false));
+  doc.result.points.push_back(
+      point("CartoLite", "odom_slip_ramp", 0.25, 0.28125, false));
+  doc.result.points.push_back(point("SynPF", "lidar_dropout", 1.0, 1.0, true));
+
+  doc.has_headline = true;
+  doc.headline.axis = "odom_slip_ramp";
+  doc.headline.track_class = "club";
+  doc.headline.synpf_breaking = 0.90625;
+  doc.headline.synpf_bracket_width = 0.03125;
+  doc.headline.carto_breaking = 0.28125;
+  doc.headline.carto_bracket_width = 0.03125;
+  return doc;
+}
+
+TEST(FrontierJson, RoundTripsThroughDisk) {
+  const frontier::FrontierDocument doc = make_frontier_doc();
+  const std::string path = ::testing::TempDir() + "frontier_roundtrip.json";
+  ASSERT_TRUE(frontier::write_frontier_json(path, doc));
+
+  const std::optional<frontier::FrontierDocument> back =
+      frontier::read_frontier_json(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->result.seed, 0xF407u);
+  EXPECT_EQ(back->result.fault_seed, 0x7a017ULL);
+  EXPECT_EQ(back->result.bisect_iterations, 5);
+  ASSERT_EQ(back->result.points.size(), 3u);
+  // Dyadic severities survive the writer bit-for-bit — the determinism
+  // self-compare depends on this.
+  EXPECT_EQ(back->result.points[0].bracket_lo, 0.875);
+  EXPECT_EQ(back->result.points[0].bracket_hi, 0.90625);
+  EXPECT_EQ(back->result.points[0].breaking_index, 0x1234u);
+  EXPECT_TRUE(back->result.points[2].censored);
+  ASSERT_EQ(back->result.points[0].evaluations.size(), 1u);
+  EXPECT_EQ(back->result.points[0].evaluations[0].lateral_mean_cm, 7.25);
+  ASSERT_EQ(back->result.points[0].blackboxes.size(), 1u);
+  ASSERT_TRUE(back->has_headline);
+  EXPECT_EQ(back->headline.synpf_breaking, 0.90625);
+  std::remove(path.c_str());
+}
+
+TEST(FrontierJson, RejectsForeignSchema) {
+  json::Value root = frontier::frontier_to_json(make_frontier_doc());
+  root.set("schema", json::Value::string("someone/elses/1"));
+  EXPECT_FALSE(frontier::frontier_from_json(root).has_value());
+}
+
+TEST(FrontierCompare, SelfCompareIsCleanEvenInExactMode) {
+  const frontier::FrontierDocument doc = make_frontier_doc();
+  frontier::FrontierCompareThresholds exact;
+  exact.require_identical = true;
+  const CompareReport report = frontier::compare_frontier(doc, doc, exact);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.cells_compared, 3);
+}
+
+TEST(FrontierCompare, GateFiresWhenTheFrontierRecedes) {
+  // The synthetic regression the CI gate must catch: SynPF's slip frontier
+  // dropping from 0.90625 to 0.5 means the stack now breaks at a severity
+  // it used to survive.
+  const frontier::FrontierDocument baseline = make_frontier_doc();
+  frontier::FrontierDocument candidate = make_frontier_doc();
+  candidate.result.points[0].breaking_severity = 0.5;
+  candidate.result.points[0].bracket_hi = 0.5;
+  const CompareReport report =
+      frontier::compare_frontier(baseline, candidate, {});
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].cell, "SynPF/odom_slip_ramp/club#0");
+  EXPECT_EQ(report.failures[0].metric, "breaking_severity");
+  EXPECT_DOUBLE_EQ(report.failures[0].candidate, 0.5);
+
+  // A generous severity tolerance absorbs the drop.
+  frontier::FrontierCompareThresholds loose;
+  loose.severity_tol = 0.5;
+  EXPECT_TRUE(frontier::compare_frontier(baseline, candidate, loose).ok());
+}
+
+TEST(FrontierCompare, LosingACensoredPointIsARegression) {
+  // Censored compares as severity 2.0: a candidate that now fails inside
+  // the range regressed from "never breaks" to "breaks at 0.9".
+  const frontier::FrontierDocument baseline = make_frontier_doc();
+  frontier::FrontierDocument candidate = make_frontier_doc();
+  candidate.result.points[2].censored = false;
+  candidate.result.points[2].breaking_severity = 0.9;
+  const CompareReport report =
+      frontier::compare_frontier(baseline, candidate, {});
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].metric, "breaking_severity");
+  EXPECT_DOUBLE_EQ(report.failures[0].baseline, frontier::kCensoredBreaking);
+}
+
+TEST(FrontierCompare, ImprovementIsNotARegression) {
+  const frontier::FrontierDocument baseline = make_frontier_doc();
+  frontier::FrontierDocument candidate = make_frontier_doc();
+  candidate.result.points[1].breaking_severity = 0.75;
+  candidate.result.points[1].bracket_hi = 0.75;
+  EXPECT_TRUE(frontier::compare_frontier(baseline, candidate, {}).ok());
+}
+
+TEST(FrontierCompare, MissingPointIsARegression) {
+  const frontier::FrontierDocument baseline = make_frontier_doc();
+  frontier::FrontierDocument candidate = make_frontier_doc();
+  candidate.result.points.pop_back();
+  const CompareReport report =
+      frontier::compare_frontier(baseline, candidate, {});
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].metric, "missing_point");
+}
+
+TEST(FrontierCompare, ExactModeCatchesProbeSequenceDrift) {
+  // Same frontier, different path: tolerant mode passes, the determinism
+  // self-compare must not.
+  const frontier::FrontierDocument baseline = make_frontier_doc();
+  frontier::FrontierDocument candidate = make_frontier_doc();
+  candidate.result.points[0].evaluations[0].lateral_mean_cm += 1e-9;
+  EXPECT_TRUE(frontier::compare_frontier(baseline, candidate, {}).ok());
+
+  frontier::FrontierCompareThresholds exact;
+  exact.require_identical = true;
+  const CompareReport report =
+      frontier::compare_frontier(baseline, candidate, exact);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].metric, "probe_sequence");
 }
 
 }  // namespace

@@ -124,6 +124,38 @@ TEST(Experiment, GripChangesSlipDiagnostics) {
   EXPECT_GT(rl.mean_abs_slip, rh.mean_abs_slip);
 }
 
+TEST(Experiment, RunEndingMidEpisodeCountsAsUnrecovered) {
+  // Boundary semantics the frontier bisector scores against: when the run
+  // ends while a divergence episode is still open, the episode counts as
+  // unrecovered — `recovered` demands every opened episode closed again.
+  // A kidnapped dead reckoner is the canonical case: the estimate never
+  // re-converges, so the episode opened by the teleport cannot close.
+  const Track track = TrackGenerator::oval(8.0, 2.5);
+  ExperimentConfig cfg = quick_config();
+  // Never completes a lap count; the clock ends the run shortly after the
+  // kidnap — early enough that the disoriented car hasn't hit a wall yet,
+  // so the open episode (not a crash) is what denies recovery.
+  cfg.laps = 1000000;
+  cfg.max_sim_time = 6.0;
+  ExperimentConfig::KidnapSpec kidnap;
+  kidnap.t = 5.0;
+  kidnap.advance_frac = 0.25;
+  cfg.kidnaps.push_back(kidnap);
+  ExperimentRunner runner{track, cfg};
+  DeadReckoning localizer;
+  const ExperimentResult r = runner.run(localizer);
+
+  EXPECT_EQ(r.kidnaps_applied, 1);
+  ASSERT_EQ(r.divergence_episodes, 1);
+  EXPECT_EQ(r.recoveries, 0);
+  EXPECT_FALSE(r.crashed);
+  // The load-bearing bit: open episode at stream end == not recovered.
+  EXPECT_FALSE(r.recovered);
+  EXPECT_GT(r.final_pose_error_m, cfg.divergence_open_m);
+  // Nothing recovered, so no time-to-relocalize sample may exist.
+  EXPECT_TRUE(r.time_to_relocalize_s.empty());
+}
+
 TEST(Experiment, MaxSimTimeGuard) {
   const Track track = TrackGenerator::oval(8.0, 2.5);
   ExperimentConfig cfg = quick_config();

@@ -34,6 +34,7 @@
 #include "eval/experiment.hpp"
 #include "eval/trace.hpp"
 #include "gridmap/track_generator.hpp"
+#include "slam/pure_localization.hpp"
 
 #ifndef SRL_TEST_DATA_DIR
 #define SRL_TEST_DATA_DIR "tests/data"
@@ -44,6 +45,8 @@ namespace {
 
 const char* kTracePath = SRL_TEST_DATA_DIR "/golden_oval.srlt";
 const char* kEstimatesPath = SRL_TEST_DATA_DIR "/golden_oval_estimates.txt";
+const char* kCartoEstimatesPath =
+    SRL_TEST_DATA_DIR "/golden_oval_carto_estimates.txt";
 
 /// The pinned scenario. Every knob that feeds the numeric path is spelled
 /// out here; changing any of them is a golden regeneration event.
@@ -77,9 +80,9 @@ bool regen_requested() {
 
 /// Hexfloat serialization round-trips doubles exactly (%a / strtod are
 /// bit-faithful), which keeps the golden file human-diffable yet bitwise.
-void write_estimates(const SensorTrace::ReplayResult& r) {
-  std::ofstream os{kEstimatesPath};
-  ASSERT_TRUE(os.good()) << "cannot write " << kEstimatesPath;
+void write_estimates(const SensorTrace::ReplayResult& r, const char* path) {
+  std::ofstream os{path};
+  ASSERT_TRUE(os.good()) << "cannot write " << path;
   os << "golden-trace v1 " << r.estimates.size() << "\n" << std::hexfloat;
   for (const Pose2& p : r.estimates) {
     os << p.x << ' ' << p.y << ' ' << p.theta << "\n";
@@ -101,10 +104,10 @@ struct GoldenEstimates {
   double heading_rmse_rad{0.0};
 };
 
-GoldenEstimates read_estimates() {
+GoldenEstimates read_estimates(const char* path) {
   GoldenEstimates g;
-  std::ifstream is{kEstimatesPath};
-  EXPECT_TRUE(is.good()) << "missing " << kEstimatesPath
+  std::ifstream is{path};
+  EXPECT_TRUE(is.good()) << "missing " << path
                          << " — regenerate with SRL_REGEN_GOLDEN=1";
   std::string word;
   std::size_t count = 0;
@@ -140,7 +143,7 @@ TEST(GoldenTrace, SingleThreadedReplayMatchesCommittedBits) {
     auto map = std::make_shared<const OccupancyGrid>(track.grid);
     SynPf pf{golden_config(), map, LidarConfig{}};
     const auto result = trace.replay(pf);
-    write_estimates(result);
+    write_estimates(result, kEstimatesPath);
     std::printf("regenerated %s and %s (%zu estimates, rmse %.4f m)\n",
                 kTracePath, kEstimatesPath, result.estimates.size(),
                 result.pose_rmse_m);
@@ -152,7 +155,7 @@ TEST(GoldenTrace, SingleThreadedReplayMatchesCommittedBits) {
       << "missing/corrupt " << kTracePath
       << " — regenerate with SRL_REGEN_GOLDEN=1";
   ASSERT_FALSE(trace->scans().empty());
-  const GoldenEstimates golden = read_estimates();
+  const GoldenEstimates golden = read_estimates(kEstimatesPath);
   ASSERT_EQ(golden.estimates.size(), trace->scans().size());
 
   const Track track = golden_track();
@@ -160,6 +163,50 @@ TEST(GoldenTrace, SingleThreadedReplayMatchesCommittedBits) {
   SynPf pf{golden_config(), map, LidarConfig{}};
   const auto result = trace->replay(pf);
 
+  ASSERT_EQ(result.estimates.size(), golden.estimates.size());
+  for (std::size_t i = 0; i < golden.estimates.size(); ++i) {
+    const Pose2& got = result.estimates[i];
+    const Pose2& want = golden.estimates[i];
+    ASSERT_TRUE(bits_equal(got.x, want.x) && bits_equal(got.y, want.y) &&
+                bits_equal(got.theta, want.theta))
+        << "estimate " << i << " drifted: got (" << std::hexfloat << got.x
+        << ", " << got.y << ", " << got.theta << ") want (" << want.x << ", "
+        << want.y << ", " << want.theta << ")";
+  }
+  EXPECT_TRUE(bits_equal(result.pose_rmse_m, golden.pose_rmse_m))
+      << std::hexfloat << result.pose_rmse_m << " vs " << golden.pose_rmse_m;
+  EXPECT_TRUE(bits_equal(result.heading_rmse_rad, golden.heading_rmse_rad))
+      << std::hexfloat << result.heading_rmse_rad << " vs "
+      << golden.heading_rmse_rad;
+}
+
+/// Same wall for the scan-matching path: CartoLite (pure localization) on
+/// the *same* committed oval trace. SynPF's wall cannot see drift in the
+/// probability-grid interpolation, the Ceres-free Gauss-Newton matcher, or
+/// the submap machinery — this one does. Regenerates alongside the SynPF
+/// fixture under SRL_REGEN_GOLDEN=1 (the shared trace is only rewritten by
+/// the SynPF test, so both fixtures always describe one stream).
+TEST(GoldenTrace, CartoLiteReplayMatchesCommittedBits) {
+  const auto trace = SensorTrace::load(kTracePath);
+  ASSERT_TRUE(trace.has_value())
+      << "missing/corrupt " << kTracePath
+      << " — regenerate with SRL_REGEN_GOLDEN=1";
+  ASSERT_FALSE(trace->scans().empty());
+  const Track track = golden_track();
+  auto map = std::make_shared<const OccupancyGrid>(track.grid);
+
+  CartoLocalizer carto{PureLocalizationOptions{}, map, LidarConfig{}};
+  const auto result = trace->replay(carto);
+
+  if (regen_requested()) {
+    write_estimates(result, kCartoEstimatesPath);
+    std::printf("regenerated %s (%zu estimates, rmse %.4f m)\n",
+                kCartoEstimatesPath, result.estimates.size(),
+                result.pose_rmse_m);
+    return;
+  }
+
+  const GoldenEstimates golden = read_estimates(kCartoEstimatesPath);
   ASSERT_EQ(result.estimates.size(), golden.estimates.size());
   for (std::size_t i = 0; i < golden.estimates.size(); ++i) {
     const Pose2& got = result.estimates[i];

@@ -226,5 +226,103 @@ TEST(Ndjson, MissingFileIsNullopt) {
   EXPECT_FALSE(load_ndjson("/nonexistent/srl/no_such.ndjson").has_value());
 }
 
+// --------------------------------------------------- committed fuzz corpus
+// Deterministic parser fuzzing: the corpus under tests/data/json/ is
+// committed (not generated at test time), so every run — local, CI, every
+// sanitizer flavor — chews the exact same byte streams. The file lists are
+// spelled out here on purpose: adding a corpus document means deciding
+// which verdict it pins.
+
+#ifndef SRL_JSON_CORPUS_DIR
+#define SRL_JSON_CORPUS_DIR "tests/data/json"
+#endif
+
+std::string read_corpus_file(const std::string& relative) {
+  std::ifstream is{std::string{SRL_JSON_CORPUS_DIR "/"} + relative,
+                   std::ios::binary};
+  EXPECT_TRUE(is.good()) << "missing corpus file " << relative;
+  std::string text{std::istreambuf_iterator<char>{is},
+                   std::istreambuf_iterator<char>{}};
+  return text;
+}
+
+const char* const kValidCorpus[] = {
+    "valid/all_kinds.json",    "valid/depth_64.json",
+    "valid/numbers_edge.json", "valid/unicode.json",
+    "valid/whitespace.json",
+};
+
+const char* const kInvalidCorpus[] = {
+    "invalid/depth_65.json",
+    "invalid/depth_bomb.json",
+    "invalid/trailing_garbage.json",
+    "invalid/nan.json",
+    "invalid/infinity.json",
+    "invalid/plus_sign.json",
+    "invalid/bare_dot.json",
+    "invalid/dot_lead.json",
+    "invalid/exp_empty.json",
+    "invalid/exp_sign_only.json",
+    "invalid/minus_only.json",
+    "invalid/hex.json",
+    "invalid/single_quotes.json",
+    "invalid/unterminated_string.json",
+    "invalid/raw_control_char.json",
+    "invalid/unpaired_high_surrogate.json",
+    "invalid/unpaired_low_surrogate.json",
+    "invalid/bad_hex_escape.json",
+    "invalid/bad_escape.json",
+    "invalid/trailing_comma_array.json",
+    "invalid/trailing_comma_object.json",
+    "invalid/missing_colon.json",
+    "invalid/missing_value.json",
+    "invalid/unclosed_array.json",
+    "invalid/unclosed_object.json",
+    "invalid/comma_only.json",
+    "invalid/nonstring_key.json",
+    "invalid/empty.json",
+    "invalid/byte_order_mark.json",
+};
+
+TEST(JsonCorpus, ValidDocumentsParseAndRoundTripStably) {
+  for (const char* name : kValidCorpus) {
+    const std::string text = read_corpus_file(name);
+    ASSERT_FALSE(text.empty()) << name;
+    const std::optional<Value> v = Value::parse(text);
+    ASSERT_TRUE(v.has_value()) << name << " must parse";
+    // Stability: dump -> parse -> dump is a fixed point (numbers included,
+    // via the shortest-round-trip formatter).
+    const std::string once = v->dump();
+    const std::optional<Value> again = Value::parse(once);
+    ASSERT_TRUE(again.has_value()) << name << " must re-parse its own dump";
+    EXPECT_EQ(again->dump(), once) << name;
+  }
+}
+
+TEST(JsonCorpus, InvalidDocumentsAreRejected) {
+  // Includes the depth bomb (100 kB of '['): the recursion guard must
+  // reject it without exhausting the stack, never half-build a document.
+  for (const char* name : kInvalidCorpus) {
+    const std::string text = read_corpus_file(name);
+    EXPECT_FALSE(Value::parse(text).has_value()) << name << " must be rejected";
+  }
+}
+
+TEST(JsonCorpus, TruncationAtEveryByteOffsetIsRejected) {
+  // The committed source doc is compact with no trailing whitespace, so
+  // *every* strict prefix is an incomplete document; the strict parser must
+  // reject each one (a lenient parser would accept some prefix and
+  // silently drop the tail — exactly the corruption mode a crashed
+  // artifact writer produces).
+  const std::string text = read_corpus_file("truncation_source.json");
+  ASSERT_FALSE(text.empty());
+  ASSERT_EQ(text.back(), '}') << "source must end compact";
+  ASSERT_TRUE(Value::parse(text).has_value()) << "full doc must parse";
+  for (std::size_t len = 0; len < text.size(); ++len) {
+    EXPECT_FALSE(Value::parse(text.substr(0, len)).has_value())
+        << "prefix of length " << len << " must be rejected";
+  }
+}
+
 }  // namespace
 }  // namespace srl::json

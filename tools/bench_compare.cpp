@@ -1,5 +1,7 @@
 /// \file bench_compare.cpp
-/// \brief CI regression gate over two `BENCH_robustness.json` documents.
+/// \brief CI regression gate over two `BENCH_robustness.json` documents —
+/// or, with `--frontier`, two `srl.frontier/1` robustness-frontier
+/// artifacts (eval/frontier/frontier_json.hpp).
 ///
 /// Diffs a candidate benchmark run against a committed baseline with the
 /// threshold semantics of `eval/bench_compare.hpp` and maps the report onto
@@ -21,6 +23,14 @@
 ///       [--no-recovery-gate]      skip recovery-success / reloc gates
 ///       [--hash require|ignore]   fault-trace fingerprint gate (ignore)
 ///       [--allow-new-crashes]     tolerate crashes the baseline survived
+///
+///   bench_compare --frontier <baseline.json> <candidate.json>
+///       [--sev-tol <sev>]   allowed breaking-severity drop per frontier
+///                           point before it counts as a regression (0.0;
+///                           censored points compare as severity 2.0)
+///       [--exact]           determinism self-compare: additionally demand
+///                           bitwise-identical brackets, probe sequences
+///                           and replay indices (zero tolerance)
 
 #include <cstdio>
 #include <cstdlib>
@@ -30,6 +40,7 @@
 
 #include "eval/bench_compare.hpp"
 #include "eval/benchmark_json.hpp"
+#include "eval/frontier/frontier_json.hpp"
 
 namespace {
 
@@ -40,8 +51,10 @@ int usage(const char* argv0) {
                "  [--p99-tol <frac>] [--p99-slack-ms <ms>]\n"
                "  [--reloc-tol <frac>] [--reloc-slack-s <s>]\n"
                "  [--no-recovery-gate]\n"
-               "  [--hash require|ignore] [--allow-new-crashes]\n",
-               argv0);
+               "  [--hash require|ignore] [--allow-new-crashes]\n"
+               "or:    %s --frontier <baseline.json> <candidate.json>\n"
+               "  [--sev-tol <sev>] [--exact]\n",
+               argv0, argv0);
   return 2;
 }
 
@@ -49,6 +62,39 @@ bool parse_double(const char* s, double& out) {
   char* end = nullptr;
   out = std::strtod(s, &end);
   return end != s && *end == '\0';
+}
+
+int run_frontier_compare(const std::string& baseline_path,
+                         const std::string& candidate_path,
+                         const srl::frontier::FrontierCompareThresholds& tol) {
+  using namespace srl;
+  const std::optional<frontier::FrontierDocument> baseline =
+      frontier::read_frontier_json(baseline_path);
+  if (!baseline) {
+    std::fprintf(stderr, "baseline %s: unreadable or not a %s document\n",
+                 baseline_path.c_str(), frontier::kFrontierSchema);
+    return 2;
+  }
+  const std::optional<frontier::FrontierDocument> candidate =
+      frontier::read_frontier_json(candidate_path);
+  if (!candidate) {
+    std::fprintf(stderr, "candidate %s: unreadable or not a %s document\n",
+                 candidate_path.c_str(), frontier::kFrontierSchema);
+    return 2;
+  }
+
+  const CompareReport report =
+      frontier::compare_frontier(*baseline, *candidate, tol);
+  for (const CompareFailure& failure : report.failures) {
+    std::fprintf(stderr, "FAIL %s\n", failure.describe().c_str());
+  }
+  std::printf("bench_compare --frontier: %d points compared%s — %s\n",
+              report.cells_compared, tol.require_identical ? " (exact)" : "",
+              report.ok() ? "PASS"
+                          : ("FAIL (" + std::to_string(report.failures.size()) +
+                             " regressions)")
+                                .c_str());
+  return report.ok() ? 0 : 1;
 }
 
 }  // namespace
@@ -59,13 +105,23 @@ int main(int argc, char** argv) {
   std::string paths[2];
   int n_paths = 0;
   CompareThresholds thresholds;
+  bool frontier_mode = false;
+  frontier::FrontierCompareThresholds frontier_tol;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
-    if (std::strcmp(arg, "--lat-tol") == 0) {
+    if (std::strcmp(arg, "--frontier") == 0) {
+      frontier_mode = true;
+    } else if (std::strcmp(arg, "--sev-tol") == 0) {
+      const char* v = next();
+      if (v == nullptr || !parse_double(v, frontier_tol.severity_tol))
+        return usage(argv[0]);
+    } else if (std::strcmp(arg, "--exact") == 0) {
+      frontier_tol.require_identical = true;
+    } else if (std::strcmp(arg, "--lat-tol") == 0) {
       const char* v = next();
       if (v == nullptr || !parse_double(v, thresholds.lateral_tol_frac))
         return usage(argv[0]);
@@ -113,6 +169,8 @@ int main(int argc, char** argv) {
     }
   }
   if (n_paths != 2) return usage(argv[0]);
+
+  if (frontier_mode) return run_frontier_compare(paths[0], paths[1], frontier_tol);
 
   const std::optional<BenchDocument> baseline = read_bench_json(paths[0]);
   if (!baseline) {

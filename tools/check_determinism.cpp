@@ -26,6 +26,12 @@
 ///      kidnap replay: estimates stay bitwise identical to the recorder-off
 ///      run, and the recorder's per-tick estimate hash is invariant across
 ///      worker-lane counts (the PR-6 guarantee black-box replay rests on),
+///   8. the frontier scenario sampler (eval/frontier): `sample(index)` is a
+///      pure function of (seed, index) — call order, interleaving, and a
+///      fresh sampler all land on the same scenario bits — and the
+///      severity-bisected frontier search serializes to a byte-identical
+///      artifact at 1 and 8 search lanes (the PR-7 guarantee the
+///      `srl.frontier/1` CI gate rests on),
 ///
 /// and, in a SYNPF_CHECKED build, requires the whole lap to complete with
 /// zero contract violations (reported through `telemetry::ContractMonitor`).
@@ -43,6 +49,8 @@
 #include "eval/dead_reckoning.hpp"
 #include "eval/experiment.hpp"
 #include "eval/fault_replay.hpp"
+#include "eval/frontier/frontier_json.hpp"
+#include "eval/frontier/frontier_search.hpp"
 #include "eval/trace.hpp"
 #include "fault/pipeline.hpp"
 #include "gridmap/track_generator.hpp"
@@ -309,6 +317,88 @@ int main(int argc, char** argv) {
             static_cast<unsigned long long>(rec1.estimate_hash()),
             static_cast<unsigned long long>(rec1.ticks()));
       }
+    }
+  }
+
+  // 8. Frontier sampler + search determinism. First the sampler: a scenario
+  // must be a pure function of (seed, index) — rebuild it out of order, from
+  // a fresh sampler, and after unrelated draws, and demand identical bits on
+  // everything the replay key promises to reconstruct.
+  {
+    frontier::ScenarioSampler sampler{0xF407};
+    bool sampler_ok = true;
+    const std::uint32_t indices[] = {
+        frontier::ScenarioKey{512, 0, 0, 0}.pack(),
+        frontier::ScenarioKey{1024, 3, 1, 2}.pack(),
+        frontier::ScenarioKey{1, 7, 2, 5}.pack(),
+    };
+    // Forward pass, then reversed on a fresh sampler.
+    frontier::SampledScenario forward[3];
+    for (int i = 0; i < 3; ++i) forward[i] = sampler.sample(indices[i]);
+    frontier::ScenarioSampler fresh{0xF407};
+    for (int i = 2; i >= 0; --i) {
+      const frontier::SampledScenario again = fresh.sample(indices[i]);
+      sampler_ok =
+          sampler_ok && again.severity == forward[i].severity &&
+          std::memcmp(&again.profile, &forward[i].profile,
+                      sizeof(again.profile)) == 0 &&
+          again.length_scale == forward[i].length_scale &&
+          again.spec.half_width == forward[i].spec.half_width &&
+          again.waypoint_radius == forward[i].waypoint_radius &&
+          again.waypoint_jitter == forward[i].waypoint_jitter &&
+          again.n_waypoints == forward[i].n_waypoints &&
+          frontier::ScenarioSampler::replay_recipe(0xF407, indices[i]) ==
+              frontier::ScenarioSampler::replay_recipe(0xF407, indices[i]);
+    }
+    if (!sampler_ok) {
+      std::fprintf(stderr, "[frontier-sampler] scenario bits depend on call "
+                           "order or sampler instance\n");
+      ok = false;
+    } else {
+      std::printf("[frontier-sampler] OK — scenarios are pure functions of "
+                  "(seed, index)\n");
+    }
+
+    // Then the search driver: a synthetic pure-function oracle keeps this
+    // cheap under sanitizers while still exercising the combo fan-out and
+    // per-index result writes. The serialized artifact must be
+    // byte-identical at 1 and 8 search lanes.
+    auto oracle = [](const std::string& localizer,
+                     const frontier::SampledScenario& scenario) {
+      frontier::FrontierEvaluation eval;
+      const double threshold =
+          (localizer == "SynPF" ? 0.63 : 0.27) + 0.05 * scenario.key.axis;
+      eval.failed = scenario.severity >= threshold;
+      eval.lateral_mean_cm = 3.0 + 40.0 * scenario.severity;
+      eval.final_pose_error_m = eval.failed ? 2.5 : 0.1;
+      eval.divergence_episodes = eval.failed ? 1 : 0;
+      eval.recoveries = 0;
+      return eval;
+    };
+    frontier::FrontierSearchConfig fcfg;
+    fcfg.axes = {0, 1, 2, 3};
+    fcfg.track_classes = {0, 1};
+    fcfg.bisect_iterations = 6;
+    auto artifact_at = [&](int threads) {
+      frontier::FrontierSearchConfig c = fcfg;
+      c.search_threads = threads;
+      frontier::FrontierDocument doc;
+      doc.result = run_frontier_search(c, oracle);
+      doc.has_headline = frontier::compute_frontier_headline(
+          doc.result, "odom_slip_ramp", "club", doc.headline);
+      return frontier_to_json(doc).dump();
+    };
+    const std::string one = artifact_at(1);
+    const std::string eight = artifact_at(8);
+    if (one != eight) {
+      std::fprintf(stderr, "[frontier-threads] artifact bytes differ between "
+                           "1 and 8 search lanes (%zu vs %zu bytes)\n",
+                   one.size(), eight.size());
+      ok = false;
+    } else {
+      std::printf("[frontier-threads] OK — %zu-byte artifact identical at 1 "
+                  "and 8 search lanes\n",
+                  one.size());
     }
   }
 
