@@ -1,0 +1,62 @@
+#include "common/simd.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace srl::simd {
+namespace {
+
+enum class Pin { kNone, kScalar, kAvx2 };
+
+Pin& pinned() {
+  static Pin pin = Pin::kNone;
+  return pin;
+}
+
+/// Resolve SRL_SIMD + CPU probe. Unknown values behave like "auto" so a
+/// typo'd env var degrades to the default instead of changing semantics
+/// silently in only some translation units.
+Backend resolve_from_env() {
+  const char* env = std::getenv("SRL_SIMD");
+  if (env != nullptr && std::strcmp(env, "scalar") == 0) {
+    return Backend::kScalar;
+  }
+  return cpu_has_avx2() ? Backend::kAvx2 : Backend::kScalar;
+}
+
+}  // namespace
+
+const char* name(Backend backend) {
+  return backend == Backend::kAvx2 ? "avx2" : "scalar";
+}
+
+bool cpu_has_avx2() {
+#if defined(SRL_SIMD_X86_AVX2)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+Backend active() {
+  switch (pinned()) {
+    case Pin::kScalar:
+      return Backend::kScalar;
+    case Pin::kAvx2:
+      return cpu_has_avx2() ? Backend::kAvx2 : Backend::kScalar;
+    case Pin::kNone:
+      break;
+  }
+  // Env + CPU resolution is cached: the answer cannot change mid-process
+  // and the dispatch sites sit on hot per-update paths.
+  static const Backend resolved = resolve_from_env();
+  return resolved;
+}
+
+void force(Backend backend) {
+  pinned() = backend == Backend::kAvx2 ? Pin::kAvx2 : Pin::kScalar;
+}
+
+void reset() { pinned() = Pin::kNone; }
+
+}  // namespace srl::simd

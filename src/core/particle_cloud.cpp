@@ -1,0 +1,48 @@
+#include "core/particle_cloud.hpp"
+
+#include <utility>
+
+#include "common/contracts.hpp"
+
+namespace srl {
+
+void ParticleCloud::resize(std::size_t n) {
+  x_.resize(n, 0.0);
+  y_.resize(n, 0.0);
+  theta_.resize(n, 0.0);
+  weight_.resize(n, 1.0);
+  size_ = n;
+}
+
+void ParticleCloud::fill_weights(double w) {
+  for (std::size_t i = 0; i < size_; ++i) {
+    weight_[i] = w;
+  }
+}
+
+ParticleCloud::ChunkView ParticleCloud::chunk(std::size_t begin,
+                                              std::size_t end) {
+  SYNPF_EXPECTS(begin <= end && end <= size_);
+  return ChunkView{x_.data() + begin,      y_.data() + begin,
+                   theta_.data() + begin,  weight_.data() + begin,
+                   begin,                  end - begin};
+}
+
+std::vector<Particle> ParticleCloud::snapshot() const {
+  std::vector<Particle> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(particle(i));
+  }
+  return out;
+}
+
+void ParticleCloud::swap(ParticleCloud& other) noexcept {
+  std::swap(size_, other.size_);
+  x_.swap(other.x_);
+  y_.swap(other.y_);
+  theta_.swap(other.theta_);
+  weight_.swap(other.weight_);
+}
+
+}  // namespace srl

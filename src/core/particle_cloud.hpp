@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file particle_cloud.hpp
+/// \brief Structure-of-arrays particle storage for the SynPF hot path.
+///
+/// The filter used to keep `std::vector<Particle>` (array-of-structs).
+/// Every stage of the sensor update touches exactly one or two fields of
+/// every particle, so AoS wasted two thirds of each cache line and made
+/// the weight stage un-vectorizable. The cloud stores the four fields as
+/// separate 64-byte-aligned slabs (`x[] / y[] / theta[] / weight[]`):
+/// unit-stride streams for the scalar loops, aligned 4-wide `__m256d`
+/// lanes for the AVX2 kernels, and the exact same iteration order either
+/// way (bitwise determinism is the repo's contract — layout may change
+/// performance, never bits).
+///
+/// `chunk()` exposes the per-lane view the ThreadPool's static partition
+/// hands each worker: chunk c of T covers [c*n/T, (c+1)*n/T), matching
+/// `ThreadPool::chunk_begin`, so per-lane kernels can be handed raw slab
+/// pointers without re-deriving offsets.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/simd.hpp"
+#include "common/types.hpp"
+
+namespace srl {
+
+/// One hypothesis: a pose and its importance weight. Kept as the AoS
+/// interchange type for snapshots, resampling digests, and tests; the
+/// filter's working storage is ParticleCloud.
+struct Particle {
+  Pose2 pose;
+  double weight{1.0};
+};
+
+class ParticleCloud {
+ public:
+  ParticleCloud() = default;
+  explicit ParticleCloud(std::size_t n) { resize(n); }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Grow or shrink to n particles. The surviving prefix keeps its values
+  /// bit-for-bit; new slots get pose (0,0,0) and weight 1.
+  void resize(std::size_t n);
+
+  // Raw slab access (64-byte aligned, `size()` valid elements each).
+  double* x() { return x_.data(); }
+  double* y() { return y_.data(); }
+  double* theta() { return theta_.data(); }
+  double* weight() { return weight_.data(); }
+  const double* x() const { return x_.data(); }
+  const double* y() const { return y_.data(); }
+  const double* theta() const { return theta_.data(); }
+  const double* weight() const { return weight_.data(); }
+
+  std::span<const double> weights() const { return {weight_.data(), size_}; }
+  std::span<double> weights() { return {weight_.data(), size_}; }
+
+  Pose2 pose(std::size_t i) const { return Pose2{x_[i], y_[i], theta_[i]}; }
+  void set_pose(std::size_t i, const Pose2& p) {
+    x_[i] = p.x;
+    y_[i] = p.y;
+    theta_[i] = p.theta;
+  }
+  Particle particle(std::size_t i) const { return {pose(i), weight_[i]}; }
+  void set_particle(std::size_t i, const Particle& p) {
+    set_pose(i, p.pose);
+    weight_[i] = p.weight;
+  }
+
+  void fill_weights(double w);
+
+  /// One thread-pool lane's slice of the slabs: raw pointers offset to
+  /// `begin`, plus the slice extent. Pointers stay valid until the next
+  /// resize()/swap().
+  struct ChunkView {
+    double* x{nullptr};
+    double* y{nullptr};
+    double* theta{nullptr};
+    double* weight{nullptr};
+    std::size_t begin{0};
+    std::size_t count{0};
+  };
+  ChunkView chunk(std::size_t begin, std::size_t end);
+
+  /// AoS copy for consumers that want value semantics (tests, digests,
+  /// recovery bookkeeping). Allocates; not for the per-update path.
+  std::vector<Particle> snapshot() const;
+
+  void swap(ParticleCloud& other) noexcept;
+
+ private:
+  std::size_t size_{0};
+  simd::AlignedVector<double> x_;
+  simd::AlignedVector<double> y_;
+  simd::AlignedVector<double> theta_;
+  simd::AlignedVector<double> weight_;
+};
+
+}  // namespace srl

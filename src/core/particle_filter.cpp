@@ -8,6 +8,7 @@
 
 #include "common/angles.hpp"
 #include "common/contracts.hpp"
+#include "common/simd.hpp"
 #include "common/u64_set.hpp"
 #include "sensor/scanline_layout.hpp"
 
@@ -28,9 +29,8 @@ ParticleFilter::ParticleFilter(ParticleFilterConfig config,
       beam_angles_{layout_angles(lidar_, beam_indices_)},
       rng_{seed},
       pool_{config_.n_threads} {
-  particles_.resize(static_cast<std::size_t>(std::max(config_.n_particles, 1)));
-  log_weights_.resize(particles_.size());
-  ray_scratch_.resize(static_cast<std::size_t>(pool_.threads()));
+  cloud_.resize(static_cast<std::size_t>(std::max(config_.n_particles, 1)));
+  log_weights_.resize(cloud_.size());
 }
 
 void ParticleFilter::ensure_slot_rngs(std::size_t n) {
@@ -46,13 +46,14 @@ void ParticleFilter::ensure_slot_rngs(std::size_t n) {
 void ParticleFilter::init_pose(const Pose2& pose) {
   ++init_epoch_;
   slot_rngs_.clear();
-  const double w = 1.0 / static_cast<double>(particles_.size());
-  for (Particle& p : particles_) {
-    p.pose = Pose2{pose.x + rng_.gaussian(config_.init_sigma_xy),
-                   pose.y + rng_.gaussian(config_.init_sigma_xy),
-                   normalize_angle(pose.theta +
-                                   rng_.gaussian(config_.init_sigma_theta))};
-    p.weight = w;
+  const double w = 1.0 / static_cast<double>(cloud_.size());
+  for (std::size_t i = 0; i < cloud_.size(); ++i) {
+    cloud_.set_pose(
+        i, Pose2{pose.x + rng_.gaussian(config_.init_sigma_xy),
+                 pose.y + rng_.gaussian(config_.init_sigma_xy),
+                 normalize_angle(pose.theta +
+                                 rng_.gaussian(config_.init_sigma_theta))});
+    cloud_.weight()[i] = w;
   }
 }
 
@@ -60,17 +61,17 @@ void ParticleFilter::init_global(const OccupancyGrid& map) {
   ++init_epoch_;
   slot_rngs_.clear();
   // Rejection-sample uniformly over free cells with random headings.
-  const double w = 1.0 / static_cast<double>(particles_.size());
-  for (Particle& p : particles_) {
+  const double w = 1.0 / static_cast<double>(cloud_.size());
+  for (std::size_t i = 0; i < cloud_.size(); ++i) {
     for (int tries = 0; tries < 10000; ++tries) {
       const int ix = rng_.uniform_int(0, map.width() - 1);
       const int iy = rng_.uniform_int(0, map.height() - 1);
       if (!map.is_free(ix, iy)) continue;
       const Vec2 c = map.grid_to_world(ix, iy);
-      p.pose = Pose2{c.x, c.y, rng_.uniform(-kPi, kPi)};
+      cloud_.set_pose(i, Pose2{c.x, c.y, rng_.uniform(-kPi, kPi)});
       break;
     }
-    p.weight = w;
+    cloud_.weight()[i] = w;
   }
 }
 
@@ -112,16 +113,18 @@ void ParticleFilter::predict(const OdometryDelta& odom) {
                     "odometry increment must be finite");
   telemetry::ScopedSpan span{sink_.trace, "pf.predict"};
   telemetry::StageTimer timer{h_predict_};
-  ensure_slot_rngs(particles_.size());
-  pool_.parallel_for(particles_.size(), [&](int /*lane*/, std::size_t begin,
-                                            std::size_t end) {
+  ensure_slot_rngs(cloud_.size());
+  // Scalar per lane by design: each slot consumes its own RNG substream
+  // draw sequence and the motion model's libm trig pins the bits, so a
+  // vectorized predict could not stay bitwise identical (DESIGN.md §15).
+  pool_.parallel_for(cloud_.size(), [&](int /*lane*/, std::size_t begin,
+                                        std::size_t end) {
     telemetry::ScopedSpan chunk{sink_.trace, "pf.predict.chunk"};
     // srl-lint: realtime
     for (std::size_t i = begin; i < end; ++i) {
       // Slot i's noise comes from its own substream, so the sample is the
       // same whichever lane runs it.
-      particles_[i].pose =
-          motion_->sample(particles_[i].pose, odom, slot_rngs_[i]);
+      cloud_.set_pose(i, motion_->sample(cloud_.pose(i), odom, slot_rngs_[i]));
     }
     // srl-lint: end-realtime
   });
@@ -129,32 +132,33 @@ void ParticleFilter::predict(const OdometryDelta& odom) {
 }
 
 void ParticleFilter::correct(const LaserScan& scan) {
-  const std::size_t n = particles_.size();
+  const std::size_t n = cloud_.size();
   const std::size_t k = beam_indices_.size();
 
   // Propagated prior estimate, kept only for the pose-jump detector.
   const bool health_on = sink_.metrics != nullptr;
   const Pose2 predicted = health_on ? estimate() : Pose2{};
 
+  // One backend per update: hoisted out of the parallel regions so every
+  // lane of this correct() runs the same kernel even if a test re-pins
+  // the dispatch concurrently.
+  const simd::Backend backend = simd::active();
+
   // Stage 1 — raycast: expected range for every (particle, beam) pair
-  // through the backend's batch interface. Chunks write disjoint contiguous
-  // row slabs of `expected_`; each lane rebuilds rays in its own scratch.
+  // through the backend's per-particle batch entry point. Chunks write
+  // disjoint contiguous row slabs of `expected_`.
   {
     telemetry::ScopedSpan span{sink_.trace, "pf.raycast"};
     telemetry::StageTimer timer{h_raycast_};
     expected_.resize(n * k);
-    ray_scratch_.resize(static_cast<std::size_t>(pool_.threads()));
-    pool_.parallel_for(n, [&](int lane, std::size_t begin, std::size_t end) {
+    pool_.parallel_for(n, [&](int /*lane*/, std::size_t begin,
+                              std::size_t end) {
       telemetry::ScopedSpan chunk{sink_.trace, "pf.raycast.chunk"};
-      std::vector<Pose2>& rays = ray_scratch_[static_cast<std::size_t>(lane)];
-      rays.resize(k);
       // srl-lint: realtime
       for (std::size_t i = begin; i < end; ++i) {
-        const Pose2 sensor = particles_[i].pose * lidar_.mount;
-        for (std::size_t j = 0; j < k; ++j) {
-          rays[j] = Pose2{sensor.x, sensor.y, sensor.theta + beam_angles_[j]};
-        }
-        caster_->ranges(rays, std::span<float>{expected_}.subspan(i * k, k));
+        const Pose2 sensor = cloud_.pose(i) * lidar_.mount;
+        caster_->ranges_from(sensor, beam_angles_,
+                             std::span<float>{expected_}.subspan(i * k, k));
       }
       // srl-lint: end-realtime
     });
@@ -163,27 +167,22 @@ void ParticleFilter::correct(const LaserScan& scan) {
 
   // Stage 2 — weight: score each particle's expected ranges against the
   // measured scan with the beam model, then squash and normalize. The
-  // per-particle scoring fans out (each chunk writes only its own
-  // log_weights_ rows); the max scan and the recovery/normalization sums
-  // run in fixed order so the result is thread-count independent.
+  // scan-dependent half of the table lookup is hoisted into scan_ctx_
+  // once; the per-particle scoring fans out through the dispatched
+  // kernel (each chunk writes only its own log_weights_ rows); the max
+  // scan and the recovery/normalization sums run in fixed order so the
+  // result is thread-count independent.
   {
     telemetry::ScopedSpan weight_span{sink_.trace, "pf.weight"};
     telemetry::StageTimer weight_timer{h_weight_};
+    scan_ctx_.build(beam_model_, scan, beam_indices_);
     log_weights_.resize(n);
     pool_.parallel_for(n, [&](int /*lane*/, std::size_t begin,
                               std::size_t end) {
       telemetry::ScopedSpan chunk{sink_.trace, "pf.weight.chunk"};
       // srl-lint: realtime
-      for (std::size_t i = begin; i < end; ++i) {
-        double log_w = 0.0;
-        const float* expected_row = expected_.data() + i * k;
-        for (std::size_t j = 0; j < k; ++j) {
-          const auto idx = static_cast<std::size_t>(beam_indices_[j]);
-          if (idx >= scan.ranges.size()) continue;
-          log_w += beam_model_.log_prob(scan.ranges[idx], expected_row[j]);
-        }
-        log_weights_[i] = log_w;
-      }
+      pf_kernels::accumulate_log_weights(backend, scan_ctx_, expected_.data(),
+                                         k, begin, end, log_weights_.data());
       // srl-lint: end-realtime
     });
     double max_log = -std::numeric_limits<double>::infinity();
@@ -209,11 +208,11 @@ void ParticleFilter::correct(const LaserScan& scan) {
     // fold in the prior weights (uniform after a resample, usually a no-op).
     const double inv_squash =
         1.0 / std::max(config_.squash_factor * squash_scale_, 1e-6);
+    double* weights = cloud_.weight();
     pool_.parallel_for(n, [&](int /*lane*/, std::size_t begin,
                               std::size_t end) {
       for (std::size_t i = begin; i < end; ++i) {
-        particles_[i].weight *=
-            std::exp((log_weights_[i] - max_log) * inv_squash);
+        weights[i] *= std::exp((log_weights_[i] - max_log) * inv_squash);
       }
     });
     normalize_weights();
@@ -240,7 +239,7 @@ void ParticleFilter::correct(const LaserScan& scan) {
       data.set("ess_fraction",
                json::Value::number(pre_resample_ess / static_cast<double>(n)));
       data.set("particles",
-               json::Value::number(static_cast<double>(particles_.size())));
+               json::Value::number(static_cast<double>(cloud_.size())));
       sink_.events->emit(scan.t, telemetry::EventSeverity::kDebug,
                          telemetry::EventCategory::kFilter, "pf.resample",
                          std::move(data));
@@ -261,29 +260,28 @@ void ParticleFilter::correct(const LaserScan& scan) {
       }
     }
     g_pose_jump_->set(health_.pose_jump_m);
-    g_particles_->set(static_cast<double>(particles_.size()));
+    g_particles_->set(static_cast<double>(cloud_.size()));
     c_updates_->add();
   }
 }
 
 void ParticleFilter::sample_health() {
-  weight_scratch_.resize(particles_.size());
-  for (std::size_t i = 0; i < particles_.size(); ++i) {
-    weight_scratch_[i] = particles_[i].weight;
-  }
-  health_.n_particles = static_cast<int>(particles_.size());
-  health_.ess = telemetry::effective_sample_size(weight_scratch_);
+  // The SoA weight slab is already the contiguous array the estimators
+  // want — no copy (the AoS layout needed a gather into scratch here).
+  const std::span<const double> weights = cloud_.weights();
+  health_.n_particles = static_cast<int>(cloud_.size());
+  health_.ess = telemetry::effective_sample_size(weights);
   health_.ess_fraction =
       health_.n_particles > 0
           ? health_.ess / static_cast<double>(health_.n_particles)
           : 0.0;
-  health_.weight_entropy = telemetry::weight_entropy(weight_scratch_);
+  health_.weight_entropy = telemetry::weight_entropy(weights);
   health_.normalized_entropy =
       health_.n_particles > 1
           ? health_.weight_entropy /
                 std::log(static_cast<double>(health_.n_particles))
           : 0.0;
-  health_.max_weight_share = telemetry::max_weight_share(weight_scratch_);
+  health_.max_weight_share = telemetry::max_weight_share(weights);
   g_ess_->set(health_.ess);
   g_ess_fraction_->set(health_.ess_fraction);
   if (h_ess_fraction_ != nullptr) h_ess_fraction_->record(health_.ess_fraction);
@@ -294,60 +292,65 @@ void ParticleFilter::sample_health() {
 void ParticleFilter::normalize_weights() {
   // Fixed pairwise order: the sum (and so every normalized weight) is
   // bitwise identical at any thread count.
+  double* weights = cloud_.weight();
   const double sum = pairwise_reduce(
-      particles_.size(), [this](std::size_t i) { return particles_[i].weight; });
+      cloud_.size(), [weights](std::size_t i) { return weights[i]; });
   if (sum <= 0.0 || !std::isfinite(sum)) {
     // Total weight collapse (all particles in impossible states): reset to
     // uniform rather than propagating NaNs; the next updates re-shape it.
-    const double w = 1.0 / static_cast<double>(particles_.size());
-    for (Particle& p : particles_) p.weight = w;
+    cloud_.fill_weights(1.0 / static_cast<double>(cloud_.size()));
     return;
   }
-  for (Particle& p : particles_) p.weight /= sum;
+  for (std::size_t i = 0; i < cloud_.size(); ++i) {
+    weights[i] /= sum;
+  }
   SYNPF_ENSURES_MSG(weights_normalized(),
                     "particle weights must be finite, non-negative and sum to 1");
 }
 
 bool ParticleFilter::weights_normalized() const {
+  const double* weights = cloud_.weight();
   double sum = 0.0;
-  for (const Particle& p : particles_) {
-    if (!std::isfinite(p.weight) || p.weight < 0.0) return false;
-    sum += p.weight;
+  for (std::size_t i = 0; i < cloud_.size(); ++i) {
+    if (!std::isfinite(weights[i]) || weights[i] < 0.0) return false;
+    sum += weights[i];
   }
   return std::abs(sum - 1.0) < 1e-6;
 }
 
 double ParticleFilter::effective_sample_size() const {
+  const double* weights = cloud_.weight();
   const double sum_sq =
-      pairwise_reduce(particles_.size(), [this](std::size_t i) {
-        const double w = particles_[i].weight;
+      pairwise_reduce(cloud_.size(), [weights](std::size_t i) {
+        const double w = weights[i];
         return w * w;
       });
   return sum_sq > 0.0 ? 1.0 / sum_sq : 0.0;
 }
 
 std::vector<Particle> ParticleFilter::top_particles(std::size_t k) const {
-  k = std::min(k, particles_.size());
-  std::vector<std::size_t> idx(particles_.size());
+  k = std::min(k, cloud_.size());
+  const double* weights = cloud_.weight();
+  std::vector<std::size_t> idx(cloud_.size());
   std::iota(idx.begin(), idx.end(), std::size_t{0});
   std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
-                    idx.end(), [this](std::size_t a, std::size_t b) {
-                      const double wa = particles_[a].weight;
-                      const double wb = particles_[b].weight;
+                    idx.end(), [weights](std::size_t a, std::size_t b) {
+                      const double wa = weights[a];
+                      const double wb = weights[b];
                       if (wa != wb) return wa > wb;
                       return a < b;  // stable under weight ties
                     });
   std::vector<Particle> out;
   out.reserve(k);
-  for (std::size_t i = 0; i < k; ++i) out.push_back(particles_[idx[i]]);
+  for (std::size_t i = 0; i < k; ++i) out.push_back(cloud_.particle(idx[i]));
   return out;
 }
 
 void ParticleFilter::set_weights(std::span<const double> weights) {
-  SYNPF_EXPECTS_MSG(weights.size() == particles_.size(),
+  SYNPF_EXPECTS_MSG(weights.size() == cloud_.size(),
                     "one weight per current particle");
-  for (std::size_t i = 0; i < particles_.size(); ++i) {
-    particles_[i].weight = weights[i];
+  for (std::size_t i = 0; i < cloud_.size(); ++i) {
+    cloud_.weight()[i] = weights[i];
   }
   normalize_weights();
 }
@@ -359,11 +362,10 @@ void ParticleFilter::inject_uniform(double fraction, Rng& rng) {
                     "injection fraction must be finite");
   if (fraction <= 0.0 || recovery_map_ == nullptr) return;
   const double f = std::min(fraction, 1.0);
-  for (Particle& p : particles_) {
-    if (rng.uniform() < f) p.pose = sample_free_pose(rng);
+  for (std::size_t i = 0; i < cloud_.size(); ++i) {
+    if (rng.uniform() < f) cloud_.set_pose(i, sample_free_pose(rng));
   }
-  const double w = 1.0 / static_cast<double>(particles_.size());
-  for (Particle& p : particles_) p.weight = w;
+  cloud_.fill_weights(1.0 / static_cast<double>(cloud_.size()));
 }
 
 void ParticleFilter::set_squash_scale(double scale) {
@@ -391,7 +393,7 @@ Pose2 ParticleFilter::sample_free_pose(Rng& rng) {
     const Vec2 c = map.grid_to_world(ix, iy);
     return Pose2{c.x, c.y, rng.uniform(-kPi, kPi)};
   }
-  return particles_.empty() ? Pose2{} : particles_.front().pose;
+  return cloud_.empty() ? Pose2{} : cloud_.pose(0);
 }
 
 void ParticleFilter::resample() {
@@ -405,24 +407,23 @@ void ParticleFilter::resample() {
   // A plain prefix of the systematic draws would cover only the low-CDF
   // region, so the draws are visited with a stride coprime to their count,
   // making every prefix an approximately uniform subsample of the CDF.
-  const std::size_t n = particles_.size();
+  const std::size_t n = cloud_.size();
   const auto max_n = static_cast<std::size_t>(
       std::max(config_.n_particles, config_.kld_min_particles));
-  std::vector<Particle> drawn;
-  drawn.reserve(max_n);
+  drawn_scratch_.resize(max_n);
   const double step = 1.0 / static_cast<double>(max_n);
   // The one master-stream draw per resample event (see PfStream schedule).
   double target = rng_.uniform(0.0, step);
-  double cumulative = particles_[0].weight;
+  const double* weights = cloud_.weight();
+  double cumulative = weights[0];
   std::size_t i = 0;
   // srl-lint: realtime
   for (std::size_t m = 0; m < max_n; ++m) {
     while (cumulative < target && i + 1 < n) {
       ++i;
-      cumulative += particles_[i].weight;
+      cumulative += weights[i];
     }
-    // srl-lint-allow(rt-alloc): reserve(max_n) above pins capacity, so this emplace_back never reallocates
-    drawn.emplace_back(particles_[i].pose, step);
+    drawn_scratch_.set_pose(m, cloud_.pose(i));
     target += step;
   }
   // srl-lint: end-realtime
@@ -431,24 +432,22 @@ void ParticleFilter::resample() {
   // with uniform random poses when the measurement likelihood collapsed.
   // All draws come from this event's kPfStreamRecovery substream (keyed by
   // the resample ordinal), so injection never perturbs the master stream.
-  const auto inject_recovery = [this](std::vector<Particle>& cloud) {
+  const auto inject_recovery = [this](ParticleCloud& cloud) {
     if (!config_.recovery || !recovery_map_ || injection_prob_ <= 0.0) return;
     Rng recovery_rng = rng_.substream(
         kPfStreamRecovery, static_cast<std::uint64_t>(resamples_));
-    for (Particle& p : cloud) {
+    for (std::size_t s = 0; s < cloud.size(); ++s) {
       if (recovery_rng.uniform() < injection_prob_) {
-        p.pose = sample_free_pose(recovery_rng);
+        cloud.set_pose(s, sample_free_pose(recovery_rng));
       }
     }
   };
 
   if (!config_.kld_adaptive) {
-    particles_ = std::move(drawn);
-    inject_recovery(particles_);
-    log_weights_.resize(particles_.size());
-    for (Particle& p : particles_) {
-      p.weight = 1.0 / static_cast<double>(particles_.size());
-    }
+    cloud_.swap(drawn_scratch_);
+    inject_recovery(cloud_);
+    log_weights_.resize(cloud_.size());
+    cloud_.fill_weights(1.0 / static_cast<double>(cloud_.size()));
     ++resamples_;
     return;
   }
@@ -458,8 +457,10 @@ void ParticleFilter::resample() {
   std::size_t stride = max_n / 2 + 1;
   while (std::gcd(stride, max_n) != 1) ++stride;
 
-  std::vector<Particle> kept;
-  kept.reserve(max_n);
+  // The kept prefix overwrites cloud_ in place: the old particles are dead
+  // once the systematic draws above are complete.
+  cloud_.resize(max_n);
+  std::size_t kept = 0;
   // Deterministic by construction (pinned SplitMix64 hashing, no iteration):
   // the KLD bin count must be a pure function of the particle sequence on
   // every platform, which std::unordered_set does not promise.
@@ -468,55 +469,62 @@ void ParticleFilter::resample() {
       static_cast<std::size_t>(std::max(config_.kld_min_particles, 1));
   std::size_t idx = 0;
   for (std::size_t m = 0; m < max_n; ++m, idx = (idx + stride) % max_n) {
-    const Particle& p = drawn[idx];
-    kept.push_back(p);
-    const auto bx = static_cast<std::int64_t>(
-        std::floor(p.pose.x / config_.kld_bin_xy));
-    const auto by = static_cast<std::int64_t>(
-        std::floor(p.pose.y / config_.kld_bin_xy));
+    const Pose2 p = drawn_scratch_.pose(idx);
+    cloud_.set_pose(kept, p);
+    ++kept;
+    const auto bx =
+        static_cast<std::int64_t>(std::floor(p.x / config_.kld_bin_xy));
+    const auto by =
+        static_cast<std::int64_t>(std::floor(p.y / config_.kld_bin_xy));
     const auto bt = static_cast<std::int64_t>(
-        std::floor(normalize_angle(p.pose.theta) / config_.kld_bin_theta));
+        std::floor(normalize_angle(p.theta) / config_.kld_bin_theta));
     bins.insert((static_cast<std::uint64_t>(bx & 0x1FFFFF) << 42) |
                 (static_cast<std::uint64_t>(by & 0x1FFFFF) << 21) |
                 static_cast<std::uint64_t>(bt & 0x1FFFFF));
-    if (kept.size() >= min_keep && kept.size() >= kld_bound(bins.size())) {
+    if (kept >= min_keep && kept >= kld_bound(bins.size())) {
       break;
     }
   }
-  particles_ = std::move(kept);
-  inject_recovery(particles_);
-  log_weights_.resize(particles_.size());
-  for (Particle& p : particles_) {
-    p.weight = 1.0 / static_cast<double>(particles_.size());
-  }
+  cloud_.resize(kept);
+  inject_recovery(cloud_);
+  log_weights_.resize(kept);
+  cloud_.fill_weights(1.0 / static_cast<double>(kept));
   ++resamples_;
 }
 
 Pose2 ParticleFilter::estimate() const {
+  const double* xs = cloud_.x();
+  const double* ys = cloud_.y();
+  const double* ts = cloud_.theta();
+  const double* weights = cloud_.weight();
   double x = 0.0;
   double y = 0.0;
   double cs = 0.0;
   double sn = 0.0;
-  for (const Particle& p : particles_) {
-    x += p.weight * p.pose.x;
-    y += p.weight * p.pose.y;
-    cs += p.weight * std::cos(p.pose.theta);
-    sn += p.weight * std::sin(p.pose.theta);
+  for (std::size_t i = 0; i < cloud_.size(); ++i) {
+    x += weights[i] * xs[i];
+    y += weights[i] * ys[i];
+    cs += weights[i] * std::cos(ts[i]);
+    sn += weights[i] * std::sin(ts[i]);
   }
   return Pose2{x, y, std::atan2(sn, cs)};
 }
 
 PoseCovariance ParticleFilter::covariance() const {
   const Pose2 mean = estimate();
+  const double* xs = cloud_.x();
+  const double* ys = cloud_.y();
+  const double* ts = cloud_.theta();
+  const double* weights = cloud_.weight();
   PoseCovariance cov;
   double r = 0.0;
-  for (const Particle& p : particles_) {
-    const double dx = p.pose.x - mean.x;
-    const double dy = p.pose.y - mean.y;
-    cov.xx += p.weight * dx * dx;
-    cov.xy += p.weight * dx * dy;
-    cov.yy += p.weight * dy * dy;
-    r += p.weight * std::cos(angle_diff(p.pose.theta, mean.theta));
+  for (std::size_t i = 0; i < cloud_.size(); ++i) {
+    const double dx = xs[i] - mean.x;
+    const double dy = ys[i] - mean.y;
+    cov.xx += weights[i] * dx * dx;
+    cov.xy += weights[i] * dx * dy;
+    cov.yy += weights[i] * dy * dy;
+    r += weights[i] * std::cos(angle_diff(ts[i], mean.theta));
   }
   r = std::clamp(r, 1e-12, 1.0);
   cov.tt = -2.0 * std::log(r);

@@ -12,6 +12,12 @@
 /// bitwise-deterministic at any lane count: slot-indexed RNG substreams,
 /// per-lane scratch slabs, and fixed-order pairwise reductions remove every
 /// scheduling dependence. See DESIGN.md §9 and the PfStream key schedule.
+///
+/// The cloud itself is a structure-of-arrays slab (ParticleCloud): the
+/// weight stage dispatches between a scalar and an AVX2 kernel at runtime
+/// (common/simd.hpp) with bit-identical results per lane, and the raycast
+/// stage hands each particle's beam fan to the backend's batched
+/// ranges_from() entry point. See DESIGN.md §15.
 
 #include <memory>
 #include <span>
@@ -21,6 +27,8 @@
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "core/particle_cloud.hpp"
+#include "core/pf_kernels.hpp"
 #include "gridmap/occupancy_grid.hpp"
 #include "motion/motion_model.hpp"
 #include "range/range_method.hpp"
@@ -29,11 +37,6 @@
 #include "telemetry/telemetry.hpp"
 
 namespace srl {
-
-struct Particle {
-  Pose2 pose;
-  double weight{1.0};
-};
 
 /// Substream key schedule of the particle filter (see Rng::substream). The
 /// filter's randomness is split into named streams so that parallelizing one
@@ -143,7 +146,13 @@ class ParticleFilter {
   /// Effective sample size of the current weights.
   double effective_sample_size() const;
 
-  std::span<const Particle> particles() const { return particles_; }
+  /// The live structure-of-arrays cloud (poses and weights as separate
+  /// 64-byte-aligned slabs). Views into it are invalidated by the next
+  /// predict/correct/init; copy via particles_snapshot() to keep values.
+  const ParticleCloud& cloud() const { return cloud_; }
+  /// AoS copy of the cloud for value-semantics consumers (tests, recovery
+  /// bookkeeping). Allocates; not a hot-path call.
+  std::vector<Particle> particles_snapshot() const { return cloud_.snapshot(); }
   /// Deterministic top-K digest of the cloud: the K heaviest particles in
   /// descending weight order, ties broken by slot index. Pure read — the
   /// flight recorder snapshots this per tick without touching the filter.
@@ -165,9 +174,7 @@ class ParticleFilter {
   /// Number of resampling events so far (diagnostic).
   long resample_count() const { return resamples_; }
   /// Current cloud size (== config n_particles unless KLD-adaptive).
-  int current_particles() const {
-    return static_cast<int>(particles_.size());
-  }
+  int current_particles() const { return static_cast<int>(cloud_.size()); }
 
   /// Provide the map used to draw recovery particles (and enable the
   /// kidnapped-robot recovery configured by `config.recovery`).
@@ -232,16 +239,19 @@ class ParticleFilter {
   std::vector<int> beam_indices_;
   std::vector<double> beam_angles_;
 
-  std::vector<Particle> particles_;
+  ParticleCloud cloud_;
+  /// Resampling scratch: the systematic draws land here, then the clouds
+  /// swap (non-KLD) or the kept prefix is written back (KLD). Member so
+  /// steady-state resamples never allocate.
+  ParticleCloud drawn_scratch_;
   std::vector<double> log_weights_;  ///< scratch for correct()
   /// Scratch: n x k expected ranges. Chunks own contiguous row ranges, so
   /// concurrent writes land in disjoint slabs (no sharing beyond the one
   /// cache line straddling each chunk boundary).
   std::vector<float> expected_;
-  /// Per-lane scratch: k ray poses, rebuilt per particle. One slab per lane
-  /// kills false sharing between workers.
-  std::vector<std::vector<Pose2>> ray_scratch_;
-  std::vector<double> weight_scratch_;  ///< scratch for health sampling
+  /// Scan-dependent half of the weight-stage table lookup, rebuilt once
+  /// per correct() (see pf_kernels.hpp).
+  pf_kernels::ScanContext scan_ctx_;
   Rng rng_;
   /// Per-slot prediction-noise substreams (grow-only within an init epoch;
   /// re-derived on every init_pose/init_global).

@@ -123,4 +123,83 @@ CompareReport compare_bench(const BenchDocument& baseline,
   return report;
 }
 
+namespace {
+
+const ThroughputCell* find_throughput_cell(const ThroughputDocument& doc,
+                                           const ThroughputCell& like) {
+  for (const ThroughputCell& cell : doc.cells) {
+    if (cell.stage == like.stage && cell.simd == like.simd &&
+        cell.particles == like.particles && cell.threads == like.threads) {
+      return &cell;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+CompareReport compare_throughput(const ThroughputDocument& baseline,
+                                 const ThroughputDocument& candidate,
+                                 const ThroughputThresholds& thresholds) {
+  CompareReport report;
+  int skipped_avx2 = 0;
+
+  for (const ThroughputCell& base : baseline.cells) {
+    const std::string key = base.key();
+    const ThroughputCell* cand = find_throughput_cell(candidate, base);
+    if (cand == nullptr) {
+      // A scalar-only runner cannot produce the baseline's avx2 rows; its
+      // scalar rows still gate, so shrinkage is visible, never silent.
+      if (base.simd == "avx2" && !candidate.avx2_available) {
+        ++skipped_avx2;
+        continue;
+      }
+      report.failures.push_back({key, "missing_cell", 1.0, 0.0, 1.0});
+      continue;
+    }
+    ++report.cells_compared;
+
+    if (cand->beams != base.beams) {
+      report.failures.push_back({key, "beams",
+                                 static_cast<double>(base.beams),
+                                 static_cast<double>(cand->beams),
+                                 static_cast<double>(base.beams)});
+      continue;  // rates over different work units are not comparable
+    }
+    if (thresholds.require_hash_match) {
+      ++report.hashes_compared;
+      if (cand->hash != base.hash) {
+        report.failures.push_back({key, "estimate_hash",
+                                   static_cast<double>(base.hash),
+                                   static_cast<double>(cand->hash),
+                                   static_cast<double>(base.hash)});
+      }
+    }
+    if (thresholds.structural_only) continue;
+
+    const double floor = base.items_per_sec * (1.0 - thresholds.tol_frac);
+    if (cand->items_per_sec < floor) {
+      report.failures.push_back(
+          {key, "items_per_sec", base.items_per_sec, cand->items_per_sec,
+           floor});
+    } else if (cand->items_per_sec >
+               base.items_per_sec * (1.0 + thresholds.improve_frac)) {
+      char note[160];
+      std::snprintf(note, sizeof(note),
+                    "%s: improved %.3gx (baseline %.4g -> candidate %.4g "
+                    "items/s) — consider refreshing the baseline",
+                    key.c_str(), cand->items_per_sec / base.items_per_sec,
+                    base.items_per_sec, cand->items_per_sec);
+      report.notes.push_back(note);
+    }
+  }
+
+  if (skipped_avx2 > 0) {
+    report.notes.push_back(
+        std::to_string(skipped_avx2) +
+        " avx2 baseline cells skipped: candidate host lacks AVX2");
+  }
+  return report;
+}
+
 }  // namespace srl

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "eval/benchmark_json.hpp"
+#include "eval/throughput_json.hpp"
 
 namespace srl {
 
@@ -65,6 +66,11 @@ struct CompareFailure {
 
 struct CompareReport {
   std::vector<CompareFailure> failures;
+  /// Advisory observations that never fail the gate: improvements past the
+  /// note threshold, baseline cells skipped because the candidate host
+  /// lacks the instruction set, and similar context a reviewer wants
+  /// printed but CI must not block on.
+  std::vector<std::string> notes;
   int cells_compared{0};
   int hashes_compared{0};
   bool ok() const { return failures.empty(); }
@@ -73,5 +79,34 @@ struct CompareReport {
 CompareReport compare_bench(const BenchDocument& baseline,
                             const BenchDocument& candidate,
                             const CompareThresholds& thresholds);
+
+/// Thresholds for the `srl.bench_throughput` gate. Throughput is gated
+/// *downward* only: a candidate cell may be slower than the baseline by at
+/// most `tol_frac` (relative), while a speedup beyond `improve_frac` is
+/// surfaced as an advisory note (a hint to refresh the committed
+/// baseline), never a failure.
+struct ThroughputThresholds {
+  /// items_per_sec gate: candidate >= baseline * (1 - frac).
+  double tol_frac = 0.5;
+  /// Note (not fail) when candidate > baseline * (1 + frac).
+  double improve_frac = 0.5;
+  /// Skip the rate gate entirely — coverage, beam counts, and (optionally)
+  /// hashes still compare. For same-machine rerun self-diffs, where
+  /// wall-clock noise is meaningless but bits are not.
+  bool structural_only = false;
+  /// Demand bitwise-equal estimate fingerprints per cell (same-machine
+  /// runs — estimates are deterministic per build, not across compilers).
+  bool require_hash_match = false;
+};
+
+/// Diff two throughput documents. Baseline cells are paired by
+/// (stage, simd, particles, threads); a missing candidate cell fails
+/// unless it is an avx2 cell and the candidate host reports
+/// `avx2_available == false` (noted, not failed — scalar-only hosts still
+/// gate their scalar rows). Mismatched beam counts fail structurally:
+/// the rates would not be comparable.
+CompareReport compare_throughput(const ThroughputDocument& baseline,
+                                 const ThroughputDocument& candidate,
+                                 const ThroughputThresholds& thresholds);
 
 }  // namespace srl

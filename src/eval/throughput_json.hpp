@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file throughput_json.hpp
+/// \brief The stable machine-readable sensor-update throughput schema
+/// (`srl.bench_throughput/1`) and its (de)serialization.
+///
+/// `bench_particle_sweep` emits one document per run:
+///
+///     {
+///       "schema": "srl.bench_throughput/1",
+///       "provenance":  { compiler, build, seeds, fast_mode, ... },
+///       "simd_active": "avx2",
+///       "avx2_available": true,
+///       "n_scans": 123,
+///       "determinism_hash": "0x...",
+///       "cells": [ {stage, simd, particles, threads, beams,
+///                   mean_ms, items_per_sec, hash} ]
+///     }
+///
+/// Each cell is one (stage, backend, particles, threads) measurement of a
+/// fixed open-loop trace replay: `mean_ms` is the stage's mean wall time
+/// per scan and `items_per_sec` the beams*particles work rate it implies.
+/// `hash` fingerprints the replay's pose estimates bitwise (FNV-1a over
+/// the raw doubles), so a rate table doubles as a determinism witness: the
+/// hash must be identical across the threads and simd columns of one
+/// particle count, and `tools/bench_compare --throughput --hash require`
+/// gates on it for same-machine self-compares. Wall-clock rates are gated
+/// separately (and generously) against a committed baseline. As with
+/// `srl.bench_robustness`, fields may be added but never renamed or
+/// repurposed without bumping the version suffix.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/types.hpp"
+#include "eval/benchmark_json.hpp"
+
+namespace srl {
+
+inline constexpr const char* kBenchThroughputSchema = "srl.bench_throughput/1";
+
+/// One pipeline stage of one replay configuration.
+struct ThroughputCell {
+  std::string stage;  ///< "predict" | "raycast" | "weight" | "update"
+  std::string simd;   ///< backend name the replay was forced to
+  int particles{0};
+  int threads{0};
+  int beams{0};  ///< scored beams per scan
+  double mean_ms{0.0};
+  double items_per_sec{0.0};      ///< beams*particles / mean stage seconds
+  std::uint64_t hash{0};          ///< estimate fingerprint of the replay
+
+  /// Identity for cross-document pairing: "weight simd=avx2 n=1500 t=4".
+  std::string key() const;
+};
+
+struct ThroughputDocument {
+  BenchProvenance provenance{};
+  std::string simd_active;  ///< backend the ambient process resolved to
+  bool avx2_available{false};
+  int n_scans{0};
+  /// FNV-1a fold of every distinct replay hash in emission order — one
+  /// number that moves if any estimate bit anywhere in the table moves.
+  std::uint64_t determinism_hash{0};
+  std::vector<ThroughputCell> cells{};
+};
+
+/// Bitwise FNV-1a fingerprint of a replayed estimate sequence.
+std::uint64_t estimates_hash(std::span<const Pose2> estimates);
+
+/// Serialize to the schema above (hashes travel as fixed-width hex).
+json::Value throughput_to_json(const ThroughputDocument& doc);
+bool write_throughput_json(const std::string& path,
+                           const ThroughputDocument& doc);
+
+/// Parse a document; nullopt on I/O error, malformed JSON, or an unknown
+/// schema string.
+std::optional<ThroughputDocument> throughput_from_json(const json::Value& root);
+std::optional<ThroughputDocument> read_throughput_json(const std::string& path);
+
+}  // namespace srl

@@ -51,6 +51,7 @@ Cddt::Cddt(std::shared_ptr<const OccupancyGrid> map, double max_range,
   for (int b = 0; b < m; ++b) {
     ThetaBin& bin = bins_[static_cast<std::size_t>(b)];
     const double theta = kPi * b / m;
+    bin.angle = theta;
     bin.cos_t = std::cos(theta);
     bin.sin_t = std::sin(theta);
 
@@ -98,22 +99,61 @@ float Cddt::range(const Pose2& ray) const {
   const OccupancyGrid& grid = *map_;
   const GridIndex start = grid.world_to_grid({ray.x, ray.y});
   if (grid.blocks_ray(start.ix, start.iy)) return 0.0F;
+  return range_line(ray.x, ray.y, ray.theta);
+}
 
+void Cddt::ranges_from(const Pose2& sensor,
+                       std::span<const double> beam_angles,
+                       std::span<float> out) const {
+  SYNPF_EXPECTS_MSG(valid_ray_pose(sensor), "cddt query pose not finite");
+  telemetry::StageTimer timer{batch_ms_};
+  note_queries(beam_angles.size());
+  const OccupancyGrid& grid = *map_;
+  const GridIndex start = grid.world_to_grid({sensor.x, sensor.y});
+  if (grid.blocks_ray(start.ix, start.iy)) {
+    for (std::size_t j = 0; j < out.size(); ++j) out[j] = 0.0F;
+    timer.stop();
+    return;
+  }
+  for (std::size_t j = 0; j < beam_angles.size(); ++j) {
+    out[j] = range_line(sensor.x, sensor.y, sensor.theta + beam_angles[j]);
+  }
+  timer.stop();
+}
+
+float Cddt::range_line(double x, double y, double theta) const {
   // Snap the ray's line direction to the nearest theta bin in [0, pi);
   // wrap_into stays bounded for any heading magnitude.
   const int m = static_cast<int>(bins_.size());
-  const double line_angle = wrap_into(ray.theta, kPi);
+  const double line_angle = wrap_into(theta, kPi);
   int b = static_cast<int>(line_angle * m / kPi + 0.5);
   if (b >= m) b -= m;
   const ThetaBin& bin = bins_[static_cast<std::size_t>(b)];
 
   // Forward along +u if the actual ray direction agrees with the bin axis.
-  const double dir_dot =
-      std::cos(ray.theta) * bin.cos_t + std::sin(ray.theta) * bin.sin_t;
-  const bool forward = dir_dot >= 0.0;
+  // Historically this evaluated sign(cos(theta)*cos_t + sin(theta)*sin_t)
+  // = sign(cos(theta - bin.angle)) with two libm calls per query. Because
+  // b is the *nearest* bin line to theta (up to rounding ties), the line
+  // distance |theta - bin.angle| mod pi is at most pi/2m + O(ulp), so
+  // |cos(theta - bin.angle)| >= cos(pi/2m) — at least ~0.7 for m >= 2 and
+  // ~0.9996 at the default m = 108. The sign therefore survives absolute
+  // angle errors up to ~0.7 rad, while computing theta - bin.angle for
+  // |theta| <= 1e8 is accurate to ~1e-8: the branch below is bitwise
+  // equivalent to the libm form on the entire guarded domain, just
+  // trig-free. Degenerate bin counts and astronomically large headings
+  // (absorption could eat the margin) keep the original evaluation.
+  bool forward = false;
+  if (m >= 2 && std::abs(theta) <= 1e8) {
+    const double d = wrap_into(theta - bin.angle, kTwoPi);
+    forward = d < 0.5 * kPi || d > 1.5 * kPi;
+  } else {
+    const double dir_dot =
+        std::cos(theta) * bin.cos_t + std::sin(theta) * bin.sin_t;
+    forward = dir_dot >= 0.0;
+  }
 
-  const double u = ray.x * bin.cos_t + ray.y * bin.sin_t;
-  const double v = -ray.x * bin.sin_t + ray.y * bin.cos_t;
+  const double u = x * bin.cos_t + y * bin.sin_t;
+  const double v = -x * bin.sin_t + y * bin.cos_t;
   const double band_f = (v - bin.v_min) / band_width_;
   if (band_f < 0.0) return static_cast<float>(max_range_);
   auto band = static_cast<std::size_t>(band_f);

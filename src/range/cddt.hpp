@@ -13,6 +13,7 @@
 /// obstacle ahead of u. Query cost is O(log band size); the approximation
 /// error is bounded by the angular bin width and the band discretization.
 
+#include <span>
 #include <vector>
 
 #include "range/range_method.hpp"
@@ -27,6 +28,11 @@ class Cddt final : public RangeMethod {
   float range(const Pose2& ray) const override;
   std::string name() const override { return "cddt"; }
 
+  /// Per-particle batch: hoists the shared grid lookup / occupancy test
+  /// out of the beam loop; per-beam results are bit-identical to range().
+  void ranges_from(const Pose2& sensor, std::span<const double> beam_angles,
+                   std::span<float> out) const override;
+
   int theta_bins() const { return static_cast<int>(bins_.size()); }
   /// Total stored obstacle projections (memory diagnostic).
   std::size_t total_entries() const;
@@ -35,9 +41,14 @@ class Cddt final : public RangeMethod {
   struct ThetaBin {
     double cos_t;
     double sin_t;
+    double angle;                            ///< bin axis angle kPi * b / m
     double v_min;                            ///< band-0 offset along v
     std::vector<std::vector<float>> bands;   ///< sorted obstacle u per band
   };
+
+  /// range() after the shared precondition / occupancy checks: bin
+  /// selection, direction test, band search for the ray (x, y, theta).
+  float range_line(double x, double y, double theta) const;
 
   std::vector<ThetaBin> bins_;
   double band_width_;

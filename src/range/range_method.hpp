@@ -53,6 +53,24 @@ class RangeMethod {
     timer.stop();
   }
 
+  /// Per-particle batch: every beam shares `sensor`'s origin and looks
+  /// along `sensor.theta + beam_angles[j]`. Semantically identical to
+  /// calling range() beam by beam — the default does exactly that, with
+  /// the exact ray construction the particle filter used to perform — but
+  /// backends override it to hoist the shared per-origin work (grid
+  /// lookup, occupancy test) out of the beam loop and to vectorize the
+  /// per-beam tail. Overrides must stay bitwise identical to this loop.
+  /// `out.size()` must equal `beam_angles.size()`.
+  virtual void ranges_from(const Pose2& sensor,
+                           std::span<const double> beam_angles,
+                           std::span<float> out) const {
+    telemetry::StageTimer timer{batch_ms_};
+    for (std::size_t j = 0; j < beam_angles.size(); ++j) {
+      out[j] = range(Pose2{sensor.x, sensor.y, sensor.theta + beam_angles[j]});
+    }
+    timer.stop();
+  }
+
   double max_range() const { return max_range_; }
   const OccupancyGrid& map() const { return *map_; }
   std::shared_ptr<const OccupancyGrid> map_ptr() const { return map_; }
@@ -72,6 +90,13 @@ class RangeMethod {
   /// attached, one predictable branch when not.
   void note_query() const {
     if (queries_ != nullptr) queries_->add();
+  }
+
+  /// Batched variant for ranges_from() overrides: one atomic add for the
+  /// whole beam fan instead of one per beam. Counter totals stay equal to
+  /// the per-query path.
+  void note_queries(std::size_t n) const {
+    if (queries_ != nullptr) queries_->add(n);
   }
 
   std::shared_ptr<const OccupancyGrid> map_;

@@ -58,12 +58,9 @@ double BeamModel::prob(float measured, float expected) const {
 }
 
 std::size_t BeamModel::index(float measured, float expected) const {
-  auto clamp_bin = [this](float v) {
-    const int b = static_cast<int>(static_cast<double>(v) * inv_res_ + 0.5);
-    return static_cast<std::size_t>(std::clamp(b, 0, dim_ - 1));
-  };
-  return clamp_bin(measured) * static_cast<std::size_t>(dim_) +
-         clamp_bin(expected);
+  return static_cast<std::size_t>(range_bin(measured)) *
+             static_cast<std::size_t>(dim_) +
+         static_cast<std::size_t>(range_bin(expected));
 }
 
 }  // namespace srl

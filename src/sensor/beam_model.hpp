@@ -39,6 +39,21 @@ class BeamModel {
   const BeamModelParams& params() const { return params_; }
   int table_dim() const { return dim_; }
 
+  /// Table bin of a range value — the exact clamp arithmetic log_prob()
+  /// uses for both axes. Exposed so the vectorized weight kernels
+  /// (src/core/pf_kernels.cpp) can reproduce the lookup bit-for-bit;
+  /// any change here is a golden-trace regeneration event.
+  int range_bin(float v) const {
+    const int b = static_cast<int>(static_cast<double>(v) * inv_res_ + 0.5);
+    return b < 0 ? 0 : (b > dim_ - 1 ? dim_ - 1 : b);
+  }
+
+  /// Raw log-likelihood table (dim x dim, [measured][expected]) and the
+  /// bin scale, for the batched kernels. The table outlives any kernel
+  /// call; the model is immutable after construction.
+  const double* log_table_data() const { return log_table_.data(); }
+  double inv_resolution() const { return inv_res_; }
+
   /// Direct (un-tabled) evaluation, used to build the table and by tests.
   double prob_exact(double measured, double expected) const;
 

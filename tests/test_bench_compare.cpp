@@ -8,6 +8,7 @@
 #include "common/json.hpp"
 #include "eval/benchmark_json.hpp"
 #include "eval/frontier/frontier_json.hpp"
+#include "eval/throughput_json.hpp"
 
 namespace srl {
 namespace {
@@ -435,6 +436,171 @@ TEST(FrontierCompare, MissingPointIsARegression) {
       frontier::compare_frontier(baseline, candidate, {});
   ASSERT_EQ(report.failures.size(), 1u);
   EXPECT_EQ(report.failures[0].metric, "missing_point");
+}
+
+// ---------------------------------------------------------------------------
+// Throughput artifact (`srl.bench_throughput/1`) round-trip & perf gate
+// ---------------------------------------------------------------------------
+
+ThroughputDocument make_throughput_doc() {
+  ThroughputDocument doc;
+  doc.provenance.compiler = "testc 1.0";
+  doc.provenance.build = "release";
+  doc.provenance.git_sha = "deadbeef";
+  doc.provenance.seed = 1234;
+  doc.provenance.fast_mode = true;
+  doc.simd_active = "avx2";
+  doc.avx2_available = true;
+  doc.n_scans = 40;
+  doc.determinism_hash = 0x94a6b6be30b22475ULL;
+
+  auto cell = [](const char* stage, const char* simd, int threads,
+                 double mean_ms, double rate) {
+    ThroughputCell c;
+    c.stage = stage;
+    c.simd = simd;
+    c.particles = 1500;
+    c.threads = threads;
+    c.beams = 60;
+    c.mean_ms = mean_ms;
+    c.items_per_sec = rate;
+    c.hash = 0xfeedfacecafebeefULL;  // exercises the full 64-bit width
+    return c;
+  };
+  doc.cells.push_back(cell("weight", "scalar", 1, 0.10, 9.0e8));
+  doc.cells.push_back(cell("weight", "avx2", 1, 0.05, 1.8e9));
+  doc.cells.push_back(cell("update", "scalar", 1, 3.0, 3.0e7));
+  doc.cells.push_back(cell("update", "avx2", 4, 2.5, 3.6e7));
+  return doc;
+}
+
+TEST(ThroughputJson, RoundTripsThroughDisk) {
+  const ThroughputDocument doc = make_throughput_doc();
+  const std::string path = ::testing::TempDir() + "throughput_roundtrip.json";
+  ASSERT_TRUE(write_throughput_json(path, doc));
+
+  const std::optional<ThroughputDocument> back = read_throughput_json(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->provenance.compiler, "testc 1.0");
+  EXPECT_EQ(back->simd_active, "avx2");
+  EXPECT_TRUE(back->avx2_available);
+  EXPECT_EQ(back->n_scans, 40);
+  // Hashes travel as hex strings precisely so the full 64 bits survive the
+  // double-typed JSON number path.
+  EXPECT_EQ(back->determinism_hash, 0x94a6b6be30b22475ULL);
+  ASSERT_EQ(back->cells.size(), 4u);
+  EXPECT_EQ(back->cells[1].key(), "weight simd=avx2 n=1500 t=1");
+  EXPECT_EQ(back->cells[1].hash, 0xfeedfacecafebeefULL);
+  EXPECT_DOUBLE_EQ(back->cells[1].items_per_sec, 1.8e9);
+  EXPECT_EQ(back->cells[3].threads, 4);
+  std::remove(path.c_str());
+}
+
+TEST(ThroughputJson, RejectsForeignSchema) {
+  json::Value root = throughput_to_json(make_throughput_doc());
+  root.set("schema", json::Value::string("someone/elses/1"));
+  EXPECT_FALSE(throughput_from_json(root).has_value());
+}
+
+TEST(ThroughputCompare, SelfCompareIsCleanInStructuralHashMode) {
+  const ThroughputDocument doc = make_throughput_doc();
+  ThroughputThresholds strict;
+  strict.structural_only = true;
+  strict.require_hash_match = true;
+  const CompareReport report = compare_throughput(doc, doc, strict);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.cells_compared, 4);
+  EXPECT_EQ(report.hashes_compared, 4);
+  EXPECT_TRUE(report.notes.empty());
+}
+
+TEST(ThroughputCompare, RateCollapseFailsPastTolerance) {
+  const ThroughputDocument baseline = make_throughput_doc();
+  ThroughputDocument candidate = make_throughput_doc();
+  // 1.8e9 -> 3e8: below the default floor 1.8e9 * (1 - 0.5) = 9e8.
+  candidate.cells[1].items_per_sec = 3.0e8;
+  const CompareReport report = compare_throughput(baseline, candidate, {});
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].cell, "weight simd=avx2 n=1500 t=1");
+  EXPECT_EQ(report.failures[0].metric, "items_per_sec");
+  EXPECT_DOUBLE_EQ(report.failures[0].limit, 9.0e8);
+
+  // A drop that stays above the floor passes.
+  candidate.cells[1].items_per_sec = 1.0e9;
+  EXPECT_TRUE(compare_throughput(baseline, candidate, {}).ok());
+}
+
+TEST(ThroughputCompare, ImprovementIsANoteNeverAFailure) {
+  const ThroughputDocument baseline = make_throughput_doc();
+  ThroughputDocument candidate = make_throughput_doc();
+  candidate.cells[0].items_per_sec = 9.0e9;  // 10x: past the 1.5x note bar
+  const CompareReport report = compare_throughput(baseline, candidate, {});
+  EXPECT_TRUE(report.ok());
+  ASSERT_EQ(report.notes.size(), 1u);
+  EXPECT_NE(report.notes[0].find("weight simd=scalar n=1500 t=1"),
+            std::string::npos);
+  EXPECT_NE(report.notes[0].find("refreshing the baseline"),
+            std::string::npos);
+}
+
+TEST(ThroughputCompare, MissingCellIsARegression) {
+  const ThroughputDocument baseline = make_throughput_doc();
+  ThroughputDocument candidate = make_throughput_doc();
+  candidate.cells.erase(candidate.cells.begin());  // drop a *scalar* cell
+  const CompareReport report = compare_throughput(baseline, candidate, {});
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].metric, "missing_cell");
+  EXPECT_EQ(report.failures[0].cell, "weight simd=scalar n=1500 t=1");
+}
+
+TEST(ThroughputCompare, ScalarOnlyHostSkipsAvx2CellsWithANote) {
+  // A baseline recorded on an AVX2 box gated against a scalar-only runner:
+  // the avx2 rows are skipped loudly, the scalar rows still gate.
+  const ThroughputDocument baseline = make_throughput_doc();
+  ThroughputDocument candidate = make_throughput_doc();
+  candidate.avx2_available = false;
+  candidate.simd_active = "scalar";
+  std::vector<ThroughputCell> scalar_cells;
+  for (const ThroughputCell& c : candidate.cells) {
+    if (c.simd != "avx2") scalar_cells.push_back(c);
+  }
+  candidate.cells = scalar_cells;
+  const CompareReport report = compare_throughput(baseline, candidate, {});
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.cells_compared, 2);
+  ASSERT_EQ(report.notes.size(), 1u);
+  EXPECT_NE(report.notes[0].find("lacks AVX2"), std::string::npos);
+
+  // But a host that *claims* AVX2 and still lacks the rows regressed.
+  candidate.avx2_available = true;
+  EXPECT_FALSE(compare_throughput(baseline, candidate, {}).ok());
+}
+
+TEST(ThroughputCompare, BeamsMismatchIsStructural) {
+  // Rates over different work units are not comparable: a beams change is
+  // a grid change, caught even when the rate happens to look fine.
+  const ThroughputDocument baseline = make_throughput_doc();
+  ThroughputDocument candidate = make_throughput_doc();
+  candidate.cells[2].beams = 30;
+  candidate.cells[2].items_per_sec = baseline.cells[2].items_per_sec;
+  const CompareReport report = compare_throughput(baseline, candidate, {});
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].metric, "beams");
+}
+
+TEST(ThroughputCompare, HashMismatchFailsOnlyWhenRequired) {
+  const ThroughputDocument baseline = make_throughput_doc();
+  ThroughputDocument candidate = make_throughput_doc();
+  candidate.cells[1].hash ^= 1;  // one bit: still a determinism break
+  EXPECT_TRUE(compare_throughput(baseline, candidate, {}).ok());
+
+  ThroughputThresholds thresholds;
+  thresholds.require_hash_match = true;
+  const CompareReport report =
+      compare_throughput(baseline, candidate, thresholds);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].metric, "estimate_hash");
+  EXPECT_EQ(report.failures[0].cell, "weight simd=avx2 n=1500 t=1");
 }
 
 TEST(FrontierCompare, ExactModeCatchesProbeSequenceDrift) {

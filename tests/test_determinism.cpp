@@ -282,8 +282,8 @@ TEST(PfStreamSplit, PredictNoiseDecoupledFromMasterStream) {
   odom.dt = 0.05;
   a.filter().predict(odom);
   b.filter().predict(odom);
-  const auto pa = a.filter().particles();
-  const auto pb = b.filter().particles();
+  const auto pa = a.filter().particles_snapshot();
+  const auto pb = b.filter().particles_snapshot();
   ASSERT_EQ(pa.size(), pb.size());
   for (std::size_t i = 0; i < pa.size(); ++i) {
     ASSERT_TRUE(bitwise_equal(pa[i].pose, pb[i].pose)) << "particle " << i;

@@ -83,7 +83,7 @@ TEST(ParticleFilter, InitGlobalOnlyFreeCells) {
   auto map = make_room();
   ParticleFilter pf = make_filter(map);
   pf.init_global(*map);
-  for (const Particle& p : pf.particles()) {
+  for (const Particle& p : pf.particles_snapshot()) {
     EXPECT_TRUE(map->is_free_at({p.pose.x, p.pose.y}))
         << p.pose.x << "," << p.pose.y;
   }
@@ -183,7 +183,7 @@ TEST(ParticleFilter, WeightsNormalizedAfterCorrect) {
   const LaserScan scan = observe(map, {5.0, 3.0, 0.0}, scan_rng);
   pf.correct(scan);
   double sum = 0.0;
-  for (const Particle& p : pf.particles()) sum += p.weight;
+  for (const Particle& p : pf.particles_snapshot()) sum += p.weight;
   EXPECT_NEAR(sum, 1.0, 1e-9);
 }
 
@@ -306,7 +306,7 @@ TEST(ResamplingProperties, SystematicInvariantsAcrossSeedsAndModes) {
         std::map<PoseKey, std::size_t> source;
         std::vector<double> w_norm(static_cast<std::size_t>(n));
         double sum = 0.0;
-        const auto cloud = pf.particles();
+        const auto cloud = pf.particles_snapshot();
         for (std::size_t i = 0; i < cloud.size(); ++i) {
           ASSERT_TRUE(std::isfinite(cloud[i].weight));
           ASSERT_GE(cloud[i].weight, 0.0);
@@ -328,7 +328,7 @@ TEST(ResamplingProperties, SystematicInvariantsAcrossSeedsAndModes) {
         const double uniform = 1.0 / static_cast<double>(n);
         double post_sum = 0.0;
         std::vector<std::size_t> multiplicity(static_cast<std::size_t>(n), 0);
-        for (const Particle& p : pf.particles()) {
+        for (const Particle& p : pf.particles_snapshot()) {
           ASSERT_EQ(p.weight, uniform);
           post_sum += p.weight;
           const auto it = source.find(pose_key(p.pose));
@@ -362,10 +362,10 @@ TEST(ResamplingProperties, SpikeCollapsesToSingleAncestor) {
   pf.init_pose({5.0, 3.0, 0.0});
   std::vector<double> w(500, 0.0);
   w[123] = 1.0;
-  const Pose2 spike_pose = pf.particles()[123].pose;
+  const Pose2 spike_pose = pf.cloud().pose(123);
   pf.set_weights(w);
   pf.force_resample();
-  for (const Particle& p : pf.particles()) {
+  for (const Particle& p : pf.particles_snapshot()) {
     ASSERT_EQ(pose_key(p.pose), pose_key(spike_pose));
   }
   EXPECT_NEAR(pf.effective_sample_size(),

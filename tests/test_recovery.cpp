@@ -360,11 +360,10 @@ TEST(RecoverySeams, InjectUniformZeroFractionIsAStrictNoOp) {
   SynPf pf{cfg, f.map, f.lidar};
   pf.initialize(Pose2{-4.0, -2.5, 0.0});
   pf.filter().set_recovery_map(f.map);
-  std::vector<Particle> before{pf.filter().particles().begin(),
-                               pf.filter().particles().end()};
+  const std::vector<Particle> before = pf.filter().particles_snapshot();
   Rng rng{99};
   pf.filter().inject_uniform(0.0, rng);
-  const auto after = pf.filter().particles();
+  const auto after = pf.filter().particles_snapshot();
   ASSERT_EQ(before.size(), after.size());
   for (std::size_t i = 0; i < before.size(); ++i) {
     EXPECT_EQ(
@@ -384,11 +383,10 @@ TEST(RecoverySeams, InjectUniformReplacesRoughlyTheRequestedFraction) {
   SynPf pf{cfg, f.map, f.lidar};
   pf.initialize(Pose2{-4.0, -2.5, 0.0});
   pf.filter().set_recovery_map(f.map);
-  std::vector<Particle> before{pf.filter().particles().begin(),
-                               pf.filter().particles().end()};
+  const std::vector<Particle> before = pf.filter().particles_snapshot();
   Rng rng{7};
   pf.filter().inject_uniform(0.5, rng);
-  const auto after = pf.filter().particles();
+  const auto after = pf.filter().particles_snapshot();
   int moved = 0;
   for (std::size_t i = 0; i < before.size(); ++i) {
     if (std::hypot(after[i].pose.x - before[i].pose.x,

@@ -1,7 +1,9 @@
 /// \file bench_compare.cpp
 /// \brief CI regression gate over two `BENCH_robustness.json` documents —
 /// or, with `--frontier`, two `srl.frontier/1` robustness-frontier
-/// artifacts (eval/frontier/frontier_json.hpp).
+/// artifacts (eval/frontier/frontier_json.hpp), or, with `--throughput`,
+/// two `srl.bench_throughput/1` sensor-update throughput tables
+/// (eval/throughput_json.hpp).
 ///
 /// Diffs a candidate benchmark run against a committed baseline with the
 /// threshold semantics of `eval/bench_compare.hpp` and maps the report onto
@@ -31,6 +33,15 @@
 ///       [--exact]           determinism self-compare: additionally demand
 ///                           bitwise-identical brackets, probe sequences
 ///                           and replay indices (zero tolerance)
+///
+///   bench_compare --throughput <baseline.json> <candidate.json>
+///       [--tol <frac>]        allowed relative items/sec drop (0.5)
+///       [--improve-tol <frac>] speedup fraction that earns an advisory
+///                              note, never a failure (0.5)
+///       [--structural]        skip the rate gate (coverage + hashes only)
+///       [--hash require|ignore] per-cell estimate fingerprint gate
+///                              (ignore; require is the same-machine
+///                              scalar-vs-AVX2 / thread determinism gate)
 
 #include <cstdio>
 #include <cstdlib>
@@ -53,8 +64,11 @@ int usage(const char* argv0) {
                "  [--no-recovery-gate]\n"
                "  [--hash require|ignore] [--allow-new-crashes]\n"
                "or:    %s --frontier <baseline.json> <candidate.json>\n"
-               "  [--sev-tol <sev>] [--exact]\n",
-               argv0, argv0);
+               "  [--sev-tol <sev>] [--exact]\n"
+               "or:    %s --throughput <baseline.json> <candidate.json>\n"
+               "  [--tol <frac>] [--improve-tol <frac>] [--structural]\n"
+               "  [--hash require|ignore]\n",
+               argv0, argv0, argv0);
   return 2;
 }
 
@@ -97,6 +111,43 @@ int run_frontier_compare(const std::string& baseline_path,
   return report.ok() ? 0 : 1;
 }
 
+int run_throughput_compare(const std::string& baseline_path,
+                           const std::string& candidate_path,
+                           const srl::ThroughputThresholds& tol) {
+  using namespace srl;
+  const std::optional<ThroughputDocument> baseline =
+      read_throughput_json(baseline_path);
+  if (!baseline) {
+    std::fprintf(stderr, "baseline %s: unreadable or not a %s document\n",
+                 baseline_path.c_str(), kBenchThroughputSchema);
+    return 2;
+  }
+  const std::optional<ThroughputDocument> candidate =
+      read_throughput_json(candidate_path);
+  if (!candidate) {
+    std::fprintf(stderr, "candidate %s: unreadable or not a %s document\n",
+                 candidate_path.c_str(), kBenchThroughputSchema);
+    return 2;
+  }
+
+  const CompareReport report = compare_throughput(*baseline, *candidate, tol);
+  for (const std::string& note : report.notes) {
+    std::printf("note: %s\n", note.c_str());
+  }
+  for (const CompareFailure& failure : report.failures) {
+    std::fprintf(stderr, "FAIL %s\n", failure.describe().c_str());
+  }
+  std::printf("bench_compare --throughput: %d cells, %d fingerprints "
+              "compared%s — %s\n",
+              report.cells_compared, report.hashes_compared,
+              tol.structural_only ? " (structural)" : "",
+              report.ok() ? "PASS"
+                          : ("FAIL (" + std::to_string(report.failures.size()) +
+                             " regressions)")
+                                .c_str());
+  return report.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -107,6 +158,8 @@ int main(int argc, char** argv) {
   CompareThresholds thresholds;
   bool frontier_mode = false;
   frontier::FrontierCompareThresholds frontier_tol;
+  bool throughput_mode = false;
+  ThroughputThresholds throughput_tol;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -115,6 +168,18 @@ int main(int argc, char** argv) {
     };
     if (std::strcmp(arg, "--frontier") == 0) {
       frontier_mode = true;
+    } else if (std::strcmp(arg, "--throughput") == 0) {
+      throughput_mode = true;
+    } else if (std::strcmp(arg, "--tol") == 0) {
+      const char* v = next();
+      if (v == nullptr || !parse_double(v, throughput_tol.tol_frac))
+        return usage(argv[0]);
+    } else if (std::strcmp(arg, "--improve-tol") == 0) {
+      const char* v = next();
+      if (v == nullptr || !parse_double(v, throughput_tol.improve_frac))
+        return usage(argv[0]);
+    } else if (std::strcmp(arg, "--structural") == 0) {
+      throughput_tol.structural_only = true;
     } else if (std::strcmp(arg, "--sev-tol") == 0) {
       const char* v = next();
       if (v == nullptr || !parse_double(v, frontier_tol.severity_tol))
@@ -152,8 +217,10 @@ int main(int argc, char** argv) {
       if (v == nullptr) return usage(argv[0]);
       if (std::strcmp(v, "require") == 0) {
         thresholds.require_hash_match = true;
+        throughput_tol.require_hash_match = true;
       } else if (std::strcmp(v, "ignore") == 0) {
         thresholds.require_hash_match = false;
+        throughput_tol.require_hash_match = false;
       } else {
         return usage(argv[0]);
       }
@@ -171,6 +238,9 @@ int main(int argc, char** argv) {
   if (n_paths != 2) return usage(argv[0]);
 
   if (frontier_mode) return run_frontier_compare(paths[0], paths[1], frontier_tol);
+  if (throughput_mode) {
+    return run_throughput_compare(paths[0], paths[1], throughput_tol);
+  }
 
   const std::optional<BenchDocument> baseline = read_bench_json(paths[0]);
   if (!baseline) {

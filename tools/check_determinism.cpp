@@ -32,6 +32,12 @@
 ///      severity-bisected frontier search serializes to a byte-identical
 ///      artifact at 1 and 8 search lanes (the PR-7 guarantee the
 ///      `srl.frontier/1` CI gate rests on),
+///   9. across SIMD backends: a replay forced to the scalar kernels and one
+///      forced to the AVX2 kernels must land on the reference bits at 1 and
+///      8 worker lanes (the SoA sensor-update guarantee: vectorization is
+///      an implementation detail, never a numeric choice). Hosts without
+///      AVX2 print an explicit SKIP for the vector half — never a silent
+///      pass,
 ///
 /// and, in a SYNPF_CHECKED build, requires the whole lap to complete with
 /// zero contract violations (reported through `telemetry::ContractMonitor`).
@@ -45,6 +51,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/simd.hpp"
 #include "core/synpf.hpp"
 #include "eval/dead_reckoning.hpp"
 #include "eval/experiment.hpp"
@@ -399,6 +406,40 @@ int main(int argc, char** argv) {
       std::printf("[frontier-threads] OK — %zu-byte artifact identical at 1 "
                   "and 8 search lanes\n",
                   one.size());
+    }
+  }
+
+  // 9. SIMD dispatch determinism: force each backend explicitly (the
+  // ambient reference `ra` ran under whatever SRL_SIMD / the CPU resolved
+  // to) and demand the reference bits back at 1 and 8 worker lanes. The
+  // scalar half always runs; the vector half skips *loudly* on hosts
+  // without AVX2 so a fleet of scalar-only runners can't fake coverage.
+  {
+    auto replay_forced = [&](simd::Backend backend, int threads) {
+      simd::force(backend);
+      SynPfConfig tcfg = cfg;
+      tcfg.filter.n_threads = threads;
+      SynPf pf{tcfg, map, LidarConfig{}};
+      const auto r = trace.replay(pf);
+      simd::reset();
+      return r;
+    };
+    ok = compare(ra, replay_forced(simd::Backend::kScalar, 1),
+                 "simd-scalar") &&
+         ok;
+    ok = compare(ra, replay_forced(simd::Backend::kScalar, 8),
+                 "simd-scalar-threads=8") &&
+         ok;
+    if (simd::cpu_has_avx2()) {
+      ok = compare(ra, replay_forced(simd::Backend::kAvx2, 1), "simd-avx2") &&
+           ok;
+      ok = compare(ra, replay_forced(simd::Backend::kAvx2, 8),
+                   "simd-avx2-threads=8") &&
+           ok;
+    } else {
+      std::printf(
+          "[simd] SKIP — host CPU lacks AVX2; scalar-vs-vector cross-check "
+          "not run (scalar halves above still verified)\n");
     }
   }
 
