@@ -14,6 +14,9 @@
 /// Usage: bench_robustness_matrix [output.json]
 ///   SRL_FAST=1          reduced smoke grid (2 faults x 2 severities, 1 lap)
 ///   SRL_LAPS=n          laps per cell
+///   SRL_BUDGET_MS=x     per-update compute budget for the governed kinds
+///                       (default 2.0 ms; the compute-pressure axis
+///                       squeezes it — DESIGN.md §16)
 ///   SRL_GIT_SHA         recorded into provenance when set
 ///   SRL_BLACKBOX_DIR=d  black-box artifact directory (default "blackbox";
 ///                       set to "" to run with the flight recorder off)
@@ -24,12 +27,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "governor/governor.hpp"
 #include "eval/bench_compare.hpp"
 #include "eval/benchmark_json.hpp"
 #include "eval/dead_reckoning.hpp"
@@ -50,6 +55,9 @@ int main(int argc, char** argv) {
   const char* bb_dir = std::getenv("SRL_BLACKBOX_DIR");
   config.blackbox_dir = bb_dir != nullptr ? bb_dir : "blackbox";
   config.track_name = "test_track";
+  if (const char* budget = std::getenv("SRL_BUDGET_MS")) {
+    config.budget_ms = std::atof(budget);
+  }
 
   const Track track = TrackGenerator::test_track();
   std::cout << "bench_robustness_matrix: " << config.localizers.size()
@@ -217,6 +225,76 @@ int main(int argc, char** argv) {
                       : "WARNING: paper shape NOT reproduced in this grid\n");
   }
 
+  // ---- Governor table + graceful-degradation headline -------------------
+  // Governed cells carry the PR-10 accounting block; print it as its own
+  // table (the main grid is already wide) and pin the headline claim:
+  // under full compute pressure the shedding governor stays deadline-clean
+  // while the budget enforcer starves.
+  {
+    TextTable gtable{{"localizer", "fault", "sev", "budget", "updates",
+                      "miss", "shed B", "shed P", "skip R", "resize",
+                      "parts mu", "parts min", "beams mu", "cost p99"}};
+    int governed_cells = 0;
+    for (const ScenarioCell& cell : doc.cells) {
+      if (!cell.governed) continue;
+      ++governed_cells;
+      gtable.add_row({cell.localizer, cell.scenario.fault,
+                      TextTable::num(cell.scenario.severity, 2),
+                      TextTable::num(cell.budget_ms, 1),
+                      std::to_string(cell.governor_updates),
+                      std::to_string(cell.deadline_misses),
+                      std::to_string(cell.shed_beam_updates),
+                      std::to_string(cell.shed_particle_updates),
+                      std::to_string(cell.skipped_resamples),
+                      std::to_string(cell.governor_resizes),
+                      TextTable::num(cell.governor_mean_particles, 0),
+                      std::to_string(cell.governor_min_particles),
+                      TextTable::num(cell.governor_mean_beams, 1),
+                      TextTable::num(cell.governor_cost_p99, 0)});
+    }
+    if (governed_cells > 0) {
+      std::cout << "\ngovernor accounting (" << governed_cells
+                << " governed cells, budget "
+                << TextTable::num(config.budget_ms, 1) << " ms = "
+                << TextTable::num(
+                       config.budget_ms * governor::kDefaultUnitsPerMs, 0)
+                << " work units):\n"
+                << gtable.render();
+    }
+
+    doc.has_governor_headline =
+        compute_governor_headline(doc.cells, doc.governor_headline);
+    if (doc.has_governor_headline) {
+      const GovernorHeadline& gh = doc.governor_headline;
+      std::cout << "graceful degradation (compute_pressure @ "
+                << TextTable::num(gh.severity, 2) << ", budget "
+                << TextTable::num(gh.budget_ms, 1) << " ms): governed "
+                << (gh.governed_crashed
+                        ? std::string{"CRASHED"}
+                        : TextTable::num(gh.governed_baseline_cm, 2) +
+                              " -> " +
+                              TextTable::num(gh.governed_pressured_cm, 2) +
+                              " cm (x" +
+                              TextTable::num(gh.governed_degradation, 2) +
+                              ", " + std::to_string(gh.governed_misses) +
+                              " misses, " +
+                              std::to_string(gh.governed_shed_updates) +
+                              " shed)")
+                << "; enforcer "
+                << (gh.enforcer_crashed
+                        ? std::string{"CRASHED"}
+                        : TextTable::num(gh.enforcer_pressured_cm, 2) +
+                              " cm (" + std::to_string(gh.enforcer_misses) +
+                              " missed deadlines)")
+                << "\n";
+      std::cout << (gh.graceful()
+                        ? "graceful: governed stack stayed deadline-clean "
+                          "where plain enforcement starved\n"
+                        : "WARNING: graceful-degradation headline NOT "
+                          "reproduced in this grid\n");
+    }
+  }
+
   // ---- Kidnap recovery headline -----------------------------------------
   // The PR-5 claim: a bare SynPF stays lost after a kidnap while the
   // supervised stack relocalizes and finishes the run.
@@ -253,15 +331,13 @@ int main(int argc, char** argv) {
   }
 
   // ---- Recovery summary CSV ---------------------------------------------
+  // Always lands in the gitignored out/ directory, whatever directory the
+  // JSON goes to — a sidecar CSV next to a committed baseline (or at the
+  // repo root) is exactly the stale-artifact litter out/ exists to prevent.
   {
-    std::string csv_file = out_file;
-    const std::string suffix = ".json";
-    if (csv_file.size() > suffix.size() &&
-        csv_file.compare(csv_file.size() - suffix.size(), suffix.size(),
-                         suffix) == 0) {
-      csv_file.resize(csv_file.size() - suffix.size());
-    }
-    csv_file += "_recovery.csv";
+    std::string base = std::filesystem::path{out_file}.stem().string();
+    if (base.empty()) base = "BENCH_robustness";
+    const std::string csv_file = out_path(base + "_recovery.csv");
     std::ofstream csv{csv_file};
     csv << "localizer,fault,severity,kidnaps,divergence_episodes,recoveries,"
            "recovery_success,time_to_reloc_mean_s,time_to_reloc_max_s,"

@@ -133,7 +133,14 @@ void ParticleFilter::predict(const OdometryDelta& odom) {
 
 void ParticleFilter::correct(const LaserScan& scan) {
   const std::size_t n = cloud_.size();
-  const std::size_t k = beam_indices_.size();
+  // Governor beam decimation: at stride 1 the full layout vectors are used
+  // directly, so a filter whose stride never changed runs the exact
+  // historical path bit for bit.
+  const std::vector<int>& beams =
+      beam_stride_ <= 1 ? beam_indices_ : active_indices_;
+  const std::vector<double>& angles =
+      beam_stride_ <= 1 ? beam_angles_ : active_angles_;
+  const std::size_t k = beams.size();
 
   // Propagated prior estimate, kept only for the pose-jump detector.
   const bool health_on = sink_.metrics != nullptr;
@@ -157,7 +164,7 @@ void ParticleFilter::correct(const LaserScan& scan) {
       // srl-lint: realtime
       for (std::size_t i = begin; i < end; ++i) {
         const Pose2 sensor = cloud_.pose(i) * lidar_.mount;
-        caster_->ranges_from(sensor, beam_angles_,
+        caster_->ranges_from(sensor, angles,
                              std::span<float>{expected_}.subspan(i * k, k));
       }
       // srl-lint: end-realtime
@@ -175,7 +182,7 @@ void ParticleFilter::correct(const LaserScan& scan) {
   {
     telemetry::ScopedSpan weight_span{sink_.trace, "pf.weight"};
     telemetry::StageTimer weight_timer{h_weight_};
-    scan_ctx_.build(beam_model_, scan, beam_indices_);
+    scan_ctx_.build(beam_model_, scan, beams);
     log_weights_.resize(n);
     pool_.parallel_for(n, [&](int /*lane*/, std::size_t begin,
                               std::size_t end) {
@@ -227,8 +234,9 @@ void ParticleFilter::correct(const LaserScan& scan) {
   if (health_on) sample_health();
 
   const double pre_resample_ess = effective_sample_size();
-  if (pre_resample_ess <
-      config_.resample_ess_fraction * static_cast<double>(n)) {
+  if (!resample_suppressed_ &&
+      pre_resample_ess <
+          config_.resample_ess_fraction * static_cast<double>(n)) {
     telemetry::ScopedSpan span{sink_.trace, "pf.resample"};
     telemetry::StageTimer timer{h_resample_};
     resample();
@@ -329,6 +337,13 @@ double ParticleFilter::effective_sample_size() const {
 }
 
 std::vector<Particle> ParticleFilter::top_particles(std::size_t k) const {
+  // Digest consumers (flight recorder, tests) must never observe the cloud
+  // mid-resize: the pose and weight slabs are transiently inconsistent
+  // while resample()/govern_resize() rebuild them.
+  SYNPF_EXPECTS_MSG(!resizing_,
+                    "top_particles must not be called mid-resize");
+  SYNPF_EXPECTS_MSG(log_weights_.size() == cloud_.size(),
+                    "cloud and weight scratch must agree before a digest");
   k = std::min(k, cloud_.size());
   const double* weights = cloud_.weight();
   std::vector<std::size_t> idx(cloud_.size());
@@ -360,12 +375,79 @@ void ParticleFilter::force_resample() { resample(); }
 void ParticleFilter::inject_uniform(double fraction, Rng& rng) {
   SYNPF_EXPECTS_MSG(std::isfinite(fraction),
                     "injection fraction must be finite");
+  SYNPF_EXPECTS_MSG(!resizing_,
+                    "inject_uniform must not be called mid-resize");
+  SYNPF_EXPECTS_MSG(log_weights_.size() == cloud_.size(),
+                    "cloud and weight scratch must agree before injection");
   if (fraction <= 0.0 || recovery_map_ == nullptr) return;
   const double f = std::min(fraction, 1.0);
   for (std::size_t i = 0; i < cloud_.size(); ++i) {
     if (rng.uniform() < f) cloud_.set_pose(i, sample_free_pose(rng));
   }
   cloud_.fill_weights(1.0 / static_cast<double>(cloud_.size()));
+}
+
+void ParticleFilter::set_beam_stride(int stride) {
+  SYNPF_EXPECTS_MSG(stride >= 1, "beam stride must be >= 1");
+  stride = std::max(stride, 1);
+  if (stride == beam_stride_) return;
+  beam_stride_ = stride;
+  active_indices_.clear();
+  active_angles_.clear();
+  if (stride == 1) return;  // correct() reads the full layout directly
+  const auto step = static_cast<std::size_t>(stride);
+  for (std::size_t b = 0; b < beam_indices_.size(); b += step) {
+    active_indices_.push_back(beam_indices_[b]);
+    active_angles_.push_back(beam_angles_[b]);
+  }
+}
+
+void ParticleFilter::govern_resize(int target, std::uint64_t ordinal) {
+  SYNPF_EXPECTS_MSG(target > 0, "resize target must be positive");
+  const std::size_t n = cloud_.size();
+  const auto want = static_cast<std::size_t>(std::max(target, 1));
+  if (want == n) return;  // strict no-op: no draw, no weight touch
+  resizing_ = true;
+  Rng rng = rng_.substream(kPfStreamGovernor, ordinal);
+  if (want < n) {
+    // Weight-proportional systematic subsample: the shrunken cloud is an
+    // unbiased low-variance resampling of the old one (same CDF walk as
+    // resample(), just to a smaller count).
+    drawn_scratch_.resize(want);
+    const double step = 1.0 / static_cast<double>(want);
+    double cdf_target = rng.uniform(0.0, step);
+    const double* weights = cloud_.weight();
+    double cumulative = weights[0];
+    std::size_t i = 0;
+    for (std::size_t m = 0; m < want; ++m) {
+      while (cumulative < cdf_target && i + 1 < n) {
+        ++i;
+        cumulative += weights[i];
+      }
+      drawn_scratch_.set_pose(m, cloud_.pose(i));
+      cdf_target += step;
+    }
+    cloud_.swap(drawn_scratch_);
+  } else {
+    // Grow: clone existing slots round-robin with init-sigma jitter so the
+    // new particles explore instead of duplicating. Serial in slot order;
+    // the new slots' prediction streams are re-derived by the next
+    // predict()'s ensure_slot_rngs with the pinned (epoch, slot) keys.
+    cloud_.resize(want);
+    for (std::size_t m = n; m < want; ++m) {
+      const Pose2 base = cloud_.pose(m % n);
+      cloud_.set_pose(
+          m, Pose2{base.x + rng.gaussian(config_.init_sigma_xy),
+                   base.y + rng.gaussian(config_.init_sigma_xy),
+                   normalize_angle(base.theta +
+                                   rng.gaussian(config_.init_sigma_theta))});
+    }
+  }
+  log_weights_.resize(cloud_.size());
+  cloud_.fill_weights(1.0 / static_cast<double>(cloud_.size()));
+  resizing_ = false;
+  SYNPF_ENSURES_MSG(cloud_.size() == want && log_weights_.size() == want,
+                    "cloud and weight scratch must agree after a resize");
 }
 
 void ParticleFilter::set_squash_scale(double scale) {
@@ -410,6 +492,7 @@ void ParticleFilter::resample() {
   const std::size_t n = cloud_.size();
   const auto max_n = static_cast<std::size_t>(
       std::max(config_.n_particles, config_.kld_min_particles));
+  resizing_ = true;
   drawn_scratch_.resize(max_n);
   const double step = 1.0 / static_cast<double>(max_n);
   // The one master-stream draw per resample event (see PfStream schedule).
@@ -449,6 +532,7 @@ void ParticleFilter::resample() {
     log_weights_.resize(cloud_.size());
     cloud_.fill_weights(1.0 / static_cast<double>(cloud_.size()));
     ++resamples_;
+    resizing_ = false;
     return;
   }
 
@@ -490,6 +574,7 @@ void ParticleFilter::resample() {
   log_weights_.resize(kept);
   cloud_.fill_weights(1.0 / static_cast<double>(kept));
   ++resamples_;
+  resizing_ = false;
 }
 
 Pose2 ParticleFilter::estimate() const {

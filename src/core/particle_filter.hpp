@@ -54,12 +54,18 @@ namespace srl {
 ///    number of predicts so far — never of the thread that ran it.
 ///  - **kRecovery**: resample event `r` draws its per-slot injection trials
 ///    and replacement poses serially from `substream(kRecovery, r)`.
+///  - **kGovernor**: governor-driven cloud resizes (src/governor) draw their
+///    systematic-subsample jitter and growth noise from
+///    `substream(kGovernor, ordinal)`, where the ordinal is the governor's
+///    own update index — the resize is a pure function of (seed, cloud,
+///    target, ordinal), never of thread count or wall clock.
 ///
 /// These tag values are pinned — append new streams, never renumber — and
 /// test_determinism hardcodes first draws per tag to catch reordering.
 enum PfStream : std::uint64_t {
   kPfStreamPredictNoise = 1,
   kPfStreamRecovery = 2,
+  kPfStreamGovernor = 3,
 };
 
 /// Weighted pose second moments (theta treated via circular statistics).
@@ -176,6 +182,48 @@ class ParticleFilter {
   /// Current cloud size (== config n_particles unless KLD-adaptive).
   int current_particles() const { return static_cast<int>(cloud_.size()); }
 
+  /// Governor seam (src/governor): score only every `stride`-th configured
+  /// beam in subsequent correct() calls — the first rung of the shedding
+  /// ladder. `stride <= 1` restores the exact full-layout path (the same
+  /// vectors are used, so it is bitwise identical to a filter that never
+  /// changed stride); larger strides rebuild the decimated subset once per
+  /// change, never per update.
+  void set_beam_stride(int stride);
+  int beam_stride() const { return beam_stride_; }
+  /// Beams scored by the next correct() under the current stride.
+  int active_beams() const {
+    return beam_stride_ <= 1 ? static_cast<int>(beam_indices_.size())
+                             : static_cast<int>(active_indices_.size());
+  }
+  /// Configured beam count, independent of any decimation stride (the
+  /// governor's decision input — deciding against active_beams() would
+  /// compound last update's stride into this one's).
+  int total_beams() const { return static_cast<int>(beam_indices_.size()); }
+
+  /// Governor seam: while true, correct() skips the ESS-triggered resample
+  /// (the last rung of the shedding ladder — resampling is O(N) and not
+  /// size-sheddable). force_resample() is unaffected.
+  void set_resample_suppressed(bool suppressed) {
+    resample_suppressed_ = suppressed;
+  }
+  bool resample_suppressed() const { return resample_suppressed_; }
+
+  /// Governor seam: toggle KLD-adaptive resampling at runtime (same effect
+  /// as constructing with `config.kld_adaptive`; applies from the next
+  /// resample event on).
+  void set_kld_adaptive(bool on) { config_.kld_adaptive = on; }
+
+  /// Governor seam: deterministically resize the cloud *between* updates.
+  /// Shrinking keeps a weight-proportional systematic subsample of the
+  /// current cloud; growing clones slots round-robin with Gaussian jitter
+  /// so the clones explore rather than duplicate. All draws come serially
+  /// from `substream(kPfStreamGovernor, ordinal)` (the caller's update
+  /// ordinal), so the result is a pure function of (seed, cloud, target,
+  /// ordinal) — bitwise identical at any thread count. Weights reset to
+  /// uniform (the resized cloud is re-scored by the next correct()).
+  /// `target == current_particles()` is a strict no-op.
+  void govern_resize(int target, std::uint64_t ordinal);
+
   /// Provide the map used to draw recovery particles (and enable the
   /// kidnapped-robot recovery configured by `config.recovery`).
   void set_recovery_map(std::shared_ptr<const OccupancyGrid> map) {
@@ -238,6 +286,16 @@ class ParticleFilter {
   LidarConfig lidar_;
   std::vector<int> beam_indices_;
   std::vector<double> beam_angles_;
+  /// Governor beam decimation (set_beam_stride): every `beam_stride_`-th
+  /// entry of the full layout. Empty (and unused) while the stride is 1.
+  int beam_stride_{1};
+  std::vector<int> active_indices_;
+  std::vector<double> active_angles_;
+  bool resample_suppressed_{false};
+  /// True only inside govern_resize()/resample(): the cloud and its
+  /// side arrays are transiently inconsistent, so the digest/injection
+  /// seams contract against observing it (SYNPF_CHECKED).
+  bool resizing_{false};
 
   ParticleCloud cloud_;
   /// Resampling scratch: the systematic draws land here, then the clouds

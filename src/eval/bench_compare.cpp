@@ -202,4 +202,104 @@ CompareReport compare_throughput(const ThroughputDocument& baseline,
   return report;
 }
 
+CompareReport compare_tradeoff(const BenchDocument& baseline,
+                               const BenchDocument& candidate,
+                               const TradeoffThresholds& thresholds) {
+  CompareReport report;
+
+  for (const ScenarioCell& base : baseline.cells) {
+    if (!base.governed) continue;  // the tradeoff plane is governed-only
+    const std::string key = cell_key(base);
+    const ScenarioCell* cand = find_cell(candidate, base);
+    if (cand == nullptr) {
+      report.failures.push_back({key, "missing_cell", 1.0, 0.0, 1.0});
+      continue;
+    }
+    ++report.cells_compared;
+
+    if (cand->result.crashed && !base.result.crashed) {
+      report.failures.push_back({key, "crashed", 0.0, 1.0, 0.0});
+      continue;  // a crash is not a tradeoff
+    }
+    if (base.result.crashed || cand->result.crashed) continue;
+
+    // Cost axis: deterministic virtual work units when both sides carry
+    // the governor block (they do for governed cells of v4 documents);
+    // wall-clock p99 otherwise, so mixed-schema comparisons stay possible.
+    const bool virtual_cost =
+        base.governor_cost_p99 > 0.0 && cand->governor_cost_p99 > 0.0;
+    const double base_cost =
+        virtual_cost ? base.governor_cost_p99 : base.result.update_p99_ms;
+    const double cand_cost =
+        virtual_cost ? cand->governor_cost_p99 : cand->result.update_p99_ms;
+    const double base_err = base.result.lateral_mean_cm;
+    const double cand_err = cand->result.lateral_mean_cm;
+
+    const double err_limit =
+        base_err * (1.0 + thresholds.err_tol_frac) + thresholds.err_slack_cm;
+    const double cost_limit =
+        base_cost * (1.0 + thresholds.cost_tol_frac) + thresholds.cost_slack;
+    const bool err_regressed = cand_err > err_limit;
+    const bool cost_regressed = cand_cost > cost_limit;
+    const bool err_improved =
+        cand_err < base_err * (1.0 - thresholds.improve_frac);
+    const bool cost_improved =
+        cand_cost < base_cost * (1.0 - thresholds.improve_frac);
+
+    // The tradeoff rule: a regression on one axis passes only when paid
+    // for by a genuine improvement on the other (error down at equal
+    // cost, or cost down at equal error — both regressing always fails).
+    if (err_regressed && !cost_improved) {
+      report.failures.push_back(
+          {key, "tradeoff_lateral_mean_cm", base_err, cand_err, err_limit});
+    }
+    if (cost_regressed && !err_improved) {
+      report.failures.push_back(
+          {key,
+           virtual_cost ? "tradeoff_cost_units_p99" : "tradeoff_update_p99_ms",
+           base_cost, cand_cost, cost_limit});
+    }
+    if ((err_improved && !cost_regressed) ||
+        (cost_improved && !err_regressed)) {
+      char note[200];
+      std::snprintf(note, sizeof(note),
+                    "%s: tradeoff improved (error %.4g -> %.4g cm, cost "
+                    "%.6g -> %.6g)",
+                    key.c_str(), base_err, cand_err, base_cost, cand_cost);
+      report.notes.push_back(note);
+    }
+  }
+
+  if (report.cells_compared == 0) {
+    report.failures.push_back(
+        {"cells", "no_governed_cells", 1.0, 0.0, 1.0});
+  }
+
+  // The degradation headline is the gate's anchor claim: shedding keeps
+  // the governed stack alive and deadline-clean under full compute
+  // pressure where plain budget enforcement starves.
+  if (thresholds.require_headline) {
+    if (!candidate.has_governor_headline) {
+      report.failures.push_back(
+          {"governor_headline", "missing", 1.0, 0.0, 1.0});
+    } else if (!candidate.governor_headline.graceful()) {
+      const GovernorHeadline& gh = candidate.governor_headline;
+      report.failures.push_back(
+          {"governor_headline", "graceful",
+           1.0,
+           gh.governed_crashed || gh.governed_misses > 0 ? 0.0 : 0.5,
+           1.0});
+      char detail[220];
+      std::snprintf(detail, sizeof(detail),
+                    "headline: governed crashed=%d misses=%" PRIu64
+                    ", enforcer crashed=%d misses=%" PRIu64
+                    " (need governed clean AND enforcer starved)",
+                    gh.governed_crashed ? 1 : 0, gh.governed_misses,
+                    gh.enforcer_crashed ? 1 : 0, gh.enforcer_misses);
+      report.notes.push_back(detail);
+    }
+  }
+  return report;
+}
+
 }  // namespace srl

@@ -109,4 +109,35 @@ CompareReport compare_throughput(const ThroughputDocument& baseline,
                                  const ThroughputDocument& candidate,
                                  const ThroughputThresholds& thresholds);
 
+/// Thresholds for the compute-governor *tradeoff* gate
+/// (`tools/bench_compare --tradeoff`). Unlike the plain regression gate,
+/// the tradeoff gate judges governed cells on the (lateral error, compute
+/// cost) plane: a candidate may spend more compute if it buys accuracy, or
+/// lose accuracy if it sheds compute — what it may not do is regress on
+/// one axis without improving on the other. Cost is the governor's virtual
+/// p99 (deterministic work units) when both documents carry it, falling
+/// back to wall-clock update_p99_ms for mixed-schema comparisons.
+struct TradeoffThresholds {
+  /// Error axis: candidate <= baseline * (1 + frac) + slack holds the axis.
+  double err_tol_frac = 0.10;
+  double err_slack_cm = 1.0;
+  /// Cost axis: candidate <= baseline * (1 + frac) + slack holds the axis.
+  double cost_tol_frac = 0.10;
+  double cost_slack = 2000.0;  ///< work units (or ms on the fallback axis)
+  /// "Improved" on an axis means candidate < baseline * (1 - improve_frac);
+  /// only a genuine improvement excuses a regression on the other axis.
+  double improve_frac = 0.05;
+  /// Demand the candidate's graceful-degradation headline: governed stack
+  /// un-crashed and deadline-clean at max compute pressure while the
+  /// budget-enforcer twin missed deadlines or crashed.
+  bool require_headline = true;
+};
+
+/// Diff the governed cells of two robustness documents on the tradeoff
+/// plane. Baseline governed cells must exist in the candidate; new crashes
+/// fail unconditionally (a crash is not a tradeoff).
+CompareReport compare_tradeoff(const BenchDocument& baseline,
+                               const BenchDocument& candidate,
+                               const TradeoffThresholds& thresholds);
+
 }  // namespace srl

@@ -158,6 +158,37 @@ json::Value bench_to_json(const BenchDocument& doc) {
       boxes.push_back(json::Value::string(box));
     }
     c.set("blackboxes", std::move(boxes));
+    // Schema v4: compute-governor block, present only on governed cells so
+    // ungoverned documents stay byte-compatible with v3 modulo the schema
+    // string. Costs are virtual work units — deterministic, gate-safe.
+    if (cell.governed) {
+      json::Value g = json::Value::object();
+      g.set("mode", json::Value::string(cell.governor_shed ? "govern"
+                                                           : "enforce"));
+      g.set("budget_ms", json::Value::number(cell.budget_ms));
+      g.set("updates", json::Value::number(
+                           static_cast<double>(cell.governor_updates)));
+      g.set("deadline_misses",
+            json::Value::number(static_cast<double>(cell.deadline_misses)));
+      g.set("shed_beam_updates",
+            json::Value::number(static_cast<double>(cell.shed_beam_updates)));
+      g.set("shed_particle_updates",
+            json::Value::number(
+                static_cast<double>(cell.shed_particle_updates)));
+      g.set("skipped_resamples",
+            json::Value::number(
+                static_cast<double>(cell.skipped_resamples)));
+      g.set("resizes", json::Value::number(
+                           static_cast<double>(cell.governor_resizes)));
+      g.set("mean_particles",
+            json::Value::number(cell.governor_mean_particles));
+      g.set("min_particles", json::Value::number(static_cast<double>(
+                                 cell.governor_min_particles)));
+      g.set("mean_beams", json::Value::number(cell.governor_mean_beams));
+      g.set("cost_units_p50", json::Value::number(cell.governor_cost_p50));
+      g.set("cost_units_p99", json::Value::number(cell.governor_cost_p99));
+      c.set("governor", std::move(g));
+    }
     cells.push_back(std::move(c));
   }
   root.set("cells", std::move(cells));
@@ -183,6 +214,31 @@ json::Value bench_to_json(const BenchDocument& doc) {
     h.set("synpf_flat", json::Value::boolean(doc.headline.synpf_flat()));
     root.set("headline", std::move(h));
   }
+
+  if (doc.has_governor_headline) {
+    const GovernorHeadline& gh = doc.governor_headline;
+    json::Value h = json::Value::object();
+    h.set("severity", json::Value::number(gh.severity));
+    h.set("budget_ms", json::Value::number(gh.budget_ms));
+    h.set("governed_baseline_cm",
+          json::Value::number(gh.governed_baseline_cm));
+    h.set("governed_pressured_cm",
+          json::Value::number(gh.governed_pressured_cm));
+    h.set("governed_degradation",
+          json::Value::number(gh.governed_degradation));
+    h.set("governed_crashed", json::Value::boolean(gh.governed_crashed));
+    h.set("governed_misses",
+          json::Value::number(static_cast<double>(gh.governed_misses)));
+    h.set("governed_shed_updates",
+          json::Value::number(static_cast<double>(gh.governed_shed_updates)));
+    h.set("enforcer_pressured_cm",
+          json::Value::number(gh.enforcer_pressured_cm));
+    h.set("enforcer_crashed", json::Value::boolean(gh.enforcer_crashed));
+    h.set("enforcer_misses",
+          json::Value::number(static_cast<double>(gh.enforcer_misses)));
+    h.set("graceful", json::Value::boolean(gh.graceful()));
+    root.set("governor_headline", std::move(h));
+  }
   return root;
 }
 
@@ -193,8 +249,8 @@ bool write_bench_json(const std::string& path, const BenchDocument& doc) {
 std::optional<BenchDocument> bench_from_json(const json::Value& root) {
   if (!root.is_object()) return std::nullopt;
   const std::string schema = str(root, "schema");
-  if (schema != kBenchRobustnessSchema && schema != kBenchRobustnessSchemaV2 &&
-      schema != kBenchRobustnessSchemaV1) {
+  if (schema != kBenchRobustnessSchema && schema != kBenchRobustnessSchemaV3 &&
+      schema != kBenchRobustnessSchemaV2 && schema != kBenchRobustnessSchemaV1) {
     return std::nullopt;
   }
 
@@ -296,6 +352,29 @@ std::optional<BenchDocument> bench_from_json(const json::Value& root) {
         cell.blackboxes.push_back(boxes->at(b)->as_string());
       }
     }
+    // v4 governor block (governed == false when absent).
+    if (const json::Value* g = c.find("governor");
+        g != nullptr && g->is_object()) {
+      cell.governed = true;
+      cell.governor_shed = str(*g, "mode") == "govern";
+      cell.budget_ms = num(*g, "budget_ms");
+      cell.governor_updates = static_cast<std::uint64_t>(num(*g, "updates"));
+      cell.deadline_misses =
+          static_cast<std::uint64_t>(num(*g, "deadline_misses"));
+      cell.shed_beam_updates =
+          static_cast<std::uint64_t>(num(*g, "shed_beam_updates"));
+      cell.shed_particle_updates =
+          static_cast<std::uint64_t>(num(*g, "shed_particle_updates"));
+      cell.skipped_resamples =
+          static_cast<std::uint64_t>(num(*g, "skipped_resamples"));
+      cell.governor_resizes = static_cast<std::uint64_t>(num(*g, "resizes"));
+      cell.governor_mean_particles = num(*g, "mean_particles");
+      cell.governor_min_particles =
+          static_cast<int>(num(*g, "min_particles"));
+      cell.governor_mean_beams = num(*g, "mean_beams");
+      cell.governor_cost_p50 = num(*g, "cost_units_p50");
+      cell.governor_cost_p99 = num(*g, "cost_units_p99");
+    }
     doc.cells.push_back(std::move(cell));
   }
 
@@ -312,6 +391,24 @@ std::optional<BenchDocument> bench_from_json(const json::Value& root) {
     doc.headline.carto_faulted_cm = num(*h, "carto_faulted_cm");
     doc.headline.carto_degradation = num(*h, "carto_degradation");
     doc.headline.carto_crashed = flag(*h, "carto_crashed");
+  }
+
+  if (const json::Value* h = root.find("governor_headline");
+      h != nullptr && h->is_object()) {
+    doc.has_governor_headline = true;
+    GovernorHeadline& gh = doc.governor_headline;
+    gh.severity = num(*h, "severity");
+    gh.budget_ms = num(*h, "budget_ms");
+    gh.governed_baseline_cm = num(*h, "governed_baseline_cm");
+    gh.governed_pressured_cm = num(*h, "governed_pressured_cm");
+    gh.governed_degradation = num(*h, "governed_degradation");
+    gh.governed_crashed = flag(*h, "governed_crashed");
+    gh.governed_misses = static_cast<std::uint64_t>(num(*h, "governed_misses"));
+    gh.governed_shed_updates =
+        static_cast<std::uint64_t>(num(*h, "governed_shed_updates"));
+    gh.enforcer_pressured_cm = num(*h, "enforcer_pressured_cm");
+    gh.enforcer_crashed = flag(*h, "enforcer_crashed");
+    gh.enforcer_misses = static_cast<std::uint64_t>(num(*h, "enforcer_misses"));
   }
   return doc;
 }

@@ -31,14 +31,20 @@
 
 namespace srl {
 
-/// Current schema: v3 added the per-cell event-journal summary
+/// Current schema: v4 added the per-cell compute-governor block (governed
+/// mode + budget, deadline misses, shed counts, particle/beam means,
+/// deterministic virtual-cost percentiles) and the governor headline. v3
+/// added the per-cell event-journal summary
 /// (events_total/warn/error/critical/dropped + black-box artifact paths)
 /// and the recorder provenance block (recorder on/off, recorder vs
 /// baseline wall time). v2 added the per-cell recovery block
 /// (recovery_success, divergence episodes, time-to-relocalize). The reader
-/// accepts v1/v2/v3; absent blocks parse to zeros (and v1 cells carry
-/// `has_recovery == false`, so the compare gates skip recovery checks).
-inline constexpr const char* kBenchRobustnessSchema = "srl.bench_robustness/3";
+/// accepts v1–v4; absent blocks parse to zeros (and v1 cells carry
+/// `has_recovery == false`, so the compare gates skip recovery checks;
+/// pre-v4 cells carry `governed == false`).
+inline constexpr const char* kBenchRobustnessSchema = "srl.bench_robustness/4";
+inline constexpr const char* kBenchRobustnessSchemaV3 =
+    "srl.bench_robustness/3";
 inline constexpr const char* kBenchRobustnessSchemaV2 =
     "srl.bench_robustness/2";
 inline constexpr const char* kBenchRobustnessSchemaV1 =
@@ -80,6 +86,9 @@ struct BenchDocument {
   std::vector<ScenarioCell> cells{};
   bool has_headline{false};
   HeadlineComparison headline{};
+  // -- schema v4: graceful-degradation headline (absent pre-v4) --
+  bool has_governor_headline{false};
+  GovernorHeadline governor_headline{};
 };
 
 /// Compile-time compiler identification for provenance.

@@ -9,6 +9,7 @@
 #include "eval/postmortem.hpp"
 #include "fault/faulted_localizer.hpp"
 #include "fault/pipeline.hpp"
+#include "governor/governor.hpp"
 #include "recovery/supervised_localizer.hpp"
 #include "slam/pure_localization.hpp"
 #include "telemetry/flight_recorder.hpp"
@@ -88,6 +89,27 @@ FrontierEvaluation closed_loop_probe(
     subject = supervised.get();
   }
 
+  // The compute-pressure axis attacks a declared budget, not the sensor
+  // stream: those probes race inside a budget-*enforcing* governor (no
+  // shedding — the fixed workload either fits the squeezed budget or the
+  // update drops), so severity maps onto dropped updates and, past the
+  // frontier, divergence. Every other axis runs ungoverned.
+  std::unique_ptr<governor::GovernedLocalizer> governed;
+  if (scenario.axis == "compute_pressure") {
+    governor::GovernorConfig gcfg;
+    gcfg.budget_ms = config.budget_ms;
+    gcfg.shed = false;
+    gcfg.adaptive = false;
+    gcfg.nominal_cost_units = governor::kCartoNominalCostUnits;
+    governed = std::make_unique<governor::GovernedLocalizer>(*subject, gcfg);
+    if (auto* synpf = dynamic_cast<SynPf*>(localizer.get())) {
+      governed->bind_filter(&synpf->filter());
+    }
+    governed->bind_pressure(&pipeline);
+    if (supervised != nullptr) governed->bind_supervisor(supervised.get());
+    subject = governed.get();
+  }
+
   telemetry::Telemetry telemetry;
   telemetry::Sink sink;
   std::unique_ptr<telemetry::FlightRecorder> recorder;
@@ -112,6 +134,10 @@ FrontierEvaluation closed_loop_probe(
     spec.fault = scenario.axis;
     spec.severity = scenario.severity;
     spec.fault_seed = config.fault_seed;
+    if (governed != nullptr) {
+      spec.governor = "enforce";
+      spec.budget_ms = config.budget_ms;
+    }
     json::Value provenance = json::Value::object();
     provenance.set("stack", stack_spec_to_json(spec));
     provenance.set("scenario", json::Value::string(scenario.label()));
@@ -273,7 +299,7 @@ std::string FrontierPoint::cell() const {
 FrontierSearchConfig FrontierSearchConfig::smoke() {
   FrontierSearchConfig config;
   config.localizers = {"SynPF", "CartoLite"};
-  config.axes = {0, 3};  // odom_slip_ramp, lidar_dropout
+  config.axes = {0, 3, 8};  // odom_slip_ramp, lidar_dropout, compute_pressure
   config.track_classes = {0};
   config.bisect_iterations = 3;  // bracket width 1/8 severity
   config.n_particles = 600;

@@ -43,8 +43,13 @@ struct FrontierSearchConfig {
   /// Localizer kinds under test (scenario_matrix vocabulary: "SynPF",
   /// "CartoLite", optional "+Recovery" suffix).
   std::vector<std::string> localizers{"SynPF", "CartoLite"};
-  /// Fault-axis ids (frontier_axes() order). Empty = all eight.
+  /// Fault-axis ids (frontier_axes() order). Empty = all nine.
   std::vector<int> axes{};
+  /// Declared per-update budget for `compute_pressure` probes: those
+  /// scenarios race inside a budget-enforcing governor (PR-10), so the
+  /// axis bites — pressure squeezes this budget until updates drop and
+  /// the stack diverges. Other axes never construct a governor.
+  double budget_ms = 2.0;
   /// Track-class ids (frontier_track_classes() order).
   std::vector<int> track_classes{0};
   /// Shape-redraw ordinal baked into every scenario index.

@@ -44,7 +44,7 @@ const std::vector<std::string>& frontier_axes() {
   static const std::vector<std::string> kAxes{
       "odom_slip_ramp", "odom_scale",      "odom_yaw_bias",
       "lidar_dropout",  "lidar_noise",     "scan_decimation",
-      "latency_jitter", "blackout",
+      "latency_jitter", "blackout",        "compute_pressure",
   };
   return kAxes;
 }

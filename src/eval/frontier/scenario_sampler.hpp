@@ -4,7 +4,8 @@
 /// \brief Deterministic scenario fuzzing: every fault scenario the frontier
 /// search probes is a pure function of `(seed, index)` (DESIGN.md §14).
 ///
-/// A scenario composes one of the eight PR-4 fault injectors (sampled
+/// A scenario composes one of the nine fault injectors — the eight PR-4
+/// sensor corrupters plus the PR-10 compute-pressure axis — (sampled
 /// severity, phase, ramp and window) with a procedurally varied circuit
 /// (corridor width, length scale, waypoint jitter — the `track/` generator
 /// parameters). The 32-bit scenario *index* is bit-packed so the search can
@@ -62,8 +63,10 @@ inline constexpr std::uint32_t kTrackClassShift = kSeverityBits + kAxisBits;
 inline constexpr std::uint32_t kVariantShift =
     kTrackClassShift + kTrackClassBits;
 
-/// The fault axes the frontier walks: the eight PR-4 injectors, in pinned
-/// order (axis ids index this vector and are baked into replay keys).
+/// The fault axes the frontier walks: the eight PR-4 injectors plus the
+/// PR-10 `compute_pressure` axis (id 8, one of the spare 4-bit axis
+/// values), in pinned order (axis ids index this vector and are baked
+/// into replay keys — append-only, never reorder).
 const std::vector<std::string>& frontier_axes();
 
 /// Track classes: "club" (the Table-I rounded-rectangle circuit, jittered

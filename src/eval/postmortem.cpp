@@ -11,6 +11,7 @@
 #include "eval/frontier/scenario_sampler.hpp"
 #include "fault/faulted_localizer.hpp"
 #include "fault/pipeline.hpp"
+#include "governor/governor.hpp"
 #include "gridmap/track_generator.hpp"
 #include "recovery/supervised_localizer.hpp"
 #include "slam/pure_localization.hpp"
@@ -42,16 +43,29 @@ std::optional<RangeMethodKind> range_from_string(const std::string& name) {
   return std::nullopt;
 }
 
-bool wants_recovery(const std::string& kind) {
-  const std::string suffix{"+Recovery"};
+bool has_suffix(const std::string& kind, const std::string& suffix) {
   return kind.size() > suffix.size() &&
          kind.compare(kind.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
-std::string base_kind(const std::string& kind) {
-  return wants_recovery(kind)
-             ? kind.substr(0, kind.size() - std::string{"+Recovery"}.size())
+std::string strip_suffix(const std::string& kind, const std::string& suffix) {
+  return has_suffix(kind, suffix)
+             ? kind.substr(0, kind.size() - suffix.size())
              : kind;
+}
+
+/// Same kind vocabulary as the scenario matrix: the governor suffix
+/// ("+Governor"/"+Budget") is outermost and named last, recovery inside.
+std::string ungoverned_kind(const std::string& kind) {
+  return strip_suffix(strip_suffix(kind, "+Governor"), "+Budget");
+}
+
+bool wants_recovery(const std::string& kind) {
+  return has_suffix(ungoverned_kind(kind), "+Recovery");
+}
+
+std::string base_kind(const std::string& kind) {
+  return strip_suffix(ungoverned_kind(kind), "+Recovery");
 }
 
 /// Frontier recipes ("frontier:<seed>:<index>") resolve through the
@@ -103,6 +117,12 @@ json::Value stack_spec_to_json(const PostmortemStackSpec& spec) {
   v.set("severity", json::Value::number(spec.severity));
   v.set("fault_seed",
         json::Value::number(static_cast<double>(spec.fault_seed)));
+  // Governor fields only when a governor was in the stack: pre-governor
+  // readers (and byte-for-byte artifact diffs) see unchanged documents.
+  if (!spec.governor.empty()) {
+    v.set("governor", json::Value::string(spec.governor));
+    v.set("budget_ms", json::Value::number(spec.budget_ms));
+  }
   return v;
 }
 
@@ -129,6 +149,8 @@ bool stack_spec_from_json(const json::Value& v, PostmortemStackSpec& out) {
   out.severity = num_field(v, "severity", out.severity);
   out.fault_seed = static_cast<std::uint64_t>(
       num_field(v, "fault_seed", static_cast<double>(out.fault_seed)));
+  out.governor = str_field(v, "governor");
+  out.budget_ms = num_field(v, "budget_ms", out.budget_ms);
   return true;
 }
 
@@ -212,6 +234,10 @@ std::string render_timeline(const Blackbox& box) {
         << s.n_particles << " particles, " << s.range << ", " << s.beams
         << " beams, fault " << s.fault << "@"
         << json::format_number(s.severity) << ")\n";
+    if (!s.governor.empty()) {
+      out << "governor   : " << s.governor << " mode, budget "
+          << json::format_number(s.budget_ms) << " ms\n";
+    }
   }
   out << "trace      : "
       << (box.has_trace
@@ -339,6 +365,23 @@ PostmortemReplay replay_blackbox(const Blackbox& box, int threads) {
         faulted, recovery::SupervisedLocalizerConfig{}, map, lidar);
     if (synpf != nullptr) supervised->bind_filter(&synpf->filter());
     subject = supervised.get();
+  }
+
+  // Governor outermost, rebuilt from the recipe's {mode, budget} exactly as
+  // the matrix configured it (default GovernorConfig otherwise) — the
+  // governed decision sequence is a pure function of that pair plus the
+  // fault envelope, so the replay stays bitwise.
+  std::unique_ptr<governor::GovernedLocalizer> governed;
+  if (!box.stack.governor.empty()) {
+    governor::GovernorConfig gcfg;
+    gcfg.budget_ms = box.stack.budget_ms;
+    gcfg.shed = box.stack.governor == "govern";
+    gcfg.adaptive = gcfg.shed;
+    governed = std::make_unique<governor::GovernedLocalizer>(*subject, gcfg);
+    if (synpf != nullptr) governed->bind_filter(&synpf->filter());
+    governed->bind_pressure(&pipeline);
+    if (supervised != nullptr) governed->bind_supervisor(supervised.get());
+    subject = governed.get();
   }
 
   // Re-drive exactly as the closed loop delivered the stream: initialize at

@@ -53,6 +53,12 @@ struct PostmortemStackSpec {
   std::string fault{"none"};
   double severity{0.0};
   std::uint64_t fault_seed{0x7a017ULL};
+  /// Compute-governor wrapper (src/governor): "" none, "govern" shedding
+  /// mode, "enforce" budget-enforcer mode. Absent in pre-governor black
+  /// boxes — both fields default to the ungoverned stack, so old artifacts
+  /// parse and replay unchanged.
+  std::string governor{};
+  double budget_ms{0.0};
 };
 
 json::Value stack_spec_to_json(const PostmortemStackSpec& spec);

@@ -8,6 +8,7 @@
 #include "core/synpf.hpp"
 #include "eval/postmortem.hpp"
 #include "fault/faulted_localizer.hpp"
+#include "governor/governor.hpp"
 #include "recovery/supervised_localizer.hpp"
 #include "slam/pure_localization.hpp"
 #include "telemetry/telemetry.hpp"
@@ -24,17 +25,41 @@ ScenarioMatrix::ScenarioMatrix(ScenarioMatrixConfig config)
 namespace {
 
 constexpr const char* kRecoverySuffix = "+Recovery";
+constexpr const char* kGovernorSuffix = "+Governor";
+constexpr const char* kBudgetSuffix = "+Budget";
 
-bool wants_recovery(const std::string& kind) {
-  const std::string suffix{kRecoverySuffix};
+bool has_suffix(const std::string& kind, const std::string& suffix) {
   return kind.size() > suffix.size() &&
          kind.compare(kind.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
-std::string base_kind(const std::string& kind) {
-  return wants_recovery(kind)
-             ? kind.substr(0, kind.size() - std::string{kRecoverySuffix}.size())
+std::string strip_suffix(const std::string& kind, const std::string& suffix) {
+  return has_suffix(kind, suffix)
+             ? kind.substr(0, kind.size() - suffix.size())
              : kind;
+}
+
+/// Governor wrapper requested by the kind name: "" none, "govern" shedding
+/// mode ("+Governor"), "enforce" budget-enforcer mode ("+Budget"). The
+/// governor is the outermost decorator, so its suffix is named last.
+std::string governor_mode(const std::string& kind) {
+  if (has_suffix(kind, kGovernorSuffix)) return "govern";
+  if (has_suffix(kind, kBudgetSuffix)) return "enforce";
+  return "";
+}
+
+/// Kind with any governor suffix removed ("SynPF+Recovery+Governor" ->
+/// "SynPF+Recovery").
+std::string ungoverned_kind(const std::string& kind) {
+  return strip_suffix(strip_suffix(kind, kGovernorSuffix), kBudgetSuffix);
+}
+
+bool wants_recovery(const std::string& kind) {
+  return has_suffix(ungoverned_kind(kind), kRecoverySuffix);
+}
+
+std::string base_kind(const std::string& kind) {
+  return strip_suffix(ungoverned_kind(kind), kRecoverySuffix);
 }
 
 std::unique_ptr<Localizer> make_localizer(
@@ -113,6 +138,7 @@ std::vector<ScenarioCell> ScenarioMatrix::run(const Track& track) const {
           make_localizer(base_kind(cell.localizer), map, experiment.lidar,
                          config_);
       if (localizer == nullptr) continue;  // unknown kind: zeroed cell
+      auto* synpf = dynamic_cast<SynPf*>(localizer.get());
       fault::FaultedLocalizer faulted{*localizer, pipeline};
 
       // Canonical composition: supervise *outside* the faults, so sensor
@@ -123,10 +149,28 @@ std::vector<ScenarioCell> ScenarioMatrix::run(const Track& track) const {
         recovery::SupervisedLocalizerConfig scfg;
         supervised = std::make_unique<recovery::SupervisedLocalizer>(
             faulted, scfg, map, experiment.lidar);
-        if (auto* synpf = dynamic_cast<SynPf*>(localizer.get())) {
-          supervised->bind_filter(&synpf->filter());
-        }
+        if (synpf != nullptr) supervised->bind_filter(&synpf->filter());
         subject = supervised.get();
+      }
+
+      // Governor outermost (DESIGN.md §16): it reads the supervisor's
+      // health and can veto the whole update before any inner layer runs.
+      const std::string gov_mode = governor_mode(cell.localizer);
+      std::unique_ptr<governor::GovernedLocalizer> governed;
+      if (!gov_mode.empty()) {
+        governor::GovernorConfig gcfg;
+        gcfg.budget_ms = config_.budget_ms;
+        gcfg.shed = gov_mode == "govern";
+        gcfg.adaptive = gcfg.shed;  // enforcer keeps the workload fixed
+        // Knobless localizers (no bound filter) are accounted at the
+        // pinned nominal cost; ignored once a filter is bound.
+        gcfg.nominal_cost_units = governor::kCartoNominalCostUnits;
+        governed =
+            std::make_unique<governor::GovernedLocalizer>(*subject, gcfg);
+        if (synpf != nullptr) governed->bind_filter(&synpf->filter());
+        governed->bind_pressure(&pipeline);
+        if (supervised != nullptr) governed->bind_supervisor(supervised.get());
+        subject = governed.get();
       }
 
       telemetry::Telemetry telemetry;
@@ -154,6 +198,8 @@ std::vector<ScenarioCell> ScenarioMatrix::run(const Track& track) const {
         spec.fault = cell.scenario.fault;
         spec.severity = cell.scenario.severity;
         spec.fault_seed = config_.fault_seed;
+        spec.governor = gov_mode;
+        spec.budget_ms = gov_mode.empty() ? 0.0 : config_.budget_ms;
         json::Value provenance = json::Value::object();
         provenance.set("stack", stack_spec_to_json(spec));
         recorder->set_provenance(std::move(provenance));
@@ -223,11 +269,28 @@ std::vector<ScenarioCell> ScenarioMatrix::run(const Track& track) const {
       cell.ess_fraction_min = ess != nullptr ? ess->min() : 0.0;
       cell.resamples = counter_value(m, "pf.resamples");
       cell.pose_jump_alarms = counter_value(m, "pf.pose_jump_alarms");
-      const char* stage = cell.localizer == "CartoLite"
+      const char* stage = base_kind(cell.localizer) == "CartoLite"
                               ? "carto.local_match_ms"
                               : "pf.raycast_ms";
       cell.stage_p50_ms = hist_quantile(m, stage, 0.50);
       cell.stage_p99_ms = hist_quantile(m, stage, 0.99);
+
+      if (governed != nullptr) {
+        cell.governed = true;
+        cell.governor_shed = governed->config().shed;
+        cell.budget_ms = governed->config().budget_ms;
+        cell.governor_updates = governed->updates();
+        cell.deadline_misses = governed->deadline_misses();
+        cell.shed_beam_updates = governed->shed_beam_updates();
+        cell.shed_particle_updates = governed->shed_particle_updates();
+        cell.skipped_resamples = governed->skipped_resamples();
+        cell.governor_resizes = governed->resizes();
+        cell.governor_mean_particles = governed->mean_particles();
+        cell.governor_min_particles = governed->min_particles_seen();
+        cell.governor_mean_beams = governed->mean_beams();
+        cell.governor_cost_p50 = governed->cost_units_p50();
+        cell.governor_cost_p99 = governed->cost_units_p99();
+      }
     }
   });
   return cells;
@@ -235,11 +298,13 @@ std::vector<ScenarioCell> ScenarioMatrix::run(const Track& track) const {
 
 ScenarioMatrixConfig ScenarioMatrix::smoke_config() {
   ScenarioMatrixConfig config;
-  config.localizers = {"SynPF", "CartoLite", "SynPF+Recovery"};
+  config.localizers = {"SynPF", "CartoLite", "SynPF+Recovery",
+                       "SynPF+Governor", "SynPF+Budget"};
   config.scenarios = {
       {"none", 0.0},          {"odom_slip_ramp", 0.5}, {"odom_slip_ramp", 1.0},
       {"lidar_dropout", 0.5}, {"lidar_dropout", 1.0},  {"kidnap", 1.0},
-      {"blackout", 1.0},
+      {"blackout", 1.0},      {"compute_pressure", 0.5},
+      {"compute_pressure", 1.0},
   };
   config.experiment.laps = 1;
   config.experiment.max_sim_time = 60.0;
@@ -249,11 +314,12 @@ ScenarioMatrixConfig ScenarioMatrix::smoke_config() {
 
 ScenarioMatrixConfig ScenarioMatrix::full_config() {
   ScenarioMatrixConfig config;
-  config.localizers = {"SynPF", "CartoLite", "SynPF+Recovery"};
+  config.localizers = {"SynPF", "CartoLite", "SynPF+Recovery",
+                       "SynPF+Governor", "SynPF+Budget"};
   config.scenarios.push_back({"none", 0.0});
   for (const char* fault :
        {"odom_slip_ramp", "odom_yaw_bias", "lidar_dropout", "lidar_noise",
-        "scan_decimation", "blackout"}) {
+        "scan_decimation", "blackout", "compute_pressure"}) {
     for (const double severity : {0.25, 0.5, 1.0}) {
       config.scenarios.push_back({fault, severity});
     }
@@ -305,6 +371,53 @@ bool compute_headline(const std::vector<ScenarioCell>& cells,
   out.carto_degradation = out.carto_crashed
                               ? HeadlineComparison::kCrashDegradation
                               : out.carto_faulted_cm / out.carto_baseline_cm;
+  return true;
+}
+
+bool compute_governor_headline(const std::vector<ScenarioCell>& cells,
+                               GovernorHeadline& out) {
+  out = GovernorHeadline{};
+  for (const ScenarioCell& cell : cells) {
+    if (cell.governed && cell.scenario.fault == "compute_pressure") {
+      out.severity = std::max(out.severity, cell.scenario.severity);
+    }
+  }
+  if (out.severity <= 0.0) return false;
+
+  bool have_baseline = false;
+  bool have_governed = false;
+  bool have_enforcer = false;
+  for (const ScenarioCell& cell : cells) {
+    if (!cell.governed) continue;
+    const bool baseline = cell.scenario.fault == "none";
+    const bool pressured = cell.scenario.fault == "compute_pressure" &&
+                           cell.scenario.severity == out.severity;
+    if (!baseline && !pressured) continue;
+    if (cell.governor_shed) {
+      if (baseline) {
+        out.governed_baseline_cm = cell.result.lateral_mean_cm;
+        have_baseline = true;
+      } else {
+        out.budget_ms = cell.budget_ms;
+        out.governed_pressured_cm = cell.result.lateral_mean_cm;
+        out.governed_crashed = cell.result.crashed;
+        out.governed_misses = cell.deadline_misses;
+        out.governed_shed_updates =
+            cell.shed_beam_updates + cell.shed_particle_updates;
+        have_governed = true;
+      }
+    } else if (pressured) {
+      out.enforcer_pressured_cm = cell.result.lateral_mean_cm;
+      out.enforcer_crashed = cell.result.crashed;
+      out.enforcer_misses = cell.deadline_misses;
+      have_enforcer = true;
+    }
+  }
+  if (!have_baseline || !have_governed || !have_enforcer) return false;
+  if (out.governed_baseline_cm <= 0.0) return false;
+  out.governed_degradation =
+      out.governed_crashed ? HeadlineComparison::kCrashDegradation
+                           : out.governed_pressured_cm / out.governed_baseline_cm;
   return true;
 }
 

@@ -40,9 +40,12 @@ struct ScenarioSpec {
 
 struct ScenarioMatrixConfig {
   /// Localizer kinds the grid compares; understood: "SynPF", "CartoLite",
-  /// and "SynPF+Recovery" (SynPF wrapped in a SupervisedLocalizer with the
+  /// "SynPF+Recovery" (SynPF wrapped in a SupervisedLocalizer with the
   /// default detector/policy stack, canonical supervised-outside-faulted
-  /// composition).
+  /// composition), and the governed variants "<kind>+Governor" (compute
+  /// governor in shedding mode, outermost) / "<kind>+Budget" (same budget
+  /// but *enforcer* mode: fixed workload, over-budget updates are dropped —
+  /// the ungoverned baseline the degradation headline compares against).
   std::vector<std::string> localizers{"SynPF", "CartoLite"};
   /// Scenarios. Besides the fault-factory names (fault/injector.hpp) the
   /// matrix understands the pseudo-fault "kidnap": no pipeline stage; the
@@ -75,6 +78,10 @@ struct ScenarioMatrixConfig {
   /// Track recipe stamped into each black box's rebuild provenance
   /// (PostmortemStackSpec::track). Must name the track `run()` is given.
   std::string track_name{"test_track"};
+  /// Per-update latency budget for "+Governor"/"+Budget" cells, ms
+  /// (src/governor virtual-cost accounting; benches override this from
+  /// SRL_BUDGET_MS). Ignored by ungoverned localizer kinds.
+  double budget_ms = 2.0;
 };
 
 /// One scored cell. `result` carries the paper metrics; the health block is
@@ -115,6 +122,22 @@ struct ScenarioCell {
   /// the bench working directory). Empty when the recorder is off or the
   /// cell never triggered.
   std::vector<std::string> blackboxes{};
+  // -- compute governor (schema v4; zero/false for ungoverned cells and
+  //    documents older than v4) --
+  bool governed{false};        ///< cell ran under a GovernedLocalizer
+  bool governor_shed{false};   ///< shedding mode (false = budget enforcer)
+  double budget_ms{0.0};
+  std::uint64_t governor_updates{0};
+  std::uint64_t deadline_misses{0};
+  std::uint64_t shed_beam_updates{0};
+  std::uint64_t shed_particle_updates{0};
+  std::uint64_t skipped_resamples{0};
+  std::uint64_t governor_resizes{0};
+  double governor_mean_particles{0.0};
+  int governor_min_particles{0};
+  double governor_mean_beams{0.0};
+  double governor_cost_p50{0.0};  ///< virtual work units (deterministic)
+  double governor_cost_p99{0.0};
 };
 
 class ScenarioMatrix {
@@ -166,5 +189,34 @@ struct HeadlineComparison {
 };
 bool compute_headline(const std::vector<ScenarioCell>& cells,
                       const std::string& fault, HeadlineComparison& out);
+
+/// The graceful-degradation headline (DESIGN.md §16), extracted from a grid
+/// that carries "<kind>+Governor" and "<kind>+Budget" cells under the
+/// `compute_pressure` axis at its highest severity: the governed stack must
+/// finish un-crashed with bounded lateral-error growth over its own clean
+/// baseline, while the budget-enforced twin — same budget, no shedding —
+/// misses deadlines (or crashes outright). Returns false when the grid
+/// lacks the cells.
+struct GovernorHeadline {
+  double severity{0.0};
+  double budget_ms{0.0};
+  double governed_baseline_cm{0.0};  ///< +Governor under fault "none"
+  double governed_pressured_cm{0.0};
+  double governed_degradation{0.0};  ///< pressured / baseline
+  bool governed_crashed{false};
+  std::uint64_t governed_misses{0};
+  std::uint64_t governed_shed_updates{0};  ///< beam- or particle-shed
+  double enforcer_pressured_cm{0.0};
+  bool enforcer_crashed{false};
+  std::uint64_t enforcer_misses{0};
+  /// The claim the CI gate pins: shedding keeps the stack alive and
+  /// meeting deadlines where plain enforcement starves or dies.
+  bool graceful() const {
+    return !governed_crashed && governed_misses == 0 &&
+           (enforcer_misses > 0 || enforcer_crashed);
+  }
+};
+bool compute_governor_headline(const std::vector<ScenarioCell>& cells,
+                               GovernorHeadline& out);
 
 }  // namespace srl

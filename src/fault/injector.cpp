@@ -134,6 +134,7 @@ const std::vector<std::string>& known_faults() {
       "none",          "odom_slip_ramp", "odom_scale",
       "odom_yaw_bias", "lidar_dropout",  "lidar_noise",
       "scan_decimation", "latency_jitter", "blackout",
+      "compute_pressure",
   };
   return kNames;
 }
@@ -150,6 +151,11 @@ std::unique_ptr<Injector> make_injector(const std::string& name,
     FaultProfile window{1.0, 5.0, 0.0, 2.0 * severity};
     if (severity <= 0.0) window.severity = 0.0;
     return make_injector(name, window);
+  }
+  if (name == "compute_pressure") {
+    // Load builds up over the first few seconds (a co-located process
+    // warming up), then stays: budget pressure ramps to full by t = 8 s.
+    return make_injector(name, FaultProfile{severity, 2.0, 6.0});
   }
   return make_injector(name, FaultProfile{severity});
 }
@@ -182,6 +188,9 @@ std::unique_ptr<Injector> make_injector(const std::string& name,
   }
   if (name == "blackout") {
     return std::make_unique<BlackoutInjector>(profile);
+  }
+  if (name == "compute_pressure") {
+    return std::make_unique<ComputePressureInjector>(profile);
   }
   return nullptr;
 }

@@ -238,6 +238,23 @@ class BlackoutInjector final : public Injector {
                     LaserScan& scan, Rng& rng) const override;
 };
 
+/// Compute pressure (the 9th fault axis, DESIGN.md §16): a co-located
+/// workload squeezes the localizer's per-update latency budget. Unlike every
+/// other injector it corrupts *no* sensor bytes — trace fingerprints are
+/// unchanged at any severity, and severity 0 is trivially a bitwise no-op.
+/// Instead the compute governor (src/governor) polls this stage's envelope
+/// through `FaultPipeline::stage()` and scales its declared budget by
+/// (1 - strength): at full strength the budget collapses to zero and the
+/// governor must shed (or, ungoverned, miss) every deadline. Keeping the
+/// pressure signal in the fault vocabulary gives the scenario matrix,
+/// frontier bisection and black-box replay the axis for free.
+class ComputePressureInjector final : public Injector {
+ public:
+  explicit ComputePressureInjector(FaultProfile profile) : Injector{profile} {}
+
+  std::string name() const override { return "compute_pressure"; }
+};
+
 /// Canonical fault names the factory understands — the vocabulary of the
 /// scenario matrix, bench grids, and CI smoke job.
 const std::vector<std::string>& known_faults();

@@ -29,6 +29,13 @@ const std::vector<RuleInfo>& catalog() {
        "gettimeofday) outside src/telemetry/ and common/timer.hpp",
        "time only flows through telemetry::StageTimer/Stopwatch in "
        "instrumented layers; estimate-affecting code must be clock-free"},
+      {"det-wall-clock-governor",
+       "timer reads (telemetry::Stopwatch/StageTimer) inside src/governor/ "
+       "— even the sanctioned wrappers are banned in the governor's "
+       "control path",
+       "the governor accounts compute in deterministic virtual work units "
+       "(particles x beams, DESIGN.md §16); a measured duration in a "
+       "shedding decision would break bitwise replay"},
       {"det-thread-id",
        "thread-identity reads (this_thread::get_id, pthread_self)",
        "results must not depend on which lane runs the work; key work by "
@@ -711,6 +718,16 @@ FileReport lint_source(std::string_view rel_path, std::string_view content) {
       token_scan(rel_path, s, t.token, t.call_only, "det-wall-clock",
                  "wall-clock read", nullptr, raw);
     }
+  }
+  // The governor's control path must never consult a measured duration —
+  // not even through the sanctioned telemetry timers (cost is virtual work
+  // units there; forwarding *metrics* like mean_scan_update_ms is fine,
+  // constructing a timer is not).
+  if (has_prefix(rel_path, "src/governor/")) {
+    token_scan(rel_path, s, "Stopwatch", false, "det-wall-clock-governor",
+               "timer in governor control path", nullptr, raw);
+    token_scan(rel_path, s, "StageTimer", false, "det-wall-clock-governor",
+               "timer in governor control path", nullptr, raw);
   }
   for (const TokenRule& t : kThreadIdTokens) {
     token_scan(rel_path, s, t.token, t.call_only, "det-thread-id",

@@ -1,0 +1,15 @@
+// Fixture: det-wall-clock-governor — inside src/governor/ even the
+// sanctioned telemetry timers are banned (cost is virtual work units
+// there); forwarding a *metric* like mean_scan_update_ms stays clean.
+#include "telemetry/telemetry.hpp"
+
+void control_path() {
+  telemetry::Stopwatch watch;
+  const double ms = watch.elapsed_ms();
+  telemetry::StageTimer timer{nullptr};
+  (void)ms;
+}
+
+double forward_metric(const srl::Localizer& inner) {
+  return inner.mean_scan_update_ms();
+}

@@ -197,6 +197,10 @@ TEST_F(FaultTest, CorruptionMagnitudeIsMonotoneInSeverity) {
   const double severities[] = {0.0, 0.25, 0.5, 1.0};
   for (const std::string& name : fault::known_faults()) {
     if (name == "none") continue;
+    // compute_pressure is the one axis that corrupts *no* sensor bytes by
+    // contract (it squeezes the governor's budget instead); its bitwise
+    // invariance is pinned by ComputePressureLeavesStreamUntouched below.
+    if (name == "compute_pressure") continue;
     for (const std::uint64_t seed : {11ULL, 42ULL, 0x7a017ULL}) {
       double previous = -1.0;
       for (const double severity : severities) {
@@ -214,6 +218,21 @@ TEST_F(FaultTest, CorruptionMagnitudeIsMonotoneInSeverity) {
   }
 }
 
+TEST_F(FaultTest, ComputePressureLeavesStreamUntouched) {
+  // The 9th axis's defining property: at ANY severity the corrupted trace
+  // is bitwise identical to the clean one. compute_pressure acts on the
+  // governor's latency budget (polled through FaultPipeline::stage()),
+  // never on the sensor bytes — so trace fingerprints are stable across
+  // the whole severity range, and severity 0 is trivially a no-op.
+  for (const double severity : {0.0, 0.5, 1.0}) {
+    fault::FaultPipeline pipeline{0x7a017ULL, LidarConfig{}};
+    ASSERT_TRUE(pipeline.add("compute_pressure", severity));
+    EXPECT_EQ(trace_hash(corrupt_trace(pipeline, *trace_)),
+              trace_hash(*trace_))
+        << "severity=" << severity;
+  }
+}
+
 TEST_F(FaultTest, ProfileFactoryMatchesSeverityOnlyFactory) {
   // The profile overload with each fault's canonical envelope must be the
   // same corruption as the severity-only factory — one vocabulary, two
@@ -224,6 +243,8 @@ TEST_F(FaultTest, ProfileFactoryMatchesSeverityOnlyFactory) {
     if (name == "blackout")
       return fault::FaultProfile{severity > 0.0 ? 1.0 : 0.0, 5.0, 0.0,
                                  2.0 * severity};
+    if (name == "compute_pressure")
+      return fault::FaultProfile{severity, 2.0, 6.0, -1.0};
     return fault::FaultProfile{severity, 0.0, 0.0, -1.0};
   };
   for (const std::string& name : fault::known_faults()) {

@@ -1,0 +1,326 @@
+/// \file test_governor.cpp
+/// \brief Compute-governor unit tests (src/governor, DESIGN.md §16): the
+/// pure decision core's graceful-degradation ladder (stage ordering, floor
+/// clamps, enforcer drops), the SUSPECT-growth-vs-budget precedence, the
+/// GovernedLocalizer decorator's strict budget-off no-op, severity-0
+/// compute-pressure neutrality, and KLD sizing monotonicity on a live
+/// filter (tight posteriors shed particles, dispersed ones keep them).
+
+#include "governor/governor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/particle_filter.hpp"
+#include "fault/pipeline.hpp"
+#include "gridmap/occupancy_grid.hpp"
+#include "motion/tum_model.hpp"
+#include "range/bresenham.hpp"
+#include "sensor/scanline_layout.hpp"
+
+namespace srl::governor {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ComputeGovernor — the pure decision core.
+// ---------------------------------------------------------------------------
+
+GovernorConfig shedding_config() {
+  GovernorConfig cfg;
+  cfg.budget_ms = 1.0;  // 48000 work units at the default unit rate
+  cfg.min_particles = 300;
+  cfg.max_particles = 1200;
+  cfg.max_beam_stride = 4;
+  return cfg;
+}
+
+TEST(ComputeGovernor, CostModelMatchesTheFilterBeamDecimation) {
+  // active_beams must mirror ParticleFilter::set_beam_stride (indices
+  // 0, s, 2s, ... — a ceiling division, not a floor).
+  EXPECT_EQ(ComputeGovernor::active_beams(60, 1), 60);
+  EXPECT_EQ(ComputeGovernor::active_beams(60, 2), 30);
+  EXPECT_EQ(ComputeGovernor::active_beams(60, 3), 20);
+  EXPECT_EQ(ComputeGovernor::active_beams(61, 4), 16);
+  EXPECT_DOUBLE_EQ(ComputeGovernor::cost_units(1200, 60, 1), 72000.0);
+  EXPECT_DOUBLE_EQ(ComputeGovernor::cost_units(1200, 60, 3), 24000.0);
+}
+
+TEST(ComputeGovernor, LadderEngagesStagesInSeverityOrder) {
+  const ComputeGovernor gov{shedding_config()};
+  // 1200 particles x 60 beams = 72000 units against a 48000-unit budget,
+  // squeezed further by pressure: the ladder must walk stride -> clamp ->
+  // skip-resample, never jumping a stage it could avoid.
+  const GovernorDecision d0 = gov.decide(1200, 60, 0.0, false);
+  EXPECT_EQ(d0.shed_stage, 1);
+  EXPECT_EQ(d0.beam_stride, 2);
+  EXPECT_EQ(d0.particle_target, 1200);
+  EXPECT_FALSE(d0.skip_resample);
+  EXPECT_DOUBLE_EQ(d0.cost_units, 36000.0);
+
+  const GovernorDecision d1 = gov.decide(1200, 60, 0.5, false);
+  EXPECT_EQ(d1.shed_stage, 1);
+  EXPECT_EQ(d1.beam_stride, 3);  // least aggressive stride that fits
+  EXPECT_EQ(d1.particle_target, 1200);
+
+  const GovernorDecision d2 = gov.decide(1200, 60, 0.75, false);
+  EXPECT_EQ(d2.shed_stage, 2);
+  EXPECT_EQ(d2.beam_stride, 4);
+  EXPECT_EQ(d2.particle_target, 800);  // 12000 units / 15 beams
+  EXPECT_FALSE(d2.skip_resample);
+
+  const GovernorDecision d3 = gov.decide(1200, 60, 0.95, false);
+  EXPECT_EQ(d3.shed_stage, 3);
+  EXPECT_EQ(d3.particle_target, 300);  // the floor
+  EXPECT_TRUE(d3.skip_resample);
+  EXPECT_FALSE(d3.drop_update);  // shedding mode never drops
+
+  const GovernorDecision d4 = gov.decide(1200, 60, 1.0, false);
+  EXPECT_EQ(d4.shed_stage, 3);
+  EXPECT_EQ(d4.particle_target, 300);
+  EXPECT_FALSE(d4.drop_update);
+
+  // Monotone engagement across a fine pressure sweep.
+  int last_stage = 0;
+  for (int i = 0; i <= 20; ++i) {
+    const double pressure = static_cast<double>(i) / 20.0;
+    const GovernorDecision d = gov.decide(1200, 60, pressure, false);
+    EXPECT_GE(d.shed_stage, last_stage) << "pressure " << pressure;
+    last_stage = d.shed_stage;
+  }
+}
+
+TEST(ComputeGovernor, NoBudgetMeansSizingOnly) {
+  GovernorConfig cfg = shedding_config();
+  cfg.budget_ms = 0.0;
+  const ComputeGovernor gov{cfg};
+  const GovernorDecision d = gov.decide(1200, 60, 1.0, false);
+  EXPECT_EQ(d.shed_stage, 0);
+  EXPECT_EQ(d.beam_stride, 1);
+  EXPECT_EQ(d.particle_target, 1200);
+  EXPECT_FALSE(d.skip_resample);
+  EXPECT_FALSE(d.drop_update);
+  EXPECT_LT(d.budget_units, 0.0);  // unlimited
+}
+
+TEST(ComputeGovernor, SuspectGrowthYieldsToTheBudget) {
+  const ComputeGovernor gov{shedding_config()};
+  // Healthy + roomy budget: a shrunken cloud stays shrunken (KLD owns
+  // shrinking; the governor only grows under SUSPECT).
+  const GovernorDecision healthy = gov.decide(600, 60, 0.0, false);
+  EXPECT_EQ(healthy.particle_target, 600);
+  EXPECT_EQ(healthy.shed_stage, 0);  // 36000 units fit the 48000 budget
+
+  // SUSPECT with budget headroom: grow back to the ceiling (stride pays
+  // for it — degraded beams, full cloud).
+  const GovernorDecision suspect = gov.decide(600, 60, 0.0, true);
+  EXPECT_EQ(suspect.particle_target, 1200);
+  EXPECT_EQ(suspect.beam_stride, 2);
+
+  // SUSPECT under heavy pressure: ambition loses — the clamp vetoes the
+  // growth all the way back to the floor.
+  const GovernorDecision squeezed = gov.decide(600, 60, 0.95, true);
+  EXPECT_EQ(squeezed.particle_target, 300);
+  EXPECT_EQ(squeezed.shed_stage, 3);
+}
+
+TEST(ComputeGovernor, EnforcerDropsWholeUpdatesInsteadOfShedding) {
+  GovernorConfig cfg = shedding_config();
+  cfg.shed = false;
+  cfg.budget_ms = 2.0;  // 96000 units
+  const ComputeGovernor gov{cfg};
+
+  const GovernorDecision fits = gov.decide(1200, 60, 0.0, false);
+  EXPECT_FALSE(fits.drop_update);
+  EXPECT_EQ(fits.shed_stage, 0);
+  EXPECT_EQ(fits.beam_stride, 1);  // no knob is ever touched
+
+  const GovernorDecision starved = gov.decide(1200, 60, 0.5, false);
+  EXPECT_TRUE(starved.drop_update);  // 72000 > 48000, nothing to shed
+  EXPECT_EQ(starved.shed_stage, 4);
+  EXPECT_EQ(starved.beam_stride, 1);
+  EXPECT_EQ(starved.particle_target, 1200);
+
+  const GovernorDecision fixed = gov.decide_fixed(48000.0, 0.75);
+  EXPECT_TRUE(fixed.drop_update);  // 48000 > 96000 * 0.25
+  const GovernorDecision fine = gov.decide_fixed(20000.0, 0.75);
+  EXPECT_FALSE(fine.drop_update);
+}
+
+// ---------------------------------------------------------------------------
+// GovernedLocalizer — the decorator.
+// ---------------------------------------------------------------------------
+
+/// Minimal inner localizer: counts calls, returns a fixed pose.
+class StubLocalizer final : public Localizer {
+ public:
+  void initialize(const Pose2& pose) override { pose_ = pose; }
+  void on_odometry(const OdometryDelta& /*odom*/) override { ++odoms_; }
+  Pose2 on_scan(const LaserScan& /*scan*/) override {
+    ++scans_;
+    return pose_;
+  }
+  Pose2 pose() const override { return pose_; }
+  std::string name() const override { return "Stub"; }
+  double mean_scan_update_ms() const override { return 0.0; }
+  double total_busy_s() const override { return 0.0; }
+
+  int scans() const { return scans_; }
+
+ private:
+  Pose2 pose_{1.0, 2.0, 0.5};
+  int scans_{0};
+  int odoms_{0};
+};
+
+LaserScan scan_at(double t) {
+  LaserScan scan;
+  scan.t = t;
+  return scan;
+}
+
+TEST(GovernedLocalizer, BudgetOffAdaptiveOffIsAStrictNoOp) {
+  StubLocalizer inner;
+  GovernedLocalizer governed{inner, GovernorConfig::off()};
+  fault::FaultPipeline pipeline{0x7a017ULL, LidarConfig{}};
+  pipeline.add("compute_pressure", 1.0);
+  governed.bind_pressure(&pipeline);
+
+  for (int i = 0; i < 10; ++i) governed.on_scan(scan_at(0.1 * i));
+  // The early-out forwards before any accounting: no update is counted, no
+  // pressure is polled, no decision exists — bitwise the bare inner stack.
+  EXPECT_EQ(inner.scans(), 10);
+  EXPECT_EQ(governed.updates(), 0U);
+  EXPECT_EQ(governed.deadline_misses(), 0U);
+  EXPECT_DOUBLE_EQ(governed.last_pressure(), 0.0);
+  EXPECT_EQ(governed.name(), "Stub");  // no suffix in pass-through mode
+}
+
+TEST(GovernedLocalizer, SeverityZeroPressureDecidesLikeNoPipeline) {
+  GovernorConfig cfg;
+  cfg.budget_ms = 2.0;
+  cfg.nominal_cost_units = kCartoNominalCostUnits;
+
+  StubLocalizer bare_inner;
+  GovernedLocalizer bare{bare_inner, cfg};
+
+  StubLocalizer zero_inner;
+  GovernedLocalizer zero{zero_inner, cfg};
+  fault::FaultPipeline pipeline{0x7a017ULL, LidarConfig{}};
+  pipeline.add("compute_pressure", 0.0);
+  zero.bind_pressure(&pipeline);
+
+  for (int i = 0; i < 20; ++i) {
+    bare.on_scan(scan_at(0.1 * i));
+    zero.on_scan(scan_at(0.1 * i));
+  }
+  EXPECT_EQ(bare_inner.scans(), zero_inner.scans());
+  EXPECT_EQ(bare.updates(), zero.updates());
+  EXPECT_EQ(bare.deadline_misses(), zero.deadline_misses());
+  EXPECT_DOUBLE_EQ(zero.last_pressure(), 0.0);
+  EXPECT_EQ(zero.deadline_misses(), 0U);  // 48000 units fit 96000
+}
+
+TEST(GovernedLocalizer, EnforcerStarvesUnderFullPressure) {
+  GovernorConfig cfg;
+  cfg.budget_ms = 2.0;
+  cfg.shed = false;
+  cfg.adaptive = false;
+  cfg.nominal_cost_units = kCartoNominalCostUnits;
+
+  StubLocalizer inner;
+  GovernedLocalizer governed{inner, cfg};
+  fault::FaultPipeline pipeline{0x7a017ULL, LidarConfig{}};
+  // Canonical profile: onset t=2s, full severity by t=8s, forever.
+  pipeline.add("compute_pressure", 1.0);
+  governed.bind_pressure(&pipeline);
+
+  int forwarded_before = 0;
+  for (int i = 0; i < 100; ++i) {
+    const double t = 0.2 * i;  // stream reaches t=19.8s
+    governed.on_scan(scan_at(t));
+    if (t < 2.0) forwarded_before = inner.scans();
+  }
+  // Before onset every update runs; at full pressure the budget is zero
+  // and every update drops — the inner stack is starved, not degraded.
+  EXPECT_GT(forwarded_before, 0);
+  EXPECT_GT(governed.deadline_misses(), 0U);
+  EXPECT_EQ(governed.updates(),
+            static_cast<std::uint64_t>(inner.scans()) +
+                governed.deadline_misses());
+  EXPECT_EQ(governed.name(), "Stub+budgeted");
+}
+
+// ---------------------------------------------------------------------------
+// KLD sizing monotonicity on a live filter.
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<const OccupancyGrid> make_room() {
+  auto grid = std::make_shared<OccupancyGrid>(200, 120, 0.05, Vec2{0.0, 0.0},
+                                              OccupancyGrid::kFree);
+  for (int x = 0; x < 200; ++x) {
+    grid->at(x, 0) = OccupancyGrid::kOccupied;
+    grid->at(x, 119) = OccupancyGrid::kOccupied;
+  }
+  for (int y = 0; y < 120; ++y) {
+    grid->at(0, y) = OccupancyGrid::kOccupied;
+    grid->at(199, y) = OccupancyGrid::kOccupied;
+  }
+  return grid;
+}
+
+ParticleFilter make_filter(std::shared_ptr<const OccupancyGrid> map,
+                           int particles, double sigma_xy,
+                           double sigma_theta) {
+  const LidarConfig lidar;
+  ParticleFilterConfig cfg;
+  cfg.n_particles = particles;
+  cfg.init_sigma_xy = sigma_xy;
+  cfg.init_sigma_theta = sigma_theta;
+  auto caster = std::make_shared<BresenhamCaster>(map, lidar.max_range);
+  auto motion = std::make_shared<TumMotionModel>();
+  return ParticleFilter{cfg,
+                        std::move(caster),
+                        std::move(motion),
+                        BeamModel{},
+                        lidar,
+                        uniform_layout(lidar, 40),
+                        42};
+}
+
+TEST(GovernorKld, TightPosteriorsShedParticlesDispersedOnesKeepThem) {
+  auto map = make_room();
+
+  // Tight cloud: everything in one KLD bin — the Fox bound cuts the
+  // resample at the configured floor.
+  ParticleFilter tight = make_filter(map, 800, 0.01, 0.01);
+  tight.set_kld_adaptive(true);
+  tight.init_pose(Pose2{5.0, 3.0, 0.0});
+  tight.force_resample();
+  EXPECT_EQ(tight.current_particles(), tight.config().kld_min_particles);
+
+  // Dispersed cloud: hundreds of occupied bins — the bound keeps (nearly)
+  // the full budget.
+  ParticleFilter spread = make_filter(map, 800, 0.01, 0.01);
+  spread.set_kld_adaptive(true);
+  spread.init_global(*map);
+  spread.force_resample();
+  EXPECT_GT(spread.current_particles(), tight.current_particles());
+
+  // Monotonicity along the spread axis: widening the init spread never
+  // shrinks the KLD-selected cloud.
+  int last = 0;
+  for (const double sigma : {0.02, 0.2, 1.0, 3.0}) {
+    ParticleFilter pf = make_filter(map, 800, sigma, sigma);
+    pf.set_kld_adaptive(true);
+    pf.init_pose(Pose2{5.0, 3.0, 0.0});
+    pf.force_resample();
+    EXPECT_GE(pf.current_particles(), last) << "sigma " << sigma;
+    EXPECT_LE(pf.current_particles(), 800);
+    last = pf.current_particles();
+  }
+}
+
+}  // namespace
+}  // namespace srl::governor

@@ -59,12 +59,12 @@ using IntVec = std::vector<int>;
 
 TEST(LintCatalog, HasThePinnedRuleIds) {
   const std::vector<std::string> expected{
-      "det-rand",        "det-wall-clock",    "det-thread-id",
-      "det-unordered",   "det-accumulate",    "rt-alloc",
-      "rt-lock",         "rt-io",             "rt-throw",
-      "rt-marker",       "rng-stream-key",    "hy-pragma-once",
-      "hy-using-namespace", "hy-printf",      "hy-bad-directive",
-      "hy-unused-suppression", "hy-unreadable-file"};
+      "det-rand",        "det-wall-clock",    "det-wall-clock-governor",
+      "det-thread-id",   "det-unordered",     "det-accumulate",
+      "rt-alloc",        "rt-lock",           "rt-io",
+      "rt-throw",        "rt-marker",         "rng-stream-key",
+      "hy-pragma-once",  "hy-using-namespace", "hy-printf",
+      "hy-bad-directive", "hy-unused-suppression", "hy-unreadable-file"};
   EXPECT_EQ(rule_catalog().size(), expected.size());
   std::set<std::string> seen;
   for (const RuleInfo& r : rule_catalog()) {
@@ -114,6 +114,21 @@ TEST(LintDetWallClock, BenchToolsAndTelemetryAreExempt) {
 TEST(LintDetWallClock, TimerHeaderIsTheOneSrcAllowlistEntry) {
   const std::string content = "#pragma once\nauto t0 = clk::now();\n";
   EXPECT_TRUE(lint_source("src/common/timer.hpp", content).findings.empty());
+}
+
+TEST(LintDetWallClockGovernor, FlagsSanctionedTimersInsideGovernorOnly) {
+  const FileReport r = lint_fixture("src/governor/governor.cpp",
+                                    "det_wall_clock_governor.cpp");
+  EXPECT_EQ(lines_with(r, "det-wall-clock-governor"), (IntVec{7, 9}))
+      << render_findings(r.findings);
+}
+
+TEST(LintDetWallClockGovernor, OtherLayersMayUseTheTelemetryTimers) {
+  for (const char* rel : {"src/core/x.cpp", "src/telemetry/writer.cpp",
+                          "bench/bench_x.cpp", "tools/x.cpp"}) {
+    const FileReport r = lint_fixture(rel, "det_wall_clock_governor.cpp");
+    EXPECT_EQ(count_rule(r, "det-wall-clock-governor"), 0) << rel;
+  }
 }
 
 TEST(LintDetThreadId, FlagsThreadIdentityEverywhere) {

@@ -380,5 +380,65 @@ TEST(ParticleFilter, CircularMeanAcrossWrap) {
   EXPECT_NEAR(angle_dist(est.theta, kPi), 0.0, 0.05);
 }
 
+// ---------------------------------------------------------------------------
+// Governor resize orderings (PR-10 regressions): a govern_resize must leave
+// the cloud and its weight scratch coherent for whatever runs next — the
+// recovery layer's uniform injection and the flight recorder's top-K digest
+// both consume the slabs immediately after a resize in the governed stack.
+// ---------------------------------------------------------------------------
+
+TEST(ParticleFilter, GovernResizeThenInjectUniformStaysCoherent) {
+  auto map = make_room();
+  for (const int target : {300, 1200}) {  // shrink and grow orderings
+    ParticleFilter pf = make_filter(map);
+    pf.set_recovery_map(map);
+    pf.init_pose({5.0, 3.0, 0.0});
+    pf.govern_resize(target, 7);
+    ASSERT_EQ(pf.current_particles(), target);
+
+    Rng rng{99};
+    pf.inject_uniform(0.5, rng);  // would fire the mid-resize/size contracts
+    EXPECT_EQ(pf.current_particles(), target);
+    const std::vector<Particle> cloud = pf.particles_snapshot();
+    const double uniform = 1.0 / static_cast<double>(target);
+    int inside_free = 0;
+    for (const Particle& p : cloud) {
+      EXPECT_DOUBLE_EQ(p.weight, uniform);
+      const GridIndex cell = map->world_to_grid({p.pose.x, p.pose.y});
+      if (map->in_bounds(cell) && map->is_free(cell.ix, cell.iy)) {
+        ++inside_free;
+      }
+    }
+    // The injected half landed on free cells; the kept half started there.
+    EXPECT_GT(inside_free, target / 2);
+  }
+}
+
+TEST(ParticleFilter, GovernResizeThenTopParticlesDigestStaysCoherent) {
+  auto map = make_room();
+  for (const int target : {300, 1200}) {
+    ParticleFilter pf = make_filter(map);
+    pf.init_pose({5.0, 3.0, 0.0});
+    pf.govern_resize(target, 3);
+    ASSERT_EQ(pf.current_particles(), target);
+
+    // Digest immediately after the resize: k capped at the new size, sorted
+    // by weight descending with slot-index tie-breaks over the (uniform)
+    // resized weights — i.e. the first k slots in order.
+    const std::vector<Particle> digest = pf.top_particles(32);
+    ASSERT_EQ(digest.size(), 32U);
+    const double uniform = 1.0 / static_cast<double>(target);
+    for (const Particle& p : digest) EXPECT_DOUBLE_EQ(p.weight, uniform);
+    const std::vector<Particle> all = pf.particles_snapshot();
+    for (std::size_t i = 0; i < digest.size(); ++i) {
+      EXPECT_DOUBLE_EQ(digest[i].pose.x, all[i].pose.x) << i;
+      EXPECT_DOUBLE_EQ(digest[i].pose.y, all[i].pose.y) << i;
+    }
+    // Oversized k clamps to the whole cloud instead of reading stale slots.
+    EXPECT_EQ(pf.top_particles(static_cast<std::size_t>(target) + 64).size(),
+              static_cast<std::size_t>(target));
+  }
+}
+
 }  // namespace
 }  // namespace srl

@@ -42,6 +42,16 @@
 ///       [--hash require|ignore] per-cell estimate fingerprint gate
 ///                              (ignore; require is the same-machine
 ///                              scalar-vs-AVX2 / thread determinism gate)
+///
+///   bench_compare --tradeoff <baseline.json> <candidate.json>
+///       [--err-tol <frac>]      lateral-error relative tolerance (0.10)
+///       [--err-slack-cm <cm>]   lateral-error absolute slack     (1.0)
+///       [--cost-tol <frac>]     compute-cost relative tolerance  (0.10)
+///       [--cost-slack <units>]  compute-cost absolute slack      (2000)
+///       [--improve-tol <frac>]  improvement that excuses the other
+///                               axis regressing (0.05)
+///       [--no-headline]         skip the graceful-degradation headline
+///                               gate (mixed-schema comparisons)
 
 #include <cstdio>
 #include <cstdlib>
@@ -67,8 +77,12 @@ int usage(const char* argv0) {
                "  [--sev-tol <sev>] [--exact]\n"
                "or:    %s --throughput <baseline.json> <candidate.json>\n"
                "  [--tol <frac>] [--improve-tol <frac>] [--structural]\n"
-               "  [--hash require|ignore]\n",
-               argv0, argv0, argv0);
+               "  [--hash require|ignore]\n"
+               "or:    %s --tradeoff <baseline.json> <candidate.json>\n"
+               "  [--err-tol <frac>] [--err-slack-cm <cm>]\n"
+               "  [--cost-tol <frac>] [--cost-slack <units>]\n"
+               "  [--improve-tol <frac>] [--no-headline]\n",
+               argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -148,6 +162,40 @@ int run_throughput_compare(const std::string& baseline_path,
   return report.ok() ? 0 : 1;
 }
 
+int run_tradeoff_compare(const std::string& baseline_path,
+                         const std::string& candidate_path,
+                         const srl::TradeoffThresholds& tol) {
+  using namespace srl;
+  const std::optional<BenchDocument> baseline = read_bench_json(baseline_path);
+  if (!baseline) {
+    std::fprintf(stderr, "baseline %s: unreadable or not a %s document\n",
+                 baseline_path.c_str(), kBenchRobustnessSchema);
+    return 2;
+  }
+  const std::optional<BenchDocument> candidate =
+      read_bench_json(candidate_path);
+  if (!candidate) {
+    std::fprintf(stderr, "candidate %s: unreadable or not a %s document\n",
+                 candidate_path.c_str(), kBenchRobustnessSchema);
+    return 2;
+  }
+
+  const CompareReport report = compare_tradeoff(*baseline, *candidate, tol);
+  for (const std::string& note : report.notes) {
+    std::printf("note: %s\n", note.c_str());
+  }
+  for (const CompareFailure& failure : report.failures) {
+    std::fprintf(stderr, "FAIL %s\n", failure.describe().c_str());
+  }
+  std::printf("bench_compare --tradeoff: %d governed cells compared — %s\n",
+              report.cells_compared,
+              report.ok() ? "PASS"
+                          : ("FAIL (" + std::to_string(report.failures.size()) +
+                             " regressions)")
+                                .c_str());
+  return report.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -160,6 +208,8 @@ int main(int argc, char** argv) {
   frontier::FrontierCompareThresholds frontier_tol;
   bool throughput_mode = false;
   ThroughputThresholds throughput_tol;
+  bool tradeoff_mode = false;
+  TradeoffThresholds tradeoff_tol;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -170,6 +220,8 @@ int main(int argc, char** argv) {
       frontier_mode = true;
     } else if (std::strcmp(arg, "--throughput") == 0) {
       throughput_mode = true;
+    } else if (std::strcmp(arg, "--tradeoff") == 0) {
+      tradeoff_mode = true;
     } else if (std::strcmp(arg, "--tol") == 0) {
       const char* v = next();
       if (v == nullptr || !parse_double(v, throughput_tol.tol_frac))
@@ -178,6 +230,25 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr || !parse_double(v, throughput_tol.improve_frac))
         return usage(argv[0]);
+      tradeoff_tol.improve_frac = throughput_tol.improve_frac;
+    } else if (std::strcmp(arg, "--err-tol") == 0) {
+      const char* v = next();
+      if (v == nullptr || !parse_double(v, tradeoff_tol.err_tol_frac))
+        return usage(argv[0]);
+    } else if (std::strcmp(arg, "--err-slack-cm") == 0) {
+      const char* v = next();
+      if (v == nullptr || !parse_double(v, tradeoff_tol.err_slack_cm))
+        return usage(argv[0]);
+    } else if (std::strcmp(arg, "--cost-tol") == 0) {
+      const char* v = next();
+      if (v == nullptr || !parse_double(v, tradeoff_tol.cost_tol_frac))
+        return usage(argv[0]);
+    } else if (std::strcmp(arg, "--cost-slack") == 0) {
+      const char* v = next();
+      if (v == nullptr || !parse_double(v, tradeoff_tol.cost_slack))
+        return usage(argv[0]);
+    } else if (std::strcmp(arg, "--no-headline") == 0) {
+      tradeoff_tol.require_headline = false;
     } else if (std::strcmp(arg, "--structural") == 0) {
       throughput_tol.structural_only = true;
     } else if (std::strcmp(arg, "--sev-tol") == 0) {
@@ -240,6 +311,9 @@ int main(int argc, char** argv) {
   if (frontier_mode) return run_frontier_compare(paths[0], paths[1], frontier_tol);
   if (throughput_mode) {
     return run_throughput_compare(paths[0], paths[1], throughput_tol);
+  }
+  if (tradeoff_mode) {
+    return run_tradeoff_compare(paths[0], paths[1], tradeoff_tol);
   }
 
   const std::optional<BenchDocument> baseline = read_bench_json(paths[0]);

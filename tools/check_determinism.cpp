@@ -38,6 +38,15 @@
 ///      an implementation detail, never a numeric choice). Hosts without
 ///      AVX2 print an explicit SKIP for the vector half — never a silent
 ///      pass,
+///  10. under the compute governor (PR-10): a governed replay — adaptive
+///      sizing + shedding ladder under a squeezed budget — is bitwise
+///      stable across reruns and worker-lane counts (resize draws come
+///      from the pinned governor substream, keyed by update ordinal, and
+///      virtual-cost accounting never reads a clock); a budget-off,
+///      adaptive-off governor is a bitwise no-op on the bare filter; a
+///      severity-0 compute-pressure stage moves nothing; and the
+///      compute-pressure injector corrupts zero sensor bytes (its trace
+///      hash equals the clean trace's),
 ///
 /// and, in a SYNPF_CHECKED build, requires the whole lap to complete with
 /// zero contract violations (reported through `telemetry::ContractMonitor`).
@@ -60,6 +69,7 @@
 #include "eval/frontier/frontier_search.hpp"
 #include "eval/trace.hpp"
 #include "fault/pipeline.hpp"
+#include "governor/governor.hpp"
 #include "gridmap/track_generator.hpp"
 #include "recovery/supervised_localizer.hpp"
 #include "telemetry/flight_recorder.hpp"
@@ -441,6 +451,71 @@ int main(int argc, char** argv) {
           "[simd] SKIP — host CPU lacks AVX2; scalar-vs-vector cross-check "
           "not run (scalar halves above still verified)\n");
     }
+  }
+
+  // 10. Compute-governor determinism (PR-10). The governed stack draws its
+  // resize schedule from the pinned kPfStreamGovernor substream keyed by
+  // the governor's own update ordinal and accounts cost in virtual work
+  // units — no clock, no thread count, no draw history enters a decision —
+  // so a governed replay must be as replayable as the bare filter.
+  {
+    // The injector never touches a sensor byte: the compute-pressure trace
+    // hashes identically to the clean trace at full severity.
+    {
+      fault::FaultPipeline pressure_only{0x7a017ULL, LidarConfig{}};
+      pressure_only.add("compute_pressure", 1.0);
+      if (trace_hash(corrupt_trace(pressure_only, trace)) !=
+          trace_hash(trace)) {
+        std::fprintf(stderr, "[governor-trace] compute_pressure corrupted "
+                             "sensor bytes\n");
+        ok = false;
+      } else {
+        std::printf("[governor-trace] OK — compute_pressure leaves the "
+                    "sensor stream untouched\n");
+      }
+    }
+
+    // A squeezed budget (about two thirds of the nominal workload) under
+    // 0.8 pressure walks the full shedding ladder: stride, clamp, and
+    // skip-resample all engage, so the replay exercises every knob.
+    auto governed_replay = [&](int threads, double budget_ms, bool adaptive,
+                               bool shed, double pressure_severity) {
+      SynPfConfig tcfg = cfg;
+      tcfg.filter.n_threads = threads;
+      SynPf pf{tcfg, map, LidarConfig{}};
+      fault::FaultPipeline pipeline{0x7a017ULL, LidarConfig{}};
+      if (pressure_severity >= 0.0) {
+        pipeline.add("compute_pressure", pressure_severity);
+      }
+      governor::GovernorConfig gcfg;
+      gcfg.budget_ms = budget_ms;
+      gcfg.adaptive = adaptive;
+      gcfg.shed = shed;
+      governor::GovernedLocalizer gov{pf, gcfg};
+      gov.bind_filter(&pf.filter());
+      gov.bind_pressure(&pipeline);
+      return trace.replay(gov);
+    };
+    const auto rg = governed_replay(1, 0.5, true, true, 0.8);
+    ok = compare(rg, governed_replay(1, 0.5, true, true, 0.8),
+                 "governor-rerun") &&
+         ok;
+    ok = compare(rg, governed_replay(8, 0.5, true, true, 0.8),
+                 "governor-threads=8") &&
+         ok;
+
+    // Budget off + adaptive off is the strict no-op contract: the wrapper
+    // forwards untouched and the bare reference bits come back.
+    ok = compare(ra, governed_replay(1, 0.0, false, false, 0.8),
+                 "governor-off-noop") &&
+         ok;
+
+    // A severity-0 pressure stage must decide exactly like no stage at
+    // all: the envelope evaluates to zero, so the ladder sees zero squeeze.
+    ok = compare(governed_replay(1, 0.5, true, true, -1.0),
+                 governed_replay(1, 0.5, true, true, 0.0),
+                 "governor-severity0") &&
+         ok;
   }
 
   const std::uint64_t violations = monitor.violations();
